@@ -1,0 +1,123 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Experiment E1: the generating-function method (Theorem 1) is polynomial.
+// Times the world-size PGF on tuple-independent tables, BID tables and deep
+// and/xor trees across n, with truncated and full coefficient ranges, and
+// checks the retained mass (sanity: the PGF of a probability distribution
+// sums to 1 when untruncated).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "model/generating_function.h"
+#include "poly/poly1.h"
+#include "workload/generators.h"
+
+namespace cpdb {
+namespace {
+
+Poly1 SizeGf(const AndXorTree& tree, int max_degree) {
+  auto leaf_poly = [&](NodeId) { return Poly1::Monomial(max_degree, 1, 1.0); };
+  auto make_const = [&](double c) { return Poly1::Constant(max_degree, c); };
+  return EvalGeneratingFunction<Poly1>(tree, leaf_poly, make_const);
+}
+
+void BM_SizeGfTupleIndependentFull(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  auto tree = RandomTupleIndependent(n, &rng);
+  for (auto _ : state) {
+    Poly1 f = SizeGf(*tree, n);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SizeGfTupleIndependentFull)
+    ->RangeMultiplier(2)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SizeGfTupleIndependentTruncated(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const int k = 32;  // output-sensitive truncation
+  Rng rng(42);
+  auto tree = RandomTupleIndependent(n, &rng);
+  for (auto _ : state) {
+    Poly1 f = SizeGf(*tree, k);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SizeGfTupleIndependentTruncated)
+    ->RangeMultiplier(2)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_SizeGfBid(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_alternatives = 3;
+  auto tree = RandomBid(opts, &rng);
+  for (auto _ : state) {
+    Poly1 f = SizeGf(*tree, 32);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SizeGfBid)->RangeMultiplier(2)->Range(64, 2048)->Complexity();
+
+void BM_SizeGfDeepAndXor(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_depth = 5;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  state.counters["leaves"] = tree->NumLeaves();
+  for (auto _ : state) {
+    Poly1 f = SizeGf(*tree, 32);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_SizeGfDeepAndXor)->RangeMultiplier(2)->Range(16, 256);
+
+void PrintMassSanityTable() {
+  std::printf("\n## E1: generating-function mass sanity"
+              " (untruncated PGF must sum to 1)\n\n");
+  std::printf("| model | n | leaves | sum of coefficients |\n");
+  std::printf("|---|---|---|---|\n");
+  for (int n : {64, 256, 1024}) {
+    Rng rng(42);
+    auto tree = RandomTupleIndependent(n, &rng);
+    Poly1 f = SizeGf(*tree, n);
+    std::printf("| tuple-independent | %d | %d | %.12f |\n", n,
+                tree->NumLeaves(), f.SumCoeffs());
+  }
+  for (int n : {32, 128}) {
+    Rng rng(9);
+    RandomTreeOptions opts;
+    opts.num_keys = n;
+    opts.max_depth = 5;
+    opts.max_alternatives = 2;
+    auto tree = RandomAndXorTree(opts, &rng);
+    Poly1 f = SizeGf(*tree, tree->NumLeaves());
+    std::printf("| deep and/xor | %d | %d | %.12f |\n", n, tree->NumLeaves(),
+                f.SumCoeffs());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace cpdb
+
+int main(int argc, char** argv) {
+  cpdb::PrintMassSanityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Experiment E4: the rank-distribution engine (Example 3 machinery) that
+// powers every Section 5 algorithm: O(n^2 k) scaling over n and k, on BID
+// and deep and/xor inputs, plus the pairwise order statistics for Kendall.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/rank_distribution.h"
+#include "core/rank_distribution_fast.h"
+#include "workload/generators.h"
+
+namespace cpdb {
+namespace {
+
+void BM_RankDistBid(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  Rng rng(17);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_alternatives = 2;
+  auto tree = RandomBid(opts, &rng);
+  for (auto _ : state) {
+    RankDistribution dist = ComputeRankDistribution(*tree, k);
+    benchmark::DoNotOptimize(dist);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RankDistBid)
+    ->ArgsProduct({{32, 64, 128, 256, 512}, {10}})
+    ->ArgsProduct({{128}, {5, 10, 20, 40}})
+    ->Complexity(benchmark::oNSquared);
+
+void BM_RankDistDeepAndXor(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  Rng rng(19);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_depth = 4;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  state.counters["leaves"] = tree->NumLeaves();
+  for (auto _ : state) {
+    RankDistribution dist = ComputeRankDistribution(*tree, k);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+BENCHMARK(BM_RankDistDeepAndXor)->ArgsProduct({{16, 32, 64, 128}, {10}});
+
+// E4b ablation: the segment-tree fast path (O(L k^2 log n)) vs the generic
+// generating-function engine (O(L^2 k)) on the same BID inputs. Expected
+// shape: the fast path wins by a growing factor as n rises.
+void BM_RankDistBidFast(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  Rng rng(17);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_alternatives = 2;
+  auto tree = RandomBid(opts, &rng);
+  for (auto _ : state) {
+    auto dist = ComputeRankDistributionFast(*tree, k);
+    benchmark::DoNotOptimize(dist);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RankDistBidFast)
+    ->ArgsProduct({{32, 64, 128, 256, 512, 1024, 2048}, {10}})
+    ->ArgsProduct({{128}, {5, 10, 20, 40}})
+    ->Complexity(benchmark::oNLogN);
+
+void BM_PairwiseOrderProbabilities(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(23);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_alternatives = 2;
+  auto tree = RandomBid(opts, &rng);
+  std::vector<KeyId> keys = tree->Keys();
+  for (auto _ : state) {
+    auto p = PairwiseOrderProbabilities(*tree, keys);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PairwiseOrderProbabilities)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+
+}  // namespace
+}  // namespace cpdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Scenario: information extraction with structural correlations — the use
+// case that needs the full and/xor tree model. An extractor segments the
+// text "52-A Goregaon West Mumbai" into (address, city) pairs; the two
+// fields are correlated: choosing the segmentation boundary fixes both.
+// Mutual exclusion (XOR) captures the boundary choice; coexistence (AND)
+// captures fields determined by the same choice. (This mirrors Example 1.2
+// of Gupta & Sarawagi's work cited by the paper.)
+//
+// The example also exercises the text serialization: the tree is parsed
+// from its s-expression form, and the consensus machinery runs on top.
+//
+//   $ ./information_extraction
+
+#include <cstdio>
+
+#include "core/set_consensus.h"
+#include "core/topk_symdiff.h"
+#include "io/tree_text.h"
+#include "model/possible_worlds.h"
+
+using namespace cpdb;
+
+int main() {
+  // Keys: 1 = address field, 2 = city field. Scores encode extractor
+  // confidence (used as ranking scores). Segmentation A ("52-A Goregaon
+  // West" / "Mumbai") has probability 0.55; segmentation B ("52-A" /
+  // "Goregaon West Mumbai") has probability 0.45. Within a segmentation the
+  // two fields coexist.
+  const char* kTreeText =
+      "(xor"
+      " 0.55 (and (leaf key=1 score=0.72) (leaf key=2 score=0.81))"
+      " 0.45 (and (leaf key=1 score=0.33) (leaf key=2 score=0.27)))";
+
+  auto tree_or = ParseTree(kTreeText);
+  if (!tree_or.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 tree_or.status().ToString().c_str());
+    return 1;
+  }
+  const AndXorTree& tree = *tree_or;
+  std::printf("== Extraction uncertainty model ==\n%s\n",
+              tree.ToString().c_str());
+
+  auto worlds = EnumerateWorlds(tree);
+  std::printf("Possible extraction outcomes:\n");
+  for (const World& w : *worlds) {
+    std::printf("  prob %.2f:", w.prob);
+    for (const TupleAlternative& t : WorldTuples(tree, w.leaf_ids)) {
+      std::printf(" (field %d, conf %.2f)", t.key, t.score);
+    }
+    std::printf("\n");
+  }
+
+  // A naive per-tuple threshold at 0.5 would mix alternatives from the two
+  // segmentations (each field's first alternative has marginal 0.55), which
+  // is fine here — but the *median* world is guaranteed to be an outcome the
+  // extractor could actually produce.
+  std::vector<NodeId> mean = MeanWorldSymDiff(tree);
+  std::vector<NodeId> median = MedianWorldSymDiff(tree);
+  auto print_world = [&](const char* name, const std::vector<NodeId>& world) {
+    std::printf("%s (E[d_Delta] = %.3f):", name,
+                ExpectedSymDiffDistance(tree, world));
+    for (NodeId l : world) {
+      std::printf(" (field %d, conf %.2f)", tree.node(l).leaf.key,
+                  tree.node(l).leaf.score);
+    }
+    std::printf("\n");
+  };
+  std::printf("\n== Consensus extractions ==\n");
+  print_world("mean world  ", mean);
+  print_world("median world", median);
+
+  // Demonstrate the round trip: serialize the tree back out.
+  std::printf("\nSerialized form (re-parseable):\n%s\n",
+              FormatTree(tree, /*indent=*/true).c_str());
+
+  // The paper's MAX-2-SAT reduction (Section 4.1) shows that for *arbitrary*
+  // correlations the median world is NP-hard; and/xor trees stay tractable
+  // because mutual exclusion and coexistence nest hierarchically. Here the
+  // median came out of an exact linear-time DP.
+  std::printf("\nDone. The median world above is exact (tree DP), despite "
+              "the cross-field correlation.\n");
+  return 0;
+}

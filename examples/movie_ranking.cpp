@@ -1,0 +1,98 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Scenario: ranking movies from noisy crowd-sourced ratings — the
+// information-retrieval motivation of the paper's introduction. Each movie's
+// aggregate score is uncertain (alternatives from conflicting sources);
+// several previously proposed Top-k semantics disagree, and the consensus
+// framework adjudicates: we score every semantics under the expected
+// distance objectives it is supposed to optimize.
+//
+//   $ ./movie_ranking [num_movies] [k] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ranking_baselines.h"
+#include "core/topk_footrule.h"
+#include "core/topk_intersection.h"
+#include "core/topk_symdiff.h"
+#include "model/builders.h"
+
+using namespace cpdb;
+
+int main(int argc, char** argv) {
+  int num_movies = argc > 1 ? std::atoi(argv[1]) : 25;
+  int k = argc > 2 ? std::atoi(argv[2]) : 5;
+  uint64_t seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 2026;
+  Rng rng(seed);
+
+  // Build a BID table: each movie has 1-3 candidate aggregate ratings (e.g.
+  // from different rating sites), weighted by source reliability; some mass
+  // is reserved for "no reliable rating" (the movie drops out of a world).
+  std::vector<Block> blocks;
+  for (int m = 0; m < num_movies; ++m) {
+    Block block;
+    int sources = static_cast<int>(rng.UniformInt(1, 3));
+    double reliability = rng.Uniform(0.6, 1.0);
+    double base_quality = rng.Uniform(3.0, 9.0);
+    for (int s = 0; s < sources; ++s) {
+      TupleAlternative alt;
+      alt.key = m;
+      // Distinct scores: jitter per (movie, source).
+      alt.score = base_quality + rng.Uniform(-1.0, 1.0) + m * 1e-4 + s * 1e-6;
+      block.push_back({alt, reliability / sources});
+    }
+    blocks.push_back(block);
+  }
+  auto tree_or = MakeBlockIndependent(blocks);
+  if (!tree_or.ok()) {
+    std::fprintf(stderr, "%s\n", tree_or.status().ToString().c_str());
+    return 1;
+  }
+  const AndXorTree& tree = *tree_or;
+
+  RankDistribution dist = ComputeRankDistribution(tree, k);
+
+  struct Row {
+    std::string name;
+    std::vector<KeyId> answer;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"consensus mean (d_Delta) = Global Top-k",
+                  MeanTopKSymDiff(dist).keys});
+  auto median = MedianTopKSymDiff(tree, dist);
+  if (median.ok()) rows.push_back({"consensus median (d_Delta)", median->keys});
+  auto inter = MeanTopKIntersectionExact(dist);
+  if (inter.ok()) rows.push_back({"consensus mean (d_I)", inter->keys});
+  auto foot = MeanTopKFootrule(dist);
+  if (foot.ok()) rows.push_back({"consensus mean (d_F)", foot->keys});
+  rows.push_back({"Upsilon_H ranking function",
+                  MeanTopKIntersectionApprox(dist).keys});
+  rows.push_back({"expected score", TopKByExpectedScore(tree, k)});
+  rows.push_back({"expected rank", TopKByExpectedRank(tree, k)});
+  rows.push_back({"PT-k (threshold 0.5)",
+                  ProbabilisticThresholdTopK(dist, 0.5)});
+  rows.push_back({"U-Top-k (5000 samples)", UTopKSampled(tree, k, 5000, &rng)});
+
+  std::printf("Ranking %d movies, k = %d, seed %llu\n\n", num_movies, k,
+              static_cast<unsigned long long>(seed));
+  std::printf("%-42s %-24s %9s %9s %9s\n", "semantics", "answer",
+              "E[d_Delta]", "E[d_I]", "E[d_F]");
+  for (const Row& row : rows) {
+    std::string answer = "[";
+    for (KeyId key : row.answer) answer += " " + std::to_string(key);
+    answer += " ]";
+    std::printf("%-42s %-24s %9.4f %9.4f %9.3f\n", row.name.c_str(),
+                answer.c_str(), ExpectedTopKSymDiff(dist, row.answer),
+                ExpectedTopKIntersection(dist, row.answer),
+                ExpectedTopKFootrule(dist, row.answer));
+  }
+
+  std::printf("\nEach consensus answer minimizes its own column by "
+              "construction; the\nbaselines show how far heuristic semantics "
+              "drift from the optimum.\n");
+  return 0;
+}

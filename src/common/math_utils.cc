@@ -1,0 +1,54 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "common/math_utils.h"
+
+#include <algorithm>
+
+namespace cpdb {
+
+double HarmonicNumber(int k) {
+  double h = 0.0;
+  for (int i = 1; i <= k; ++i) h += 1.0 / i;
+  return h;
+}
+
+bool ApproxEqual(double a, double b, double abs_tol, double rel_tol) {
+  double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+double ClampProbability(double p) {
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+std::vector<double> MaxPlusConvolve(const std::vector<double>& a,
+                                    const std::vector<double>& b,
+                                    size_t max_size) {
+  size_t out_size = std::min(max_size + 1, a.size() + b.size() - 1);
+  std::vector<double> out(out_size, kNegInf);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == kNegInf) continue;
+    size_t j_end = std::min(b.size(), out_size - std::min(out_size, i));
+    for (size_t j = 0; j < j_end && i + j < out_size; ++j) {
+      if (b[j] == kNegInf) continue;
+      out[i + j] = std::max(out[i + j], a[i] + b[j]);
+    }
+  }
+  return out;
+}
+
+double StableSum(const std::vector<double>& values) {
+  double sum = 0.0, comp = 0.0;
+  for (double v : values) {
+    double y = v - comp;
+    double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,92 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Result<T>: value-or-Status, in the style of arrow::Result. A Result is
+// either a T or a non-OK Status; dereferencing an errored Result aborts.
+
+#ifndef CPDB_COMMON_RESULT_H_
+#define CPDB_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cpdb {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why the computation failed.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : rep_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+
+  /// Implicit from a non-OK status (failure). An OK status is a programming
+  /// error and is converted to an Internal error.
+  Result(Status status) : rep_(std::in_place_index<1>, std::move(status)) {  // NOLINT
+    if (std::get<1>(rep_).ok()) {
+      rep_.template emplace<1>(
+          Status::Internal("Result constructed from OK status"));
+    }
+  }
+
+  bool ok() const { return rep_.index() == 0; }
+
+  /// \brief The failure status; Status::OK() if this Result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(rep_);
+  }
+
+  /// \brief Access to the value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<0>(rep_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<0>(rep_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<0>(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<0>(rep_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   std::get<1>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace cpdb
+
+/// \brief Assigns the value of a Result expression to `lhs`, or propagates
+/// its error Status out of the enclosing function.
+#define CPDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define CPDB_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define CPDB_ASSIGN_OR_RETURN_NAME(a, b) CPDB_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define CPDB_ASSIGN_OR_RETURN(lhs, expr) \
+  CPDB_ASSIGN_OR_RETURN_IMPL(            \
+      CPDB_ASSIGN_OR_RETURN_NAME(_cpdb_result_, __LINE__), lhs, expr)
+
+#endif  // CPDB_COMMON_RESULT_H_

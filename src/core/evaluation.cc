@@ -1,0 +1,120 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/evaluation.h"
+
+#include "core/jaccard.h"
+#include "core/topk_metrics.h"
+
+namespace cpdb {
+
+namespace {
+
+double TopKDistanceByMetric(const std::vector<KeyId>& a,
+                            const std::vector<KeyId>& b, int k,
+                            TopKMetric metric) {
+  switch (metric) {
+    case TopKMetric::kSymDiff:
+      return TopKSymmetricDifference(a, b, k);
+    case TopKMetric::kIntersection:
+      return TopKIntersectionDistance(a, b, k);
+    case TopKMetric::kFootrule:
+      return TopKFootrule(a, b, k);
+    case TopKMetric::kKendall:
+      return TopKKendall(a, b, k);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<double> EnumExpectedTopKDistance(const AndXorTree& tree,
+                                        const std::vector<KeyId>& answer,
+                                        int k, TopKMetric metric,
+                                        size_t max_worlds) {
+  CPDB_ASSIGN_OR_RETURN(std::vector<World> worlds,
+                        EnumerateWorlds(tree, max_worlds));
+  double expected = 0.0;
+  for (const World& w : worlds) {
+    expected +=
+        w.prob * TopKDistanceByMetric(answer, TopKOfWorld(tree, w.leaf_ids, k),
+                                      k, metric);
+  }
+  return expected;
+}
+
+double SampleExpectedTopKDistance(const AndXorTree& tree,
+                                  const std::vector<KeyId>& answer, int k,
+                                  TopKMetric metric, int num_samples,
+                                  Rng* rng) {
+  double total = 0.0;
+  for (int s = 0; s < num_samples; ++s) {
+    std::vector<NodeId> world = SampleWorld(tree, rng);
+    total += TopKDistanceByMetric(answer, TopKOfWorld(tree, world, k), k,
+                                  metric);
+  }
+  return total / num_samples;
+}
+
+Result<double> EnumExpectedSetDistance(const AndXorTree& tree,
+                                       const std::vector<NodeId>& world,
+                                       SetMetric metric, size_t max_worlds) {
+  CPDB_ASSIGN_OR_RETURN(std::vector<World> worlds,
+                        EnumerateWorlds(tree, max_worlds));
+  double expected = 0.0;
+  for (const World& w : worlds) {
+    double d = 0.0;
+    switch (metric) {
+      case SetMetric::kSymDiff: {
+        // |A Δ B| over sorted id vectors.
+        size_t i = 0, j = 0, inter = 0;
+        while (i < world.size() && j < w.leaf_ids.size()) {
+          if (world[i] == w.leaf_ids[j]) {
+            ++inter;
+            ++i;
+            ++j;
+          } else if (world[i] < w.leaf_ids[j]) {
+            ++i;
+          } else {
+            ++j;
+          }
+        }
+        d = static_cast<double>(world.size() + w.leaf_ids.size() - 2 * inter);
+        break;
+      }
+      case SetMetric::kJaccard:
+        d = JaccardDistance(world, w.leaf_ids);
+        break;
+    }
+    expected += w.prob * d;
+  }
+  return expected;
+}
+
+double ClusteringDistance(const ClusteringAnswer& a,
+                          const ClusteringAnswer& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.cluster_of.size(); ++i) {
+    for (size_t j = i + 1; j < a.cluster_of.size(); ++j) {
+      bool ta = a.cluster_of[i] == a.cluster_of[j];
+      bool tb = b.cluster_of[i] == b.cluster_of[j];
+      if (ta != tb) d += 1.0;
+    }
+  }
+  return d;
+}
+
+Result<double> EnumExpectedClusteringDistance(const AndXorTree& tree,
+                                              const ClusteringAnswer& answer,
+                                              size_t max_worlds) {
+  CPDB_ASSIGN_OR_RETURN(std::vector<World> worlds,
+                        EnumerateWorlds(tree, max_worlds));
+  std::vector<KeyId> keys = tree.Keys();
+  double expected = 0.0;
+  for (const World& w : worlds) {
+    ClusteringAnswer induced = ClusteringOfWorld(tree, keys, w.leaf_ids);
+    expected += w.prob * ClusteringDistance(answer, induced);
+  }
+  return expected;
+}
+
+}  // namespace cpdb

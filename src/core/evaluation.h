@@ -1,0 +1,59 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Ground-truth evaluation of expected distances by exhaustive possible-world
+// enumeration (exact on small instances) and Monte-Carlo sampling (unbiased
+// on any instance). Every closed-form expectation in the library is
+// cross-validated against these in the test suite, and the benchmark harness
+// uses them to measure approximation ratios.
+
+#ifndef CPDB_CORE_EVALUATION_H_
+#define CPDB_CORE_EVALUATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/clustering.h"
+#include "model/and_xor_tree.h"
+#include "model/possible_worlds.h"
+
+namespace cpdb {
+
+/// \brief Top-k list metrics selectable by the generic evaluators.
+enum class TopKMetric { kSymDiff, kIntersection, kFootrule, kKendall };
+
+/// \brief E[d(answer, topk(pw))] by exhaustive enumeration.
+Result<double> EnumExpectedTopKDistance(const AndXorTree& tree,
+                                        const std::vector<KeyId>& answer,
+                                        int k, TopKMetric metric,
+                                        size_t max_worlds = 1 << 20);
+
+/// \brief Unbiased Monte-Carlo estimate of E[d(answer, topk(pw))].
+double SampleExpectedTopKDistance(const AndXorTree& tree,
+                                  const std::vector<KeyId>& answer, int k,
+                                  TopKMetric metric, int num_samples,
+                                  Rng* rng);
+
+/// \brief Set-level metrics over leaf-id sets.
+enum class SetMetric { kSymDiff, kJaccard };
+
+/// \brief E[d(world, pw)] by exhaustive enumeration; `world` holds sorted
+/// leaf NodeIds.
+Result<double> EnumExpectedSetDistance(const AndXorTree& tree,
+                                       const std::vector<NodeId>& world,
+                                       SetMetric metric,
+                                       size_t max_worlds = 1 << 20);
+
+/// \brief E[d(answer, clustering(pw))] by exhaustive enumeration, with the
+/// paper's absent-keys-share-a-cluster convention.
+Result<double> EnumExpectedClusteringDistance(const AndXorTree& tree,
+                                              const ClusteringAnswer& answer,
+                                              size_t max_worlds = 1 << 20);
+
+/// \brief Pairwise-disagreement distance between two clusterings over the
+/// same key universe.
+double ClusteringDistance(const ClusteringAnswer& a, const ClusteringAnswer& b);
+
+}  // namespace cpdb
+
+#endif  // CPDB_CORE_EVALUATION_H_

@@ -1,0 +1,170 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/jaccard.h"
+
+#include <algorithm>
+#include <set>
+
+#include "model/generating_function.h"
+#include "poly/poly2.h"
+
+namespace cpdb {
+
+double JaccardDistance(const std::vector<NodeId>& s1,
+                       const std::vector<NodeId>& s2) {
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < s1.size() && j < s2.size()) {
+    if (s1[i] == s2[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (s1[i] < s2[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = s1.size() + s2.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(uni - inter) / static_cast<double>(uni);
+}
+
+double ExpectedJaccardDistance(const AndXorTree& tree,
+                               const std::vector<NodeId>& world) {
+  std::set<NodeId> in_world(world.begin(), world.end());
+  int w = static_cast<int>(world.size());
+  int out = tree.NumLeaves() - w;
+  // x tags leaves of W, y tags the rest; the coefficient of x^i y^j is the
+  // probability that |pw ∩ W| = i and |pw \ W| = j, hence
+  // d_J = (|W| - i + j) / (|W| + j).
+  auto leaf_poly = [&](NodeId id) {
+    if (in_world.count(id) > 0) return Poly2::Monomial(w, out, 1, 0, 1.0);
+    return Poly2::Monomial(w, out, 0, 1, 1.0);
+  };
+  auto make_const = [&](double c) { return Poly2::Constant(w, out, c); };
+  Poly2 f = EvalGeneratingFunction<Poly2>(tree, leaf_poly, make_const);
+  double expected = 0.0;
+  for (int i = 0; i <= w; ++i) {
+    for (int j = 0; j <= out; ++j) {
+      double c = f.Coeff(i, j);
+      if (c == 0.0) continue;
+      double uni = static_cast<double>(w + j);
+      if (uni == 0.0) continue;  // W = pw = empty set: distance 0
+      expected += c * static_cast<double>(w - i + j) / uni;
+    }
+  }
+  return expected;
+}
+
+namespace {
+
+// Shape check shared by IsTupleIndependent / IsBlockIndependent. Each block
+// must be a XOR of leaves; `single_leaf_blocks` additionally requires one
+// alternative per block.
+bool HasBlockShape(const AndXorTree& tree, bool single_leaf_blocks) {
+  const TreeNode& root = tree.node(tree.root());
+  std::vector<NodeId> blocks;
+  if (root.kind == NodeKind::kXor) {
+    blocks = {tree.root()};
+  } else if (root.kind == NodeKind::kAnd) {
+    blocks = root.children;
+  } else {
+    return false;
+  }
+  for (NodeId b : blocks) {
+    const TreeNode& block = tree.node(b);
+    if (block.kind != NodeKind::kXor) return false;
+    if (single_leaf_blocks && block.children.size() != 1) return false;
+    KeyId key = 0;
+    bool first = true;
+    for (NodeId c : block.children) {
+      const TreeNode& child = tree.node(c);
+      if (child.kind != NodeKind::kLeaf) return false;
+      if (single_leaf_blocks) {
+        if (!first && child.leaf.key != key) return false;
+        key = child.leaf.key;
+        first = false;
+      }
+    }
+  }
+  return true;
+}
+
+// Returns the prefix (by the given leaf order) minimizing the expected
+// Jaccard distance, including the empty prefix.
+std::vector<NodeId> BestPrefix(const AndXorTree& tree,
+                               const std::vector<NodeId>& order) {
+  std::vector<NodeId> best;
+  double best_cost = ExpectedJaccardDistance(tree, {});
+  std::vector<NodeId> prefix;
+  for (NodeId id : order) {
+    prefix.push_back(id);
+    std::vector<NodeId> sorted = prefix;
+    std::sort(sorted.begin(), sorted.end());
+    double cost = ExpectedJaccardDistance(tree, sorted);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = sorted;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool IsTupleIndependent(const AndXorTree& tree) {
+  return HasBlockShape(tree, /*single_leaf_blocks=*/true);
+}
+
+bool IsBlockIndependent(const AndXorTree& tree) {
+  return HasBlockShape(tree, /*single_leaf_blocks=*/false);
+}
+
+Result<std::vector<NodeId>> MeanWorldJaccard(const AndXorTree& tree) {
+  if (!IsTupleIndependent(tree)) {
+    return Status::InvalidArgument(
+        "MeanWorldJaccard requires a tuple-independent database (Lemma 2)");
+  }
+  std::vector<double> marginal = tree.LeafMarginals();
+  std::vector<NodeId> order = tree.LeafIds();
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return marginal[static_cast<size_t>(a)] > marginal[static_cast<size_t>(b)];
+  });
+  return BestPrefix(tree, order);
+}
+
+Result<std::vector<NodeId>> MedianWorldJaccardBid(const AndXorTree& tree) {
+  if (!IsBlockIndependent(tree)) {
+    return Status::InvalidArgument(
+        "MedianWorldJaccardBid requires a block-independent database");
+  }
+  // Highest-probability alternative per block, then the Lemma 2 prefix scan
+  // over blocks sorted by that probability.
+  std::vector<double> marginal = tree.LeafMarginals();
+  const TreeNode& root = tree.node(tree.root());
+  std::vector<NodeId> blocks =
+      root.kind == NodeKind::kXor ? std::vector<NodeId>{tree.root()} : root.children;
+  std::vector<NodeId> representatives;
+  for (NodeId b : blocks) {
+    const TreeNode& block = tree.node(b);
+    NodeId best_leaf = kInvalidNode;
+    double best_p = 0.0;
+    for (NodeId c : block.children) {
+      double p = marginal[static_cast<size_t>(c)];
+      if (p > best_p) {
+        best_p = p;
+        best_leaf = c;
+      }
+    }
+    if (best_leaf != kInvalidNode) representatives.push_back(best_leaf);
+  }
+  std::sort(representatives.begin(), representatives.end(),
+            [&](NodeId a, NodeId b) {
+              return marginal[static_cast<size_t>(a)] >
+                     marginal[static_cast<size_t>(b)];
+            });
+  return BestPrefix(tree, representatives);
+}
+
+}  // namespace cpdb

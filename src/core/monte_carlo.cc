@@ -1,0 +1,128 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/monte_carlo.h"
+
+#include <cmath>
+
+#include "core/jaccard.h"
+#include "core/topk_metrics.h"
+#include "model/possible_worlds.h"
+
+namespace cpdb {
+
+namespace {
+
+// Welford accumulator.
+struct Welford {
+  int n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void Add(double x) {
+    ++n;
+    double delta = x - mean;
+    mean += delta / n;
+    m2 += delta * (x - mean);
+  }
+
+  McEstimate Finish() const {
+    McEstimate e;
+    e.mean = mean;
+    e.samples = n;
+    if (n > 1) {
+      double variance = m2 / (n - 1);
+      e.std_error = std::sqrt(variance / n);
+    }
+    return e;
+  }
+};
+
+}  // namespace
+
+McEstimate EstimateOverWorlds(
+    const AndXorTree& tree, int num_samples, Rng* rng,
+    const std::function<double(const std::vector<NodeId>&)>& f) {
+  Welford acc;
+  for (int s = 0; s < num_samples; ++s) {
+    acc.Add(f(SampleWorld(tree, rng)));
+  }
+  return acc.Finish();
+}
+
+McEstimate EstimateOverWorldsAdaptive(
+    const AndXorTree& tree, double target_std_error, int max_samples,
+    Rng* rng, const std::function<double(const std::vector<NodeId>&)>& f,
+    int batch) {
+  Welford acc;
+  while (acc.n < max_samples) {
+    for (int s = 0; s < batch && acc.n < max_samples; ++s) {
+      acc.Add(f(SampleWorld(tree, rng)));
+    }
+    McEstimate current = acc.Finish();
+    if (acc.n >= 2 * batch && current.std_error <= target_std_error) break;
+  }
+  return acc.Finish();
+}
+
+McEstimate McExpectedTopKDistance(const AndXorTree& tree,
+                                  const std::vector<KeyId>& answer, int k,
+                                  TopKMetric metric, int num_samples,
+                                  Rng* rng) {
+  return EstimateOverWorlds(
+      tree, num_samples, rng, [&](const std::vector<NodeId>& world) {
+        std::vector<KeyId> topk = TopKOfWorld(tree, world, k);
+        switch (metric) {
+          case TopKMetric::kSymDiff:
+            return TopKSymmetricDifference(answer, topk, k);
+          case TopKMetric::kIntersection:
+            return TopKIntersectionDistance(answer, topk, k);
+          case TopKMetric::kFootrule:
+            return TopKFootrule(answer, topk, k);
+          case TopKMetric::kKendall:
+            return TopKKendall(answer, topk, k);
+        }
+        return 0.0;
+      });
+}
+
+McEstimate McExpectedSetDistance(const AndXorTree& tree,
+                                 const std::vector<NodeId>& world,
+                                 SetMetric metric, int num_samples, Rng* rng) {
+  return EstimateOverWorlds(
+      tree, num_samples, rng, [&](const std::vector<NodeId>& sampled) {
+        switch (metric) {
+          case SetMetric::kSymDiff: {
+            size_t i = 0, j = 0, inter = 0;
+            while (i < world.size() && j < sampled.size()) {
+              if (world[i] == sampled[j]) {
+                ++inter;
+                ++i;
+                ++j;
+              } else if (world[i] < sampled[j]) {
+                ++i;
+              } else {
+                ++j;
+              }
+            }
+            return static_cast<double>(world.size() + sampled.size() -
+                                       2 * inter);
+          }
+          case SetMetric::kJaccard:
+            return JaccardDistance(world, sampled);
+        }
+        return 0.0;
+      });
+}
+
+McEstimate McExpectedClusteringDistance(const AndXorTree& tree,
+                                        const ClusteringAnswer& answer,
+                                        int num_samples, Rng* rng) {
+  std::vector<KeyId> keys = tree.Keys();
+  return EstimateOverWorlds(
+      tree, num_samples, rng, [&](const std::vector<NodeId>& world) {
+        return ClusteringDistance(answer,
+                                  ClusteringOfWorld(tree, keys, world));
+      });
+}
+
+}  // namespace cpdb

@@ -1,0 +1,140 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/rank_distribution.h"
+
+#include <algorithm>
+
+#include "model/generating_function.h"
+#include "poly/poly2.h"
+
+namespace cpdb {
+
+double RankDistribution::PrRankEq(KeyId key, int i) const {
+  if (i < 1 || i > k_) return 0.0;
+  auto it = key_index_.find(key);
+  if (it == key_index_.end()) return 0.0;
+  return pr_eq_[static_cast<size_t>(it->second)][static_cast<size_t>(i)];
+}
+
+double RankDistribution::PrRankLe(KeyId key, int i) const {
+  if (i < 1) return 0.0;
+  auto it = key_index_.find(key);
+  if (it == key_index_.end()) return 0.0;
+  int clamped = std::min(i, k_);
+  return pr_le_[static_cast<size_t>(it->second)][static_cast<size_t>(clamped)];
+}
+
+void RankDistributionBuilder::EnsureKey(KeyId key) {
+  auto [it, inserted] =
+      dist_.key_index_.insert({key, static_cast<int>(dist_.keys_.size())});
+  if (inserted) {
+    dist_.keys_.push_back(key);
+    dist_.pr_eq_.emplace_back(static_cast<size_t>(dist_.k_) + 1, 0.0);
+  }
+}
+
+void RankDistributionBuilder::Add(KeyId key, int i, double prob) {
+  EnsureKey(key);
+  if (i < 1 || i > dist_.k_) return;
+  dist_.pr_eq_[static_cast<size_t>(dist_.key_index_[key])]
+              [static_cast<size_t>(i)] += prob;
+}
+
+RankDistribution RankDistributionBuilder::Build() && {
+  // keys_ must be sorted ascending like ComputeRankDistribution produces;
+  // reindex after sorting.
+  std::vector<KeyId> sorted = dist_.keys_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::vector<double>> pr_eq(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    pr_eq[i] = dist_.pr_eq_[static_cast<size_t>(dist_.key_index_[sorted[i]])];
+  }
+  dist_.keys_ = std::move(sorted);
+  dist_.pr_eq_ = std::move(pr_eq);
+  dist_.key_index_.clear();
+  for (size_t i = 0; i < dist_.keys_.size(); ++i) {
+    dist_.key_index_[dist_.keys_[i]] = static_cast<int>(i);
+  }
+  dist_.pr_le_ = dist_.pr_eq_;
+  for (auto& row : dist_.pr_le_) {
+    for (size_t i = 2; i < row.size(); ++i) row[i] += row[i - 1];
+  }
+  return std::move(dist_);
+}
+
+RankDistribution ComputeRankDistribution(const AndXorTree& tree, int k) {
+  RankDistribution dist;
+  dist.k_ = k;
+  dist.keys_ = tree.Keys();
+  for (size_t i = 0; i < dist.keys_.size(); ++i) {
+    dist.key_index_[dist.keys_[i]] = static_cast<int>(i);
+  }
+  dist.pr_eq_.assign(dist.keys_.size(),
+                     std::vector<double>(static_cast<size_t>(k) + 1, 0.0));
+
+  // One bivariate generating function per tuple alternative. Truncations:
+  // x (count of higher-ranked tuples) at k-1 is enough for ranks <= k, but
+  // we keep k to read Pr(r = k) from x^{k-1}; y (the alternative itself) at 1.
+  for (NodeId target : tree.LeafIds()) {
+    const TupleAlternative& alt = tree.node(target).leaf;
+    auto leaf_poly = [&](NodeId id) {
+      if (id == target) return Poly2::Monomial(k, 1, 0, 1, 1.0);
+      const TupleAlternative& other = tree.node(id).leaf;
+      if (other.key != alt.key && other.score > alt.score) {
+        return Poly2::Monomial(k, 1, 1, 0, 1.0);  // counts toward the rank
+      }
+      return Poly2::Constant(k, 1, 1.0);
+    };
+    auto make_const = [&](double c) { return Poly2::Constant(k, 1, c); };
+    Poly2 f = EvalGeneratingFunction<Poly2>(tree, leaf_poly, make_const);
+    int key_idx = dist.key_index_[alt.key];
+    for (int i = 1; i <= k; ++i) {
+      dist.pr_eq_[static_cast<size_t>(key_idx)][static_cast<size_t>(i)] +=
+          f.Coeff(i - 1, 1);
+    }
+  }
+
+  dist.pr_le_ = dist.pr_eq_;
+  for (auto& row : dist.pr_le_) {
+    for (size_t i = 2; i < row.size(); ++i) row[i] += row[i - 1];
+  }
+  return dist;
+}
+
+double PrRanksBefore(const AndXorTree& tree, KeyId u, KeyId v) {
+  // Sum over alternatives a of u of Pr(a present and no alternative of v
+  // with a higher score present). Variables: y tags a (need y^1), z tags
+  // higher-scoring alternatives of v (need z^0); everything else is 1.
+  double total = 0.0;
+  for (NodeId target : tree.LeafIds()) {
+    const TupleAlternative& alt = tree.node(target).leaf;
+    if (alt.key != u) continue;
+    auto leaf_poly = [&](NodeId id) {
+      if (id == target) return Poly2::Monomial(1, 1, 1, 0, 1.0);  // y
+      const TupleAlternative& other = tree.node(id).leaf;
+      if (other.key == v && other.score > alt.score) {
+        return Poly2::Monomial(1, 1, 0, 1, 1.0);  // z
+      }
+      return Poly2::Constant(1, 1, 1.0);
+    };
+    auto make_const = [&](double c) { return Poly2::Constant(1, 1, c); };
+    Poly2 f = EvalGeneratingFunction<Poly2>(tree, leaf_poly, make_const);
+    total += f.Coeff(1, 0);
+  }
+  return total;
+}
+
+std::vector<std::vector<double>> PairwiseOrderProbabilities(
+    const AndXorTree& tree, const std::vector<KeyId>& keys) {
+  std::vector<std::vector<double>> p(
+      keys.size(), std::vector<double>(keys.size(), 0.0));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = 0; j < keys.size(); ++j) {
+      if (i == j) continue;
+      p[i][j] = PrRanksBefore(tree, keys[i], keys[j]);
+    }
+  }
+  return p;
+}
+
+}  // namespace cpdb

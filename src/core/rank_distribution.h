@@ -1,0 +1,94 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Rank distributions over and/xor trees (Example 3 / Section 5 of the
+// paper). For each probabilistic tuple t, Pr(r(t) = i) is the probability
+// that t appears in a random possible world ranked i-th by score; absent
+// tuples have rank infinity, so Pr(r(t) > k) includes absence. These
+// distributions are the sufficient statistics for every consensus Top-k
+// computation in Section 5.
+
+#ifndef CPDB_CORE_RANK_DISTRIBUTION_H_
+#define CPDB_CORE_RANK_DISTRIBUTION_H_
+
+#include <map>
+#include <vector>
+
+#include "model/and_xor_tree.h"
+
+namespace cpdb {
+
+/// \brief Pr(r(t) = i) and Pr(r(t) <= i) for every key and every i in 1..k.
+class RankDistribution {
+ public:
+  int k() const { return k_; }
+
+  /// \brief Keys covered, ascending (all keys of the generating tree).
+  const std::vector<KeyId>& keys() const { return keys_; }
+
+  /// \brief Pr(r(key) = i); 0 for i outside [1, k] or unknown keys.
+  double PrRankEq(KeyId key, int i) const;
+
+  /// \brief Pr(r(key) <= i) for i in [1, k]; 0 for i < 1; PrTopK for i > k.
+  double PrRankLe(KeyId key, int i) const;
+
+  /// \brief Pr(r(key) <= k): the probability the tuple makes the Top-k.
+  double PrTopK(KeyId key) const { return PrRankLe(key, k_); }
+
+  /// \brief Pr(r(key) > k), including the probability the tuple is absent.
+  double PrBeyondK(KeyId key) const { return 1.0 - PrTopK(key); }
+
+ private:
+  friend RankDistribution ComputeRankDistribution(const AndXorTree& tree,
+                                                  int k);
+  friend class RankDistributionBuilder;
+  int k_ = 0;
+  std::vector<KeyId> keys_;
+  std::map<KeyId, int> key_index_;
+  // pr_eq_[key_index][i] = Pr(r = i); index 0 unused.
+  std::vector<std::vector<double>> pr_eq_;
+  std::vector<std::vector<double>> pr_le_;
+};
+
+/// \brief Assembles a RankDistribution from externally computed
+/// Pr(r(key) = i) values (used by the fast block-independent algorithm in
+/// rank_distribution_fast.h).
+class RankDistributionBuilder {
+ public:
+  explicit RankDistributionBuilder(int k) { dist_.k_ = k; }
+
+  /// \brief Registers `key` with an all-zero distribution if absent (keys
+  /// that never reach the Top-k must still appear in keys()).
+  void EnsureKey(KeyId key);
+
+  /// \brief Adds `prob` to Pr(r(key) = i); creates the key on first use.
+  void Add(KeyId key, int i, double prob);
+
+  /// \brief Finalizes prefix sums and returns the distribution.
+  RankDistribution Build() &&;
+
+ private:
+  RankDistribution dist_;
+};
+
+/// \brief Computes the rank distribution of every key, truncated at rank k.
+///
+/// Implementation (Example 3): for each tuple alternative a with score s,
+/// the bivariate generating function with variable x on higher-scoring
+/// leaves of other keys and y on a has Pr(rank via a = i) as the coefficient
+/// of x^{i-1} y; summing over a's alternatives gives the key's distribution.
+/// Cost O(L^2 k) for L leaves.
+RankDistribution ComputeRankDistribution(const AndXorTree& tree, int k);
+
+/// \brief Pr(r(t_u) < r(t_v)): the probability that key u ranks strictly
+/// ahead of key v (v absent counts as rank infinity, so u present with v
+/// absent qualifies). Used by Kendall-tau aggregation (Section 5.5).
+double PrRanksBefore(const AndXorTree& tree, KeyId u, KeyId v);
+
+/// \brief All pairwise order probabilities among `keys`;
+/// result[i][j] = Pr(r(keys[i]) < r(keys[j])). Diagonal is 0.
+std::vector<std::vector<double>> PairwiseOrderProbabilities(
+    const AndXorTree& tree, const std::vector<KeyId>& keys);
+
+}  // namespace cpdb
+
+#endif  // CPDB_CORE_RANK_DISTRIBUTION_H_

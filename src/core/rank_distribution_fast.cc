@@ -1,0 +1,110 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/rank_distribution_fast.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/jaccard.h"  // IsBlockIndependent
+#include "poly/poly1.h"
+
+namespace cpdb {
+
+namespace {
+
+// A segment tree whose leaves hold one truncated polynomial per block and
+// whose root holds the product of them all. Point updates recompute the
+// O(log m) ancestors, each via one truncated multiplication.
+class PolyProductTree {
+ public:
+  PolyProductTree(int num_blocks, int max_degree)
+      : max_degree_(max_degree), size_(1) {
+    while (size_ < num_blocks) size_ *= 2;
+    nodes_.assign(static_cast<size_t>(2 * size_),
+                  Poly1::Constant(max_degree, 1.0));
+  }
+
+  void Update(int block, Poly1 factor) {
+    int pos = size_ + block;
+    nodes_[static_cast<size_t>(pos)] = std::move(factor);
+    for (pos /= 2; pos >= 1; pos /= 2) {
+      nodes_[static_cast<size_t>(pos)] =
+          nodes_[static_cast<size_t>(2 * pos)] *
+          nodes_[static_cast<size_t>(2 * pos + 1)];
+    }
+  }
+
+  const Poly1& Root() const { return nodes_[1]; }
+
+ private:
+  int max_degree_;
+  int size_;
+  std::vector<Poly1> nodes_;
+};
+
+struct ScanAlternative {
+  double score;
+  double prob;
+  int block;
+  KeyId key;
+};
+
+}  // namespace
+
+Result<RankDistribution> ComputeRankDistributionFast(const AndXorTree& tree,
+                                                     int k) {
+  if (!IsBlockIndependent(tree)) {
+    return Status::InvalidArgument(
+        "ComputeRankDistributionFast requires a block-independent tree; use "
+        "ComputeRankDistribution for general and/xor trees");
+  }
+  const TreeNode& root = tree.node(tree.root());
+  std::vector<NodeId> blocks = root.kind == NodeKind::kXor
+                                   ? std::vector<NodeId>{tree.root()}
+                                   : root.children;
+  const int m = static_cast<int>(blocks.size());
+
+  std::vector<ScanAlternative> scan;
+  RankDistributionBuilder builder(k);
+  for (int j = 0; j < m; ++j) {
+    const TreeNode& block = tree.node(blocks[static_cast<size_t>(j)]);
+    for (size_t c = 0; c < block.children.size(); ++c) {
+      const TupleAlternative& alt =
+          tree.node(block.children[c]).leaf;
+      builder.EnsureKey(alt.key);
+      scan.push_back({alt.score, block.edge_probs[c], j, alt.key});
+    }
+  }
+  // Decreasing score order: when the scan reaches an alternative, every
+  // block factor already accounts for exactly the higher-scoring mass.
+  std::sort(scan.begin(), scan.end(),
+            [](const ScanAlternative& a, const ScanAlternative& b) {
+              return a.score > b.score;
+            });
+
+  PolyProductTree product(m, k);
+  std::vector<double> mass_above(static_cast<size_t>(m), 0.0);
+
+  for (const ScanAlternative& alt : scan) {
+    if (alt.prob > 0.0) {
+      // Mask the target's own block (its key-mates are mutually exclusive
+      // with the target and never count toward its rank).
+      double saved_mass = mass_above[static_cast<size_t>(alt.block)];
+      product.Update(alt.block, Poly1::Constant(k, 1.0));
+      const Poly1& others = product.Root();
+      for (int i = 1; i <= k; ++i) {
+        builder.Add(alt.key, i, alt.prob * others.Coeff(i - 1));
+      }
+      product.Update(alt.block,
+                     Poly1::Affine(k, 1.0 - saved_mass, saved_mass));
+    }
+    // The alternative's mass now counts as "above threshold" for everything
+    // scanned later (strictly lower scores; scores are tie-free).
+    mass_above[static_cast<size_t>(alt.block)] += alt.prob;
+    double q = mass_above[static_cast<size_t>(alt.block)];
+    product.Update(alt.block, Poly1::Affine(k, 1.0 - q, q));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace cpdb

@@ -1,0 +1,38 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Fast rank distributions for block-independent (BID / x-tuple /
+// tuple-independent) databases. The paper claims O(n k log^2 n)-style
+// evaluation for its Upsilon_H ranking function via generating functions;
+// this module implements the corresponding idea for the whole rank
+// distribution:
+//
+//   * process tuple alternatives in decreasing score order, so each block's
+//     per-threshold factor F_j(x) = (1 - q_j(s)) + q_j(s) x (with q_j(s) the
+//     probability the block produces an alternative scoring above s)
+//     changes only when the scan crosses one of its alternatives;
+//   * maintain the product of all block factors, truncated at degree k, in a
+//     segment tree of polynomials: each factor update costs O(k^2 log n)
+//     instead of an O(n k) full re-multiplication;
+//   * the target's own block is masked to 1 for the duration of its query.
+//
+// Total cost O(L k^2 log n) for L alternatives versus the generic engine's
+// O(L^2 k); the crossover is measured in bench_rank_dist (E4b ablation).
+
+#ifndef CPDB_CORE_RANK_DISTRIBUTION_FAST_H_
+#define CPDB_CORE_RANK_DISTRIBUTION_FAST_H_
+
+#include "common/result.h"
+#include "core/rank_distribution.h"
+#include "model/and_xor_tree.h"
+
+namespace cpdb {
+
+/// \brief Computes the same result as ComputeRankDistribution but restricted
+/// to block-independent trees (IsBlockIndependent must hold); returns
+/// InvalidArgument otherwise. Exact up to FP rounding.
+Result<RankDistribution> ComputeRankDistributionFast(const AndXorTree& tree,
+                                                     int k);
+
+}  // namespace cpdb
+
+#endif  // CPDB_CORE_RANK_DISTRIBUTION_FAST_H_

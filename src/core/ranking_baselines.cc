@@ -1,0 +1,161 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/ranking_baselines.h"
+
+#include <algorithm>
+#include <map>
+
+#include "model/possible_worlds.h"
+
+namespace cpdb {
+
+namespace {
+
+// Sorts keys by a per-key value (descending if `descending`) and returns the
+// first k.
+std::vector<KeyId> TopKeysByValue(const std::vector<KeyId>& keys,
+                                  const std::map<KeyId, double>& value, int k,
+                                  bool descending) {
+  std::vector<KeyId> sorted = keys;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](KeyId a, KeyId b) {
+    double va = value.at(a), vb = value.at(b);
+    return descending ? va > vb : va < vb;
+  });
+  if (static_cast<int>(sorted.size()) > k) sorted.resize(static_cast<size_t>(k));
+  return sorted;
+}
+
+}  // namespace
+
+std::vector<KeyId> TopKByExpectedScore(const AndXorTree& tree, int k) {
+  std::vector<double> marginal = tree.LeafMarginals();
+  std::map<KeyId, double> value;
+  for (KeyId key : tree.Keys()) value[key] = 0.0;
+  for (NodeId l : tree.LeafIds()) {
+    const TupleAlternative& alt = tree.node(l).leaf;
+    value[alt.key] += marginal[static_cast<size_t>(l)] * alt.score;
+  }
+  return TopKeysByValue(tree.Keys(), value, k, /*descending=*/true);
+}
+
+std::vector<double> ExpectedRanks(const AndXorTree& tree) {
+  const std::vector<NodeId>& leaves = tree.LeafIds();
+  std::vector<double> marginal = tree.LeafMarginals();
+  std::vector<KeyId> keys = tree.Keys();
+  std::map<KeyId, size_t> key_index;
+  for (size_t i = 0; i < keys.size(); ++i) key_index[keys[i]] = i;
+
+  std::vector<double> expected(keys.size(), 0.0);
+  for (KeyId key : keys) {
+    double e = 0.0;
+    double p_present = 0.0;
+    // Present case: rank = 1 + #(higher-scoring other-key leaves present).
+    for (NodeId a : leaves) {
+      const TupleAlternative& alt = tree.node(a).leaf;
+      if (alt.key != key) continue;
+      double pa = marginal[static_cast<size_t>(a)];
+      p_present += pa;
+      e += pa;  // the "1 +" part
+      for (NodeId l : leaves) {
+        const TupleAlternative& other = tree.node(l).leaf;
+        if (other.key == key || other.score <= alt.score) continue;
+        e += tree.PairPresenceProbability(a, l);
+      }
+    }
+    // Absent case: rank = |pw| + 1.
+    // E[(|pw| + 1) * 1(key absent)] = Pr(absent) + sum_l Pr(l present and
+    // key absent), and Pr(l and key absent) = Pr(l) - sum_a Pr(l and a).
+    e += 1.0 - p_present;
+    for (NodeId l : leaves) {
+      const TupleAlternative& other = tree.node(l).leaf;
+      if (other.key == key) continue;  // l present with key absent impossible
+      double p_l_and_key = 0.0;
+      for (NodeId a : leaves) {
+        if (tree.node(a).leaf.key != key) continue;
+        p_l_and_key += tree.PairPresenceProbability(l, a);
+      }
+      e += marginal[static_cast<size_t>(l)] - p_l_and_key;
+    }
+    expected[key_index[key]] = e;
+  }
+  return expected;
+}
+
+std::vector<KeyId> TopKByExpectedRank(const AndXorTree& tree, int k) {
+  std::vector<KeyId> keys = tree.Keys();
+  std::vector<double> ranks = ExpectedRanks(tree);
+  std::map<KeyId, double> value;
+  for (size_t i = 0; i < keys.size(); ++i) value[keys[i]] = ranks[i];
+  return TopKeysByValue(keys, value, k, /*descending=*/false);
+}
+
+std::vector<KeyId> ProbabilisticThresholdTopK(const RankDistribution& dist,
+                                              double threshold) {
+  std::vector<KeyId> selected;
+  for (KeyId key : dist.keys()) {
+    if (dist.PrTopK(key) >= threshold) selected.push_back(key);
+  }
+  std::stable_sort(selected.begin(), selected.end(), [&](KeyId a, KeyId b) {
+    return dist.PrTopK(a) > dist.PrTopK(b);
+  });
+  return selected;
+}
+
+std::vector<KeyId> GlobalTopK(const RankDistribution& dist) {
+  std::map<KeyId, double> value;
+  for (KeyId key : dist.keys()) value[key] = dist.PrTopK(key);
+  return TopKeysByValue(dist.keys(), value, dist.k(), /*descending=*/true);
+}
+
+Result<std::vector<KeyId>> UTopKExact(const AndXorTree& tree, int k,
+                                      size_t max_worlds) {
+  CPDB_ASSIGN_OR_RETURN(std::vector<World> worlds,
+                        EnumerateWorlds(tree, max_worlds));
+  std::map<std::vector<KeyId>, double> list_prob;
+  for (const World& w : worlds) {
+    list_prob[TopKOfWorld(tree, w.leaf_ids, k)] += w.prob;
+  }
+  const std::vector<KeyId>* best = nullptr;
+  double best_prob = -1.0;
+  for (const auto& [list, prob] : list_prob) {
+    if (prob > best_prob) {
+      best_prob = prob;
+      best = &list;
+    }
+  }
+  if (best == nullptr) return Status::Infeasible("no worlds");
+  return *best;
+}
+
+std::vector<KeyId> UTopKSampled(const AndXorTree& tree, int k, int num_samples,
+                                Rng* rng) {
+  std::map<std::vector<KeyId>, int> counts;
+  for (int s = 0; s < num_samples; ++s) {
+    ++counts[TopKOfWorld(tree, SampleWorld(tree, rng), k)];
+  }
+  const std::vector<KeyId>* best = nullptr;
+  int best_count = -1;
+  for (const auto& [list, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best = &list;
+    }
+  }
+  return best == nullptr ? std::vector<KeyId>{} : *best;
+}
+
+std::vector<KeyId> TopKByPRF(const RankDistribution& dist,
+                             const std::vector<double>& weights) {
+  std::map<KeyId, double> value;
+  for (KeyId key : dist.keys()) {
+    double v = 0.0;
+    for (int i = 1; i <= dist.k() && i <= static_cast<int>(weights.size());
+         ++i) {
+      v += weights[static_cast<size_t>(i - 1)] * dist.PrRankEq(key, i);
+    }
+    value[key] = v;
+  }
+  return TopKeysByValue(dist.keys(), value, dist.k(), /*descending=*/true);
+}
+
+}  // namespace cpdb

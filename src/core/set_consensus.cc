@@ -1,0 +1,120 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/set_consensus.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace cpdb {
+
+double ExpectedSymDiffDistance(const AndXorTree& tree,
+                               const std::vector<NodeId>& world) {
+  std::vector<double> marginal = tree.LeafMarginals();
+  std::set<NodeId> in_world(world.begin(), world.end());
+  double expected = 0.0;
+  for (NodeId l : tree.LeafIds()) {
+    double p = marginal[static_cast<size_t>(l)];
+    expected += in_world.count(l) > 0 ? (1.0 - p) : p;
+  }
+  return expected;
+}
+
+std::vector<NodeId> MeanWorldSymDiff(const AndXorTree& tree) {
+  std::vector<double> marginal = tree.LeafMarginals();
+  std::vector<NodeId> world;
+  for (NodeId l : tree.LeafIds()) {
+    if (marginal[static_cast<size_t>(l)] > 0.5) world.push_back(l);
+  }
+  return world;
+}
+
+namespace {
+
+// DP state per node: the minimum of sum_{l in S_v} (1 - 2 Pr(l)) over the
+// possible worlds S_v of the subtree, plus the choice realizing it.
+struct DpEntry {
+  double cost = 0.0;
+  // For XOR nodes: index into children of the chosen child, or -1 for the
+  // empty choice. Unused elsewhere.
+  int choice = -1;
+};
+
+}  // namespace
+
+std::vector<NodeId> MedianWorldSymDiff(const AndXorTree& tree) {
+  std::vector<double> marginal = tree.LeafMarginals();
+  std::vector<DpEntry> dp(static_cast<size_t>(tree.NumNodes()));
+
+  // Post-order DP.
+  std::vector<std::pair<NodeId, bool>> stack = {{tree.root(), false}};
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree.node(id);
+    if (!expanded) {
+      stack.push_back({id, true});
+      for (NodeId c : n.children) stack.push_back({c, false});
+      continue;
+    }
+    DpEntry& e = dp[static_cast<size_t>(id)];
+    switch (n.kind) {
+      case NodeKind::kLeaf:
+        e.cost = 1.0 - 2.0 * marginal[static_cast<size_t>(id)];
+        break;
+      case NodeKind::kAnd: {
+        e.cost = 0.0;
+        for (NodeId c : n.children) e.cost += dp[static_cast<size_t>(c)].cost;
+        break;
+      }
+      case NodeKind::kXor: {
+        double leftover = 1.0;
+        for (double p : n.edge_probs) leftover -= p;
+        // The empty outcome is available iff leftover mass is positive.
+        bool best_set = false;
+        if (leftover > 0.0) {
+          e.cost = 0.0;
+          e.choice = -1;
+          best_set = true;
+        }
+        for (size_t i = 0; i < n.children.size(); ++i) {
+          if (n.edge_probs[i] <= 0.0) continue;
+          double c = dp[static_cast<size_t>(n.children[i])].cost;
+          if (!best_set || c < e.cost) {
+            e.cost = c;
+            e.choice = static_cast<int>(i);
+            best_set = true;
+          }
+        }
+        // A validated tree always has at least one positive option.
+        break;
+      }
+    }
+  }
+
+  // Reconstruct the chosen world.
+  std::vector<NodeId> world;
+  std::vector<NodeId> walk = {tree.root()};
+  while (!walk.empty()) {
+    NodeId id = walk.back();
+    walk.pop_back();
+    const TreeNode& n = tree.node(id);
+    switch (n.kind) {
+      case NodeKind::kLeaf:
+        world.push_back(id);
+        break;
+      case NodeKind::kAnd:
+        for (NodeId c : n.children) walk.push_back(c);
+        break;
+      case NodeKind::kXor: {
+        int choice = dp[static_cast<size_t>(id)].choice;
+        if (choice >= 0) walk.push_back(n.children[static_cast<size_t>(choice)]);
+        break;
+      }
+    }
+  }
+  std::sort(world.begin(), world.end());
+  return world;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,41 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Consensus worlds under the symmetric difference distance (Section 4.1).
+// The mean world is the set of tuple alternatives with marginal probability
+// above 1/2 (Theorem 2). For and/xor trees the paper's Corollary 1 states
+// the same set is realizable as a possible world; we implement the median
+// as an exact min-cost dynamic program over the tree, which also resolves
+// the probability-exactly-1/2 tie cases where the literal {p > 1/2} set can
+// have probability zero (e.g. a XOR with two 0.5 children).
+
+#ifndef CPDB_CORE_SET_CONSENSUS_H_
+#define CPDB_CORE_SET_CONSENSUS_H_
+
+#include <vector>
+
+#include "model/and_xor_tree.h"
+
+namespace cpdb {
+
+/// \brief E[d_Delta(S, pw)] for a fixed leaf set S: each leaf in S
+/// contributes Pr(absent), each leaf outside contributes Pr(present).
+double ExpectedSymDiffDistance(const AndXorTree& tree,
+                               const std::vector<NodeId>& world);
+
+/// \brief The mean world under symmetric difference (Theorem 2): all leaves
+/// with marginal probability > 1/2, as sorted NodeIds.
+std::vector<NodeId> MeanWorldSymDiff(const AndXorTree& tree);
+
+/// \brief The median world under symmetric difference (Corollary 1): a
+/// possible world (positive probability) minimizing the expected distance.
+///
+/// Exact for every and/xor tree via a min-cost DP: minimizing
+/// E[d_Delta(S, pw)] = sum_l Pr(l) + sum_{l in S} (1 - 2 Pr(l)) over possible
+/// worlds S decomposes over the tree (AND sums children minima; XOR takes
+/// the cheapest positive-probability option, including "nothing" when the
+/// leftover mass is positive).
+std::vector<NodeId> MedianWorldSymDiff(const AndXorTree& tree);
+
+}  // namespace cpdb
+
+#endif  // CPDB_CORE_SET_CONSENSUS_H_

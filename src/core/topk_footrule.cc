@@ -1,0 +1,87 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/topk_footrule.h"
+
+#include <cmath>
+
+#include "matching/hungarian.h"
+
+namespace cpdb {
+
+double Upsilon2(const RankDistribution& dist, KeyId key) {
+  double v = 0.0;
+  for (int i = 1; i <= dist.k(); ++i) v += i * dist.PrRankEq(key, i);
+  return v;
+}
+
+double Upsilon3(const RankDistribution& dist, KeyId key, int i) {
+  double v = 0.0;
+  for (int j = 1; j <= dist.k(); ++j) {
+    v += std::abs(i - j) * dist.PrRankEq(key, j);
+  }
+  v += i * dist.PrBeyondK(key);
+  return v;
+}
+
+double FootrulePositionCost(const RankDistribution& dist, KeyId key,
+                            int position) {
+  const int k = dist.k();
+  double upsilon3_prime = 0.0;  // sum_j |i-j| Pr(r=j), without the absence part
+  for (int j = 1; j <= k; ++j) {
+    upsilon3_prime += std::abs(position - j) * dist.PrRankEq(key, j);
+  }
+  return upsilon3_prime + (k + 1 - position) * dist.PrBeyondK(key) -
+         (k + 1) * dist.PrTopK(key) + Upsilon2(dist, key);
+}
+
+namespace {
+
+// The answer-independent part of E[F^(k+1)]: every tuple that lands in the
+// world's Top-k contributes (k+1) - (its rank) when it is not matched by the
+// answer; the matched corrections live in FootrulePositionCost.
+double FootruleConstant(const RankDistribution& dist) {
+  double c = 0.0;
+  for (KeyId key : dist.keys()) {
+    c += (dist.k() + 1) * dist.PrTopK(key) - Upsilon2(dist, key);
+  }
+  return c;
+}
+
+}  // namespace
+
+double ExpectedTopKFootrule(const RankDistribution& dist,
+                            const std::vector<KeyId>& answer) {
+  double total = FootruleConstant(dist);
+  for (size_t i = 0; i < answer.size(); ++i) {
+    total += FootrulePositionCost(dist, answer[i], static_cast<int>(i) + 1);
+  }
+  return total;
+}
+
+Result<TopKResult> MeanTopKFootrule(const RankDistribution& dist) {
+  const int k = dist.k();
+  const std::vector<KeyId>& keys = dist.keys();
+  if (static_cast<int>(keys.size()) < k) {
+    return Status::InvalidArgument(
+        "footrule mean answer needs at least k tuples");
+  }
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(k), std::vector<double>(keys.size(), 0.0));
+  for (int i = 1; i <= k; ++i) {
+    for (size_t t = 0; t < keys.size(); ++t) {
+      cost[static_cast<size_t>(i - 1)][t] =
+          FootrulePositionCost(dist, keys[t], i);
+    }
+  }
+  CPDB_ASSIGN_OR_RETURN(Assignment assignment, SolveAssignmentMin(cost));
+  TopKResult result;
+  result.keys.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    result.keys.push_back(
+        keys[static_cast<size_t>(assignment.row_to_col[static_cast<size_t>(i)])]);
+  }
+  result.expected_distance = ExpectedTopKFootrule(dist, result.keys);
+  return result;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,81 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/topk_intersection.h"
+
+#include <algorithm>
+
+#include "matching/hungarian.h"
+
+namespace cpdb {
+
+double ExpectedTopKIntersection(const RankDistribution& dist,
+                                const std::vector<KeyId>& answer) {
+  const int k = dist.k();
+  double total = 0.0;
+  for (int i = 1; i <= k; ++i) {
+    double sum_all = 0.0;
+    for (KeyId key : dist.keys()) sum_all += dist.PrRankLe(key, i);
+    double prefix_size =
+        static_cast<double>(std::min<size_t>(answer.size(), static_cast<size_t>(i)));
+    double sum_prefix = 0.0;
+    for (size_t j = 0; j < answer.size() && j < static_cast<size_t>(i); ++j) {
+      sum_prefix += dist.PrRankLe(answer[j], i);
+    }
+    total += (prefix_size + sum_all - 2.0 * sum_prefix) / (2.0 * i);
+  }
+  return total / k;
+}
+
+double IntersectionPositionProfit(const RankDistribution& dist, KeyId key,
+                                  int position) {
+  double profit = 0.0;
+  for (int i = position; i <= dist.k(); ++i) {
+    profit += dist.PrRankLe(key, i) / i;
+  }
+  return profit;
+}
+
+Result<TopKResult> MeanTopKIntersectionExact(const RankDistribution& dist) {
+  const int k = dist.k();
+  const std::vector<KeyId>& keys = dist.keys();
+  if (static_cast<int>(keys.size()) < k) {
+    return Status::InvalidArgument(
+        "intersection-metric mean answer needs at least k tuples");
+  }
+  // Rows = positions 1..k, columns = tuples.
+  std::vector<std::vector<double>> profit(
+      static_cast<size_t>(k), std::vector<double>(keys.size(), 0.0));
+  for (int j = 1; j <= k; ++j) {
+    for (size_t t = 0; t < keys.size(); ++t) {
+      profit[static_cast<size_t>(j - 1)][t] =
+          IntersectionPositionProfit(dist, keys[t], j);
+    }
+  }
+  CPDB_ASSIGN_OR_RETURN(Assignment assignment, SolveAssignmentMax(profit));
+  TopKResult result;
+  result.keys.reserve(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    result.keys.push_back(
+        keys[static_cast<size_t>(assignment.row_to_col[static_cast<size_t>(j)])]);
+  }
+  result.expected_distance = ExpectedTopKIntersection(dist, result.keys);
+  return result;
+}
+
+double UpsilonH(const RankDistribution& dist, KeyId key) {
+  return IntersectionPositionProfit(dist, key, 1);
+}
+
+TopKResult MeanTopKIntersectionApprox(const RankDistribution& dist) {
+  std::vector<KeyId> keys = dist.keys();
+  std::stable_sort(keys.begin(), keys.end(), [&](KeyId a, KeyId b) {
+    return UpsilonH(dist, a) > UpsilonH(dist, b);
+  });
+  TopKResult result;
+  size_t take = std::min<size_t>(keys.size(), static_cast<size_t>(dist.k()));
+  result.keys.assign(keys.begin(), keys.begin() + take);
+  result.expected_distance = ExpectedTopKIntersection(dist, result.keys);
+  return result;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,45 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Distances between two Top-k lists (Fagin, Kumar, Sivakumar: "Comparing
+// top k lists", SIAM J. Discrete Math 2003), as used in Section 5 of the
+// paper:
+//   * normalized symmetric difference d_Delta (membership only);
+//   * intersection metric d_I (prefix-averaged d_Delta);
+//   * Spearman footrule with location parameter k+1, F^(k+1);
+//   * Kendall tau K^(0): pairs whose order provably disagrees in every pair
+//     of full-ranking extensions.
+//
+// Lists are sequences of distinct keys in rank order; they may be shorter
+// than k (a possible world can have fewer than k tuples).
+
+#ifndef CPDB_CORE_TOPK_METRICS_H_
+#define CPDB_CORE_TOPK_METRICS_H_
+
+#include <vector>
+
+#include "model/types.h"
+
+namespace cpdb {
+
+/// \brief (1/2k) |a Δ b| over the key sets.
+double TopKSymmetricDifference(const std::vector<KeyId>& a,
+                               const std::vector<KeyId>& b, int k);
+
+/// \brief (1/k) sum_{i=1..k} (1/2i) |a^i Δ b^i| where x^i is the length-
+/// min(i,|x|) prefix.
+double TopKIntersectionDistance(const std::vector<KeyId>& a,
+                                const std::vector<KeyId>& b, int k);
+
+/// \brief Footrule with location parameter k+1: every key of a ∪ b
+/// contributes |pos_a - pos_b| with missing keys placed at position k+1.
+double TopKFootrule(const std::vector<KeyId>& a, const std::vector<KeyId>& b,
+                    int k);
+
+/// \brief K^(0): number of unordered pairs {t, u} of a ∪ b whose relative
+/// order differs in all full rankings extending a and b respectively.
+double TopKKendall(const std::vector<KeyId>& a, const std::vector<KeyId>& b,
+                   int k);
+
+}  // namespace cpdb
+
+#endif  // CPDB_CORE_TOPK_METRICS_H_

@@ -1,0 +1,285 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "core/topk_symdiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/math_utils.h"
+
+namespace cpdb {
+
+double ExpectedTopKSymDiff(const RankDistribution& dist,
+                           const std::vector<KeyId>& answer) {
+  double sum_all = 0.0;
+  for (KeyId key : dist.keys()) sum_all += dist.PrTopK(key);
+  double sum_answer = 0.0;
+  for (KeyId key : answer) sum_answer += dist.PrTopK(key);
+  return (static_cast<double>(answer.size()) + sum_all - 2.0 * sum_answer) /
+         (2.0 * dist.k());
+}
+
+TopKResult MeanTopKSymDiff(const RankDistribution& dist) {
+  std::vector<KeyId> keys = dist.keys();
+  std::stable_sort(keys.begin(), keys.end(), [&](KeyId a, KeyId b) {
+    return dist.PrTopK(a) > dist.PrTopK(b);
+  });
+  TopKResult result;
+  size_t take = std::min<size_t>(keys.size(), static_cast<size_t>(dist.k()));
+  result.keys.assign(keys.begin(), keys.begin() + take);
+  result.expected_distance = ExpectedTopKSymDiff(dist, result.keys);
+  return result;
+}
+
+TopKResult MeanTopKSymDiffUnrestricted(const RankDistribution& dist) {
+  // E[d_Delta] = (|tau| + sum_t P(t) - 2 sum_{t in tau} P(t)) / 2k, so a
+  // tuple helps exactly when P(t) > 1/2; no size constraint applies.
+  std::vector<KeyId> keys;
+  for (KeyId key : dist.keys()) {
+    if (dist.PrTopK(key) > 0.5) keys.push_back(key);
+  }
+  std::stable_sort(keys.begin(), keys.end(), [&](KeyId a, KeyId b) {
+    return dist.PrTopK(a) > dist.PrTopK(b);
+  });
+  TopKResult result;
+  result.keys = std::move(keys);
+  result.expected_distance = ExpectedTopKSymDiff(dist, result.keys);
+  return result;
+}
+
+namespace {
+
+constexpr double kValueEps = 1e-9;
+
+// Size-indexed max-value DP over a (possibly score-pruned) and/xor tree.
+// val[s] is the maximum sum of per-leaf values over the positive-probability
+// worlds of the subtree with exactly s surviving leaves; kNegInf marks
+// infeasible sizes.
+struct NodeDp {
+  std::vector<double> val;
+  // XOR: per size, the chosen child index (-1 = the empty outcome).
+  std::vector<int> xor_choice;
+  // AND: prefix[i] is the max-plus convolution of children[0..i]'s vals,
+  // kept for split reconstruction.
+  std::vector<std::vector<double>> and_prefix;
+};
+
+class SizeValueDp {
+ public:
+  // leaf_value[leaf_id] is the DP value of an active leaf; inactive leaves
+  // (score below the threshold) are treated as absent from the pruned tree.
+  SizeValueDp(const AndXorTree& tree, const std::vector<double>& leaf_value,
+              const std::vector<bool>& leaf_active, int max_size)
+      : tree_(tree),
+        leaf_value_(leaf_value),
+        leaf_active_(leaf_active),
+        cap_(max_size) {
+    Run();
+  }
+
+  // Max value over worlds with exactly `size` active leaves (kNegInf if no
+  // such world exists).
+  double ValueAt(int size) const {
+    return dp_[static_cast<size_t>(tree_.root())].val[static_cast<size_t>(size)];
+  }
+
+  // The active leaves of one world achieving ValueAt(size).
+  std::vector<NodeId> Reconstruct(int size) const {
+    std::vector<NodeId> leaves;
+    Collect(tree_.root(), size, &leaves);
+    std::sort(leaves.begin(), leaves.end());
+    return leaves;
+  }
+
+ private:
+  void Run() {
+    dp_.assign(static_cast<size_t>(tree_.NumNodes()), NodeDp{});
+    std::vector<std::pair<NodeId, bool>> stack = {{tree_.root(), false}};
+    while (!stack.empty()) {
+      auto [id, expanded] = stack.back();
+      stack.pop_back();
+      const TreeNode& n = tree_.node(id);
+      if (!expanded) {
+        stack.push_back({id, true});
+        for (NodeId c : n.children) stack.push_back({c, false});
+        continue;
+      }
+      NodeDp& e = dp_[static_cast<size_t>(id)];
+      switch (n.kind) {
+        case NodeKind::kLeaf: {
+          e.val.assign(static_cast<size_t>(cap_) + 1, kNegInf);
+          if (leaf_active_[static_cast<size_t>(id)]) {
+            if (cap_ >= 1) e.val[1] = leaf_value_[static_cast<size_t>(id)];
+          } else {
+            e.val[0] = 0.0;  // pruned leaf: contributes nothing
+          }
+          break;
+        }
+        case NodeKind::kAnd: {
+          e.and_prefix.reserve(n.children.size());
+          std::vector<double> acc =
+              dp_[static_cast<size_t>(n.children[0])].val;
+          e.and_prefix.push_back(acc);
+          for (size_t i = 1; i < n.children.size(); ++i) {
+            acc = MaxPlusConvolve(
+                acc, dp_[static_cast<size_t>(n.children[i])].val,
+                static_cast<size_t>(cap_));
+            acc.resize(static_cast<size_t>(cap_) + 1, kNegInf);
+            e.and_prefix.push_back(acc);
+          }
+          e.val = acc;
+          break;
+        }
+        case NodeKind::kXor: {
+          e.val.assign(static_cast<size_t>(cap_) + 1, kNegInf);
+          e.xor_choice.assign(static_cast<size_t>(cap_) + 1, -2);
+          double leftover = 1.0;
+          for (double p : n.edge_probs) leftover -= p;
+          if (leftover > 0.0) {
+            e.val[0] = 0.0;
+            e.xor_choice[0] = -1;
+          }
+          for (size_t i = 0; i < n.children.size(); ++i) {
+            if (n.edge_probs[i] <= 0.0) continue;
+            const NodeDp& child = dp_[static_cast<size_t>(n.children[i])];
+            for (int s = 0; s <= cap_; ++s) {
+              double v = child.val[static_cast<size_t>(s)];
+              if (v > e.val[static_cast<size_t>(s)]) {
+                e.val[static_cast<size_t>(s)] = v;
+                e.xor_choice[static_cast<size_t>(s)] = static_cast<int>(i);
+              }
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  void Collect(NodeId id, int size, std::vector<NodeId>* leaves) const {
+    const TreeNode& n = tree_.node(id);
+    const NodeDp& e = dp_[static_cast<size_t>(id)];
+    switch (n.kind) {
+      case NodeKind::kLeaf:
+        if (size == 1) leaves->push_back(id);
+        return;
+      case NodeKind::kXor: {
+        int choice = e.xor_choice[static_cast<size_t>(size)];
+        if (choice >= 0) {
+          Collect(n.children[static_cast<size_t>(choice)], size, leaves);
+        }
+        return;
+      }
+      case NodeKind::kAnd: {
+        int remaining = size;
+        for (size_t i = n.children.size(); i-- > 1;) {
+          const std::vector<double>& child_val =
+              dp_[static_cast<size_t>(n.children[i])].val;
+          const std::vector<double>& prev = e.and_prefix[i - 1];
+          double target = e.and_prefix[i][static_cast<size_t>(remaining)];
+          // Find the split (remaining - q from the prefix, q from child i).
+          for (int q = 0; q <= remaining; ++q) {
+            double a = prev[static_cast<size_t>(remaining - q)];
+            double b = child_val[static_cast<size_t>(q)];
+            if (a == kNegInf || b == kNegInf) continue;
+            if (std::fabs(a + b - target) <= kValueEps) {
+              Collect(n.children[i], q, leaves);
+              remaining -= q;
+              break;
+            }
+          }
+        }
+        Collect(n.children[0], remaining, leaves);
+        return;
+      }
+    }
+  }
+
+  const AndXorTree& tree_;
+  const std::vector<double>& leaf_value_;
+  const std::vector<bool>& leaf_active_;
+  int cap_;
+  std::vector<NodeDp> dp_;
+};
+
+}  // namespace
+
+Result<TopKResult> MedianTopKSymDiff(const AndXorTree& tree,
+                                     const RankDistribution& dist) {
+  const int k = dist.k();
+  const int num_leaves = tree.NumLeaves();
+  if (num_leaves == 0) return Status::InvalidArgument("empty tree");
+
+  // Per-leaf DP values: P(t) = Pr(r(t) <= k) of the leaf's key (for the
+  // size-k threshold DP), and P(t) - 1/2 (for the small-world DP).
+  std::vector<double> value_p(static_cast<size_t>(tree.NumNodes()), 0.0);
+  std::vector<double> value_centered(value_p);
+  for (NodeId l : tree.LeafIds()) {
+    double p = dist.PrTopK(tree.node(l).leaf.key);
+    value_p[static_cast<size_t>(l)] = p;
+    value_centered[static_cast<size_t>(l)] = p - 0.5;
+  }
+
+  double best_v = kNegInf;  // objective: sum_{t in tau} (P(t) - 1/2)
+  std::vector<NodeId> best_leaves;
+
+  // --- Candidates of size exactly k: one score-threshold DP per distinct
+  // score (Theorem 4). A size-k world of the pruned tree is exactly the
+  // Top-k of a realizable full world.
+  std::set<double> distinct_scores;
+  for (NodeId l : tree.LeafIds()) distinct_scores.insert(tree.node(l).leaf.score);
+  for (double threshold : distinct_scores) {
+    std::vector<bool> active(static_cast<size_t>(tree.NumNodes()), false);
+    int num_active = 0;
+    for (NodeId l : tree.LeafIds()) {
+      if (tree.node(l).leaf.score >= threshold) {
+        active[static_cast<size_t>(l)] = true;
+        ++num_active;
+      }
+    }
+    if (num_active < k) continue;
+    SizeValueDp dp(tree, value_p, active, k);
+    double v = dp.ValueAt(k);
+    if (v == kNegInf) continue;
+    double centered = v - 0.5 * k;
+    if (centered > best_v + kValueEps) {
+      best_v = centered;
+      best_leaves = dp.Reconstruct(k);
+    }
+  }
+
+  // --- Candidates smaller than k: whole worlds with fewer than k tuples
+  // (their Top-k answer is the world itself). DP over the unpruned tree.
+  if (num_leaves >= 1 && k >= 1) {
+    std::vector<bool> all_active(static_cast<size_t>(tree.NumNodes()), false);
+    for (NodeId l : tree.LeafIds()) all_active[static_cast<size_t>(l)] = true;
+    SizeValueDp dp(tree, value_centered, all_active, k - 1);
+    for (int size = 0; size < k; ++size) {
+      double v = dp.ValueAt(size);
+      if (v == kNegInf) continue;
+      if (v > best_v + kValueEps) {
+        best_v = v;
+        best_leaves = dp.Reconstruct(size);
+      }
+    }
+  }
+
+  if (best_v == kNegInf) {
+    return Status::Infeasible("no candidate Top-k answer found");
+  }
+
+  // Order the answer by score descending (its rank order in the witnessing
+  // world) and convert leaves to keys.
+  std::sort(best_leaves.begin(), best_leaves.end(), [&](NodeId a, NodeId b) {
+    return tree.node(a).leaf.score > tree.node(b).leaf.score;
+  });
+  TopKResult result;
+  for (NodeId l : best_leaves) result.keys.push_back(tree.node(l).leaf.key);
+  result.expected_distance = ExpectedTopKSymDiff(dist, result.keys);
+  return result;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,102 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "io/table_io.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace cpdb {
+
+Result<std::vector<Block>> ParseBidTable(const std::string& text) {
+  std::vector<Block> blocks;
+  std::map<KeyId, size_t> block_of_key;
+  std::set<std::pair<KeyId, double>> seen;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    long long key;
+    double prob, score;
+    if (!(ls >> key)) continue;  // blank or comment-only line
+    if (!(ls >> prob >> score)) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected 'key prob score [label]'");
+    }
+    long long label = -1;
+    ls >> label;  // optional
+    std::string rest;
+    if (ls >> rest) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": trailing content '" + rest + "'");
+    }
+    if (prob < 0.0 || prob > 1.0) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": probability out of [0,1]");
+    }
+    if (!seen.insert({static_cast<KeyId>(key), score}).second) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": duplicate (key, score) alternative");
+    }
+    TupleAlternative alt;
+    alt.key = static_cast<KeyId>(key);
+    alt.score = score;
+    alt.label = static_cast<int32_t>(label);
+    auto [it, inserted] = block_of_key.insert({alt.key, blocks.size()});
+    if (inserted) blocks.emplace_back();
+    blocks[it->second].push_back({alt, prob});
+  }
+  for (const Block& b : blocks) {
+    double mass = 0.0;
+    for (const BlockAlternative& a : b) mass += a.prob;
+    if (mass > 1.0 + 1e-9) {
+      return Status::ParseError("block for key " + std::to_string(b[0].alt.key) +
+                                " has total probability " + std::to_string(mass) +
+                                " > 1");
+    }
+  }
+  if (blocks.empty()) return Status::ParseError("table has no alternatives");
+  return blocks;
+}
+
+std::string FormatBidTable(const std::vector<Block>& blocks) {
+  std::ostringstream os;
+  os << "# key prob score [label]\n";
+  for (const Block& b : blocks) {
+    for (const BlockAlternative& a : b) {
+      os << a.alt.key << " " << a.prob << " " << a.alt.score;
+      if (a.alt.label >= 0) os << " " << a.alt.label;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open file: " + path);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::InvalidArgument("cannot open file: " + path);
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace cpdb

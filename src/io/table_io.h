@@ -1,0 +1,44 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// A line-oriented text format for block-independent-disjoint (BID) tables,
+// the most common interchange representation of probabilistic relations.
+// Each non-empty, non-comment line is one alternative:
+//
+//   key <ws> prob <ws> score [<ws> label]
+//
+// Alternatives with the same key form one block (mutually exclusive).
+// '#' starts a comment. Example:
+//
+//   # key prob score
+//   1 0.3 8.0
+//   1 0.5 2.0
+//   2 0.9 5.0
+
+#ifndef CPDB_IO_TABLE_IO_H_
+#define CPDB_IO_TABLE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/builders.h"
+
+namespace cpdb {
+
+/// \brief Parses the BID text format into blocks grouped by key, in first-
+/// appearance order. Fails on malformed lines, duplicate (key, score) pairs,
+/// probabilities outside [0, 1], or block mass exceeding 1.
+Result<std::vector<Block>> ParseBidTable(const std::string& text);
+
+/// \brief Formats blocks in the format accepted by ParseBidTable.
+std::string FormatBidTable(const std::vector<Block>& blocks);
+
+/// \brief Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Writes a string to a file (truncating).
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace cpdb
+
+#endif  // CPDB_IO_TABLE_IO_H_

@@ -1,0 +1,229 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "io/tree_text.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace cpdb {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer: parentheses, and whitespace-separated atoms.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kLParen, kRParen, kAtom, kEnd } kind;
+  std::string text;
+  size_t pos;  // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token Next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return {Token::kEnd, "", pos_};
+    size_t start = pos_;
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      return {Token::kLParen, "(", start};
+    }
+    if (c == ')') {
+      ++pos_;
+      return {Token::kRParen, ")", start};
+    }
+    while (pos_ < text_.size() && text_[pos_] != '(' && text_[pos_] != ')' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return {Token::kAtom, text_.substr(start, pos_ - start), start};
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser (explicit lookahead of one token).
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) { Advance(); }
+
+  Result<AndXorTree> Parse() {
+    AndXorTree tree;
+    CPDB_ASSIGN_OR_RETURN(NodeId root, ParseNode(&tree));
+    if (cur_.kind != Token::kEnd) {
+      return Err("trailing input after tree");
+    }
+    tree.SetRoot(root);
+    CPDB_RETURN_NOT_OK(tree.Validate());
+    return tree;
+  }
+
+ private:
+  void Advance() { cur_ = lexer_.Next(); }
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(cur_.pos));
+  }
+
+  Result<double> ParseDouble(const std::string& s) const {
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == s.c_str()) {
+      return Err("expected a number, got '" + s + "'");
+    }
+    return v;
+  }
+
+  // The parser recurses on input nesting; cap the depth so adversarial
+  // inputs fail with a clean error instead of exhausting the call stack.
+  static constexpr int kMaxDepth = 2000;
+
+  Result<NodeId> ParseNode(AndXorTree* tree) {
+    if (++depth_ > kMaxDepth) {
+      --depth_;
+      return Err("tree nesting exceeds the supported depth of " +
+                 std::to_string(kMaxDepth));
+    }
+    Result<NodeId> result = ParseNodeInner(tree);
+    --depth_;
+    return result;
+  }
+
+  Result<NodeId> ParseNodeInner(AndXorTree* tree) {
+    if (cur_.kind != Token::kLParen) return Err("expected '('");
+    Advance();
+    if (cur_.kind != Token::kAtom) return Err("expected node kind");
+    std::string kind = cur_.text;
+    Advance();
+    if (kind == "leaf") return ParseLeaf(tree);
+    if (kind == "and") return ParseAnd(tree);
+    if (kind == "xor") return ParseXor(tree);
+    return Err("unknown node kind '" + kind + "'");
+  }
+
+  Result<NodeId> ParseLeaf(AndXorTree* tree) {
+    TupleAlternative alt;
+    bool have_key = false;
+    while (cur_.kind == Token::kAtom) {
+      const std::string& a = cur_.text;
+      size_t eq = a.find('=');
+      if (eq == std::string::npos) return Err("expected attr=value in leaf");
+      std::string name = a.substr(0, eq);
+      std::string value = a.substr(eq + 1);
+      CPDB_ASSIGN_OR_RETURN(double v, ParseDouble(value));
+      if (name == "key") {
+        alt.key = static_cast<KeyId>(v);
+        have_key = true;
+      } else if (name == "score") {
+        alt.score = v;
+      } else if (name == "label") {
+        alt.label = static_cast<int32_t>(v);
+      } else {
+        return Err("unknown leaf attribute '" + name + "'");
+      }
+      Advance();
+    }
+    if (!have_key) return Err("leaf missing key attribute");
+    if (cur_.kind != Token::kRParen) return Err("expected ')' after leaf");
+    Advance();
+    return tree->AddLeaf(alt);
+  }
+
+  Result<NodeId> ParseAnd(AndXorTree* tree) {
+    std::vector<NodeId> children;
+    while (cur_.kind == Token::kLParen) {
+      CPDB_ASSIGN_OR_RETURN(NodeId child, ParseNode(tree));
+      children.push_back(child);
+    }
+    if (children.empty()) return Err("and node needs at least one child");
+    if (cur_.kind != Token::kRParen) return Err("expected ')' after and");
+    Advance();
+    return tree->AddAnd(std::move(children));
+  }
+
+  Result<NodeId> ParseXor(AndXorTree* tree) {
+    std::vector<NodeId> children;
+    std::vector<double> probs;
+    while (cur_.kind == Token::kAtom) {
+      CPDB_ASSIGN_OR_RETURN(double p, ParseDouble(cur_.text));
+      Advance();
+      CPDB_ASSIGN_OR_RETURN(NodeId child, ParseNode(tree));
+      probs.push_back(p);
+      children.push_back(child);
+    }
+    if (children.empty()) return Err("xor node needs at least one child");
+    if (cur_.kind != Token::kRParen) return Err("expected ')' after xor");
+    Advance();
+    return tree->AddXor(std::move(children), std::move(probs));
+  }
+
+  Lexer lexer_;
+  Token cur_{Token::kEnd, "", 0};
+  int depth_ = 0;
+};
+
+void FormatNode(const AndXorTree& tree, NodeId id, bool indent, int depth,
+                std::ostringstream* os) {
+  const TreeNode& n = tree.node(id);
+  auto newline = [&] {
+    if (indent) {
+      *os << "\n";
+      for (int i = 0; i < depth + 1; ++i) *os << "  ";
+    } else {
+      *os << " ";
+    }
+  };
+  switch (n.kind) {
+    case NodeKind::kLeaf:
+      *os << "(leaf key=" << n.leaf.key << " score=" << n.leaf.score;
+      if (n.leaf.label >= 0) *os << " label=" << n.leaf.label;
+      *os << ")";
+      break;
+    case NodeKind::kAnd:
+      *os << "(and";
+      for (NodeId c : n.children) {
+        newline();
+        FormatNode(tree, c, indent, depth + 1, os);
+      }
+      *os << ")";
+      break;
+    case NodeKind::kXor:
+      *os << "(xor";
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        newline();
+        *os << n.edge_probs[i] << " ";
+        FormatNode(tree, n.children[i], indent, depth + 1, os);
+      }
+      *os << ")";
+      break;
+  }
+}
+
+}  // namespace
+
+Result<AndXorTree> ParseTree(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+std::string FormatTree(const AndXorTree& tree, bool indent) {
+  std::ostringstream os;
+  FormatNode(tree, tree.root(), indent, 0, &os);
+  return os.str();
+}
+
+}  // namespace cpdb

@@ -1,0 +1,100 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cpdb {
+
+Result<Assignment> SolveAssignmentMin(
+    const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());  // rows
+  if (n == 0) return Status::InvalidArgument("assignment needs >= 1 row");
+  const int m = static_cast<int>(cost[0].size());  // cols
+  if (m < n) {
+    return Status::InvalidArgument("assignment requires rows <= cols");
+  }
+  for (const auto& row : cost) {
+    if (static_cast<int>(row.size()) != m) {
+      return Status::InvalidArgument("assignment matrix is ragged");
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // 1-based arrays per the classical formulation. p[j] is the row matched to
+  // column j (0 = free); u/v are dual potentials; way[j] backtracks the
+  // alternating tree.
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(m) + 1, 0.0);
+  std::vector<int> p(static_cast<size_t>(m) + 1, 0);
+  std::vector<int> way(static_cast<size_t>(m) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(m) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(m) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      int i0 = p[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        double cur = cost[static_cast<size_t>(i0 - 1)][static_cast<size_t>(j - 1)] -
+                     u[static_cast<size_t>(i0)] - v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(p[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<size_t>(j0)] != 0);
+    // Augment along the alternating path back to the root.
+    do {
+      int j1 = way[static_cast<size_t>(j0)];
+      p[static_cast<size_t>(j0)] = p[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Assignment result;
+  result.row_to_col.assign(static_cast<size_t>(n), -1);
+  for (int j = 1; j <= m; ++j) {
+    int i = p[static_cast<size_t>(j)];
+    if (i > 0) result.row_to_col[static_cast<size_t>(i - 1)] = j - 1;
+  }
+  result.total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    result.total +=
+        cost[static_cast<size_t>(i)][static_cast<size_t>(result.row_to_col[static_cast<size_t>(i)])];
+  }
+  return result;
+}
+
+Result<Assignment> SolveAssignmentMax(
+    const std::vector<std::vector<double>>& profit) {
+  std::vector<std::vector<double>> cost(profit.size());
+  for (size_t i = 0; i < profit.size(); ++i) {
+    cost[i].resize(profit[i].size());
+    for (size_t j = 0; j < profit[i].size(); ++j) cost[i][j] = -profit[i][j];
+  }
+  CPDB_ASSIGN_OR_RETURN(Assignment a, SolveAssignmentMin(cost));
+  a.total = -a.total;
+  return a;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,100 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "matching/min_cost_flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace cpdb {
+
+MinCostFlow::MinCostFlow(int num_nodes) : num_nodes_(num_nodes) {
+  adj_.resize(static_cast<size_t>(num_nodes));
+}
+
+int MinCostFlow::AddEdge(int from, int to, int64_t capacity, double cost) {
+  int id = static_cast<int>(edges_.size());
+  edges_.push_back({to, capacity, cost});
+  edges_.push_back({from, 0, -cost});
+  adj_[static_cast<size_t>(from)].push_back(id);
+  adj_[static_cast<size_t>(to)].push_back(id + 1);
+  return id / 2;
+}
+
+Result<MinCostFlow::Solution> MinCostFlow::Solve(int source, int sink,
+                                                 int64_t flow_limit) {
+  if (solved_) {
+    return Status::InvalidArgument("MinCostFlow::Solve called twice");
+  }
+  solved_ = true;
+  if (source < 0 || source >= num_nodes_ || sink < 0 || sink >= num_nodes_ ||
+      source == sink) {
+    return Status::InvalidArgument("bad source/sink");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Solution solution;
+
+  std::vector<double> dist;
+  std::vector<int> pred_edge;
+  std::vector<bool> in_queue;
+  // SPFA iteration guard: more than num_nodes relaxations of one node means
+  // a negative cycle, which violates the documented precondition.
+  std::vector<int> relax_count;
+
+  while (solution.flow < flow_limit) {
+    dist.assign(static_cast<size_t>(num_nodes_), kInf);
+    pred_edge.assign(static_cast<size_t>(num_nodes_), -1);
+    in_queue.assign(static_cast<size_t>(num_nodes_), false);
+    relax_count.assign(static_cast<size_t>(num_nodes_), 0);
+    dist[static_cast<size_t>(source)] = 0.0;
+    std::deque<int> queue = {source};
+    in_queue[static_cast<size_t>(source)] = true;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      in_queue[static_cast<size_t>(u)] = false;
+      for (int eid : adj_[static_cast<size_t>(u)]) {
+        const Edge& e = edges_[static_cast<size_t>(eid)];
+        if (e.cap <= 0) continue;
+        double nd = dist[static_cast<size_t>(u)] + e.cost;
+        if (nd < dist[static_cast<size_t>(e.to)] - 1e-12) {
+          dist[static_cast<size_t>(e.to)] = nd;
+          pred_edge[static_cast<size_t>(e.to)] = eid;
+          if (!in_queue[static_cast<size_t>(e.to)]) {
+            if (++relax_count[static_cast<size_t>(e.to)] > num_nodes_ + 1) {
+              return Status::InvalidArgument(
+                  "negative cycle detected in flow network");
+            }
+            in_queue[static_cast<size_t>(e.to)] = true;
+            queue.push_back(e.to);
+          }
+        }
+      }
+    }
+    if (dist[static_cast<size_t>(sink)] == kInf) break;  // no augmenting path
+
+    // Bottleneck along the shortest path.
+    int64_t push = flow_limit - solution.flow;
+    for (int v = sink; v != source;) {
+      const Edge& e = edges_[static_cast<size_t>(pred_edge[static_cast<size_t>(v)])];
+      push = std::min(push, e.cap);
+      v = edges_[static_cast<size_t>(pred_edge[static_cast<size_t>(v)] ^ 1)].to;
+    }
+    for (int v = sink; v != source;) {
+      int eid = pred_edge[static_cast<size_t>(v)];
+      edges_[static_cast<size_t>(eid)].cap -= push;
+      edges_[static_cast<size_t>(eid ^ 1)].cap += push;
+      v = edges_[static_cast<size_t>(eid ^ 1)].to;
+    }
+    solution.flow += push;
+    solution.cost += static_cast<double>(push) * dist[static_cast<size_t>(sink)];
+  }
+  return solution;
+}
+
+int64_t MinCostFlow::Flow(int edge_id) const {
+  // Flow on forward edge i equals the residual capacity of its reverse edge.
+  return edges_[static_cast<size_t>(edge_id * 2 + 1)].cap;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,62 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Minimum-cost maximum-flow via successive shortest paths (SPFA). Used to
+// find the median answer of group-by COUNT aggregates (Section 6.1 of the
+// paper, Lemma 3 / Theorem 5): the r-matching whose count vector is closest
+// to the mean vector.
+
+#ifndef CPDB_MATCHING_MIN_COST_FLOW_H_
+#define CPDB_MATCHING_MIN_COST_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cpdb {
+
+/// \brief A directed flow network with per-edge capacity and cost.
+///
+/// Costs may be negative only if the initial residual network contains no
+/// negative cycle; all library call sites shift costs to be non-negative
+/// (see aggregates.cc), which makes successive shortest paths exact.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  /// \brief Adds an edge; returns its id, usable with Flow() after solving.
+  int AddEdge(int from, int to, int64_t capacity, double cost);
+
+  struct Solution {
+    int64_t flow = 0;   ///< total flow pushed from s to t
+    double cost = 0.0;  ///< total cost of that flow
+  };
+
+  /// \brief Pushes up to `flow_limit` units from s to t along successive
+  /// shortest (by cost) augmenting paths. Call at most once per instance.
+  Result<Solution> Solve(int source, int sink,
+                         int64_t flow_limit = INT64_MAX);
+
+  /// \brief Flow routed on edge `edge_id` (as returned by AddEdge).
+  int64_t Flow(int edge_id) const;
+
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Edge {
+    int to;
+    int64_t cap;
+    double cost;
+  };
+
+  // edges_[2i] is the forward edge for AddEdge call i; edges_[2i+1] is its
+  // residual reverse edge with negated cost.
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adj_;
+  int num_nodes_;
+  bool solved_ = false;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_MATCHING_MIN_COST_FLOW_H_

@@ -1,0 +1,87 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// The generating-function fold over and/xor trees (Section 3.3, Theorem 1).
+// Every probability computation in the paper instantiates this one fold with
+// a different polynomial type and leaf-to-polynomial assignment:
+//
+//   * leaf v:        F_v = s(v)                         (the leaf's monomial)
+//   * XOR node v:    F_v = (1 - sum_h p(v, v_h)) + sum_h p(v, v_h) F_{v_h}
+//   * AND node v:    F_v = prod_h F_{v_h}
+//
+// Theorem 1: the coefficient of prod_j x_j^{i_j} in F_root is the total
+// probability of the possible worlds containing exactly i_j leaves tagged
+// with variable x_j, for all j.
+
+#ifndef CPDB_MODEL_GENERATING_FUNCTION_H_
+#define CPDB_MODEL_GENERATING_FUNCTION_H_
+
+#include <utility>
+#include <vector>
+
+#include "model/and_xor_tree.h"
+
+namespace cpdb {
+
+/// \brief Evaluates the generating function of `tree`.
+///
+/// \param tree       a validated and/xor tree.
+/// \param leaf_poly  functor NodeId -> PolyT giving each leaf's polynomial
+///                   (typically a variable monomial or the constant 1).
+/// \param make_const functor double -> PolyT building a constant polynomial
+///                   with the right truncation bounds.
+///
+/// PolyT must support operator*(PolyT, PolyT), AddScaled(PolyT, double) and
+/// AddConstant(double). The fold is iterative (explicit post-order stack) so
+/// arbitrarily deep trees do not overflow the call stack.
+template <typename PolyT, typename LeafPolyFn, typename MakeConstFn>
+PolyT EvalGeneratingFunction(const AndXorTree& tree, LeafPolyFn&& leaf_poly,
+                             MakeConstFn&& make_const) {
+  std::vector<PolyT> value;
+  value.reserve(static_cast<size_t>(tree.NumNodes()));
+  // `value` is indexed by a dense post-order slot per node id.
+  std::vector<int> slot(static_cast<size_t>(tree.NumNodes()), -1);
+
+  std::vector<std::pair<NodeId, bool>> stack = {{tree.root(), false}};
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree.node(id);
+    if (!expanded) {
+      if (n.kind == NodeKind::kLeaf) {
+        slot[static_cast<size_t>(id)] = static_cast<int>(value.size());
+        value.push_back(leaf_poly(id));
+        continue;
+      }
+      stack.push_back({id, true});
+      for (NodeId c : n.children) stack.push_back({c, false});
+      continue;
+    }
+    if (n.kind == NodeKind::kAnd) {
+      PolyT acc = std::move(value[static_cast<size_t>(
+          slot[static_cast<size_t>(n.children[0])])]);
+      for (size_t i = 1; i < n.children.size(); ++i) {
+        acc = acc * value[static_cast<size_t>(
+                  slot[static_cast<size_t>(n.children[i])])];
+      }
+      slot[static_cast<size_t>(id)] = static_cast<int>(value.size());
+      value.push_back(std::move(acc));
+    } else {  // kXor
+      double leftover = 1.0;
+      for (double p : n.edge_probs) leftover -= p;
+      PolyT acc = make_const(leftover);
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        acc.AddScaled(value[static_cast<size_t>(
+                          slot[static_cast<size_t>(n.children[i])])],
+                      n.edge_probs[i]);
+      }
+      slot[static_cast<size_t>(id)] = static_cast<int>(value.size());
+      value.push_back(std::move(acc));
+    }
+  }
+  return std::move(value[static_cast<size_t>(
+      slot[static_cast<size_t>(tree.root())])]);
+}
+
+}  // namespace cpdb
+
+#endif  // CPDB_MODEL_GENERATING_FUNCTION_H_

@@ -1,0 +1,139 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "model/possible_worlds.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cpdb {
+
+namespace {
+
+// Recursively enumerates the worlds of the subtree rooted at `id`.
+// Exponential; every level checks the `max_worlds` guard.
+Status EnumerateRec(const AndXorTree& tree, NodeId id, size_t max_worlds,
+                    std::vector<World>* out) {
+  const TreeNode& n = tree.node(id);
+  out->clear();
+  switch (n.kind) {
+    case NodeKind::kLeaf: {
+      out->push_back(World{{id}, 1.0});
+      return Status::OK();
+    }
+    case NodeKind::kXor: {
+      double leftover = 1.0;
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        double p = n.edge_probs[i];
+        leftover -= p;
+        if (p <= 0.0) continue;
+        std::vector<World> child_worlds;
+        CPDB_RETURN_NOT_OK(
+            EnumerateRec(tree, n.children[i], max_worlds, &child_worlds));
+        for (World& w : child_worlds) {
+          w.prob *= p;
+          if (w.prob > 0.0) out->push_back(std::move(w));
+          if (out->size() > max_worlds) {
+            return Status::ResourceExhausted("world enumeration exceeds limit");
+          }
+        }
+      }
+      if (leftover > 0.0) out->push_back(World{{}, leftover});
+      return Status::OK();
+    }
+    case NodeKind::kAnd: {
+      out->push_back(World{{}, 1.0});
+      for (NodeId c : n.children) {
+        std::vector<World> child_worlds;
+        CPDB_RETURN_NOT_OK(EnumerateRec(tree, c, max_worlds, &child_worlds));
+        std::vector<World> merged;
+        if (out->size() * child_worlds.size() > max_worlds) {
+          return Status::ResourceExhausted("world enumeration exceeds limit");
+        }
+        merged.reserve(out->size() * child_worlds.size());
+        for (const World& a : *out) {
+          for (const World& b : child_worlds) {
+            World w;
+            w.prob = a.prob * b.prob;
+            if (w.prob <= 0.0) continue;
+            w.leaf_ids.reserve(a.leaf_ids.size() + b.leaf_ids.size());
+            w.leaf_ids.insert(w.leaf_ids.end(), a.leaf_ids.begin(),
+                              a.leaf_ids.end());
+            w.leaf_ids.insert(w.leaf_ids.end(), b.leaf_ids.begin(),
+                              b.leaf_ids.end());
+            merged.push_back(std::move(w));
+          }
+        }
+        *out = std::move(merged);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable node kind");
+}
+
+}  // namespace
+
+Result<std::vector<World>> EnumerateWorlds(const AndXorTree& tree,
+                                           size_t max_worlds) {
+  std::vector<World> worlds;
+  CPDB_RETURN_NOT_OK(EnumerateRec(tree, tree.root(), max_worlds, &worlds));
+  for (World& w : worlds) std::sort(w.leaf_ids.begin(), w.leaf_ids.end());
+  return worlds;
+}
+
+std::vector<NodeId> SampleWorld(const AndXorTree& tree, Rng* rng) {
+  std::vector<NodeId> result;
+  std::vector<NodeId> stack = {tree.root()};
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree.node(id);
+    switch (n.kind) {
+      case NodeKind::kLeaf:
+        result.push_back(id);
+        break;
+      case NodeKind::kAnd:
+        for (NodeId c : n.children) stack.push_back(c);
+        break;
+      case NodeKind::kXor: {
+        double u = rng->Uniform01();
+        double acc = 0.0;
+        for (size_t i = 0; i < n.children.size(); ++i) {
+          acc += n.edge_probs[i];
+          if (u < acc) {
+            stack.push_back(n.children[i]);
+            break;
+          }
+        }
+        // Falling through without a pick realizes the empty set.
+        break;
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<TupleAlternative> WorldTuples(const AndXorTree& tree,
+                                          const std::vector<NodeId>& leaf_ids) {
+  std::vector<TupleAlternative> tuples;
+  tuples.reserve(leaf_ids.size());
+  for (NodeId id : leaf_ids) tuples.push_back(tree.node(id).leaf);
+  std::sort(tuples.begin(), tuples.end(),
+            [](const TupleAlternative& a, const TupleAlternative& b) {
+              return a.score > b.score;
+            });
+  return tuples;
+}
+
+std::vector<KeyId> TopKOfWorld(const AndXorTree& tree,
+                               const std::vector<NodeId>& leaf_ids, int k) {
+  std::vector<TupleAlternative> tuples = WorldTuples(tree, leaf_ids);
+  std::vector<KeyId> answer;
+  int limit = std::min<int>(k, static_cast<int>(tuples.size()));
+  answer.reserve(static_cast<size_t>(limit));
+  for (int i = 0; i < limit; ++i) answer.push_back(tuples[static_cast<size_t>(i)].key);
+  return answer;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,52 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Possible-world semantics utilities: exhaustive enumeration (exponential,
+// guarded by a limit — the ground truth for every exactness test) and
+// Monte-Carlo world sampling (the ground truth for mid-size cross-checks and
+// the engine behind sampling-based baselines such as U-Top-k).
+
+#ifndef CPDB_MODEL_POSSIBLE_WORLDS_H_
+#define CPDB_MODEL_POSSIBLE_WORLDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/and_xor_tree.h"
+
+namespace cpdb {
+
+/// \brief One possible world: the set of present leaves and its probability.
+struct World {
+  /// Present leaves as sorted NodeIds of the generating tree.
+  std::vector<NodeId> leaf_ids;
+  double prob = 0.0;
+};
+
+/// \brief Enumerates all possible worlds of positive probability.
+///
+/// Worlds with probability exactly zero are dropped. Fails with
+/// ResourceExhausted if more than `max_worlds` worlds would be produced at
+/// any intermediate step. The returned probabilities sum to 1 up to FP
+/// rounding.
+Result<std::vector<World>> EnumerateWorlds(const AndXorTree& tree,
+                                           size_t max_worlds = 1 << 20);
+
+/// \brief Draws one world according to the tree's distribution.
+/// Returns sorted leaf NodeIds.
+std::vector<NodeId> SampleWorld(const AndXorTree& tree, Rng* rng);
+
+/// \brief Extracts the tuples of a world, sorted by score descending
+/// (the ranking order used by Top-k queries; scores are assumed tie-free).
+std::vector<TupleAlternative> WorldTuples(const AndXorTree& tree,
+                                          const std::vector<NodeId>& leaf_ids);
+
+/// \brief The Top-k answer of a world: keys of the min(k, |pw|) highest
+/// scoring tuples, in rank order.
+std::vector<KeyId> TopKOfWorld(const AndXorTree& tree,
+                               const std::vector<NodeId>& leaf_ids, int k);
+
+}  // namespace cpdb
+
+#endif  // CPDB_MODEL_POSSIBLE_WORLDS_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Basic value types of the probabilistic data model (Section 3.1 of the
+// paper). A probabilistic relation R^P(K; A) has a certain key attribute K
+// (the "possible worlds key") and an uncertain value attribute A. The
+// certain tuples sharing a key value are that probabilistic tuple's
+// *alternatives*; at most one alternative of a key appears in any possible
+// world.
+
+#ifndef CPDB_MODEL_TYPES_H_
+#define CPDB_MODEL_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace cpdb {
+
+/// \brief Identifier of a probabilistic tuple (the possible-worlds key K).
+using KeyId = int32_t;
+
+/// \brief One alternative of a probabilistic tuple: a (key, value) pair.
+///
+/// The value attribute is carried in two typed fields so one leaf type
+/// serves every query class in the paper:
+///  * `score` — numeric value used by Top-k ranking queries (Section 5);
+///  * `label` — categorical value used by group-by aggregates (Section 6.1)
+///    and clustering (Section 6.2); -1 when unused.
+struct TupleAlternative {
+  KeyId key = 0;
+  double score = 0.0;
+  int32_t label = -1;
+
+  friend bool operator==(const TupleAlternative& a,
+                         const TupleAlternative& b) {
+    return a.key == b.key && a.score == b.score && a.label == b.label;
+  }
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_MODEL_TYPES_H_

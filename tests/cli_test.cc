@@ -1,0 +1,168 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Drives the cpdb_cli command surface in-process: every command, both input
+// formats, and the error paths.
+
+#include "tools/cli_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "io/table_io.h"
+
+namespace cpdb {
+namespace {
+
+// Runs the CLI capturing stdout/stderr through temp files.
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunCliArgs(const std::vector<std::string>& args) {
+  std::string out_path = ::testing::TempDir() + "/cli_out.txt";
+  std::string err_path = ::testing::TempDir() + "/cli_err.txt";
+  std::FILE* out = std::fopen(out_path.c_str(), "w+");
+  std::FILE* err = std::fopen(err_path.c_str(), "w+");
+  std::vector<std::string> full = {"cpdb_cli"};
+  full.insert(full.end(), args.begin(), args.end());
+  int code = RunCli(full, out, err);
+  std::fclose(out);
+  std::fclose(err);
+  return {code, *ReadFileToString(out_path), *ReadFileToString(err_path)};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_path_ = ::testing::TempDir() + "/cli_tree.sexp";
+    bid_path_ = ::testing::TempDir() + "/cli_table.bid";
+    ASSERT_TRUE(WriteStringToFile(
+                    tree_path_,
+                    "(and (xor 0.6 (leaf key=1 score=8 label=0)"
+                    "          0.3 (leaf key=1 score=5 label=1))"
+                    " (xor 0.7 (leaf key=2 score=9 label=0))"
+                    " (xor 0.5 (leaf key=3 score=7 label=1)"
+                    "          0.5 (leaf key=3 score=6 label=0)))")
+                    .ok());
+    ASSERT_TRUE(WriteStringToFile(bid_path_,
+                                  "# key prob score label\n"
+                                  "1 0.6 8 0\n"
+                                  "1 0.3 5 1\n"
+                                  "2 0.7 9 0\n"
+                                  "3 0.5 7 1\n"
+                                  "3 0.5 6 0\n")
+                    .ok());
+  }
+  std::string tree_path_;
+  std::string bid_path_;
+};
+
+TEST_F(CliTest, HelpPrintsUsage) {
+  CliResult r = RunCliArgs({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("consensus-world"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateBothFormats) {
+  EXPECT_EQ(RunCliArgs({"validate", tree_path_}).code, 0);
+  CliResult r = RunCliArgs({"validate", bid_path_, "--format=bid"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("5 leaves"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateRejectsBrokenInput) {
+  std::string bad = ::testing::TempDir() + "/cli_bad.sexp";
+  ASSERT_TRUE(WriteStringToFile(
+                  bad, "(xor 0.9 (leaf key=1 score=1) 0.9 (leaf key=1 score=2))")
+                  .ok());
+  CliResult r = RunCliArgs({"validate", bad});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("INVALID"), std::string::npos);
+}
+
+TEST_F(CliTest, MarginalsListsKeys) {
+  CliResult r = RunCliArgs({"marginals", tree_path_});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("1 0.9"), std::string::npos);
+  EXPECT_NE(r.out.find("2 0.7"), std::string::npos);
+  EXPECT_NE(r.out.find("3 1.0"), std::string::npos);
+}
+
+TEST_F(CliTest, WorldsSumToOne) {
+  CliResult r = RunCliArgs({"worlds", tree_path_});
+  EXPECT_EQ(r.code, 0);
+  double total = 0.0;
+  size_t pos = 0;
+  int lines = 0;
+  while (pos < r.out.size()) {
+    total += std::atof(r.out.c_str() + pos);
+    pos = r.out.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+    ++lines;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_EQ(lines, 3 * 2 * 2);  // (2 alts + absent) x (1 + absent) x 2 alts
+}
+
+TEST_F(CliTest, WorldsRespectsLimit) {
+  CliResult r = RunCliArgs({"worlds", tree_path_, "--max-worlds=2"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("Resource exhausted"), std::string::npos);
+}
+
+TEST_F(CliTest, SampleIsDeterministicGivenSeed) {
+  CliResult a = RunCliArgs({"sample", tree_path_, "--count=4", "--seed=9"});
+  CliResult b = RunCliArgs({"sample", tree_path_, "--count=4", "--seed=9"});
+  CliResult c = RunCliArgs({"sample", tree_path_, "--count=4", "--seed=10"});
+  EXPECT_EQ(a.code, 0);
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_NE(a.out, c.out);
+}
+
+TEST_F(CliTest, ConsensusWorldSymDiff) {
+  CliResult mean = RunCliArgs({"consensus-world", tree_path_, "--answer=mean"});
+  EXPECT_EQ(mean.code, 0);
+  EXPECT_NE(mean.out.find("(1:8)"), std::string::npos);  // marginal 0.6
+  EXPECT_NE(mean.out.find("(2:9)"), std::string::npos);  // marginal 0.7
+  CliResult median = RunCliArgs({"consensus-world", tree_path_, "--answer=median"});
+  EXPECT_EQ(median.code, 0);
+}
+
+TEST_F(CliTest, TopKAcrossMetrics) {
+  for (const char* metric :
+       {"symdiff", "intersection", "footrule", "kendall"}) {
+    CliResult r = RunCliArgs({"topk", bid_path_, "--format=bid", "--k=2",
+                       std::string("--metric=") + metric});
+    EXPECT_EQ(r.code, 0) << metric << ": " << r.err;
+    EXPECT_NE(r.out.find("top-2"), std::string::npos);
+  }
+  CliResult median = RunCliArgs({"topk", bid_path_, "--format=bid", "--k=2",
+                          "--metric=symdiff", "--answer=median"});
+  EXPECT_EQ(median.code, 0);
+  CliResult any_size = RunCliArgs({"topk", bid_path_, "--format=bid", "--k=2",
+                                   "--metric=symdiff", "--answer=any-size"});
+  EXPECT_EQ(any_size.code, 0);
+}
+
+TEST_F(CliTest, AggregateUsesLabels) {
+  CliResult r = RunCliArgs({"aggregate", bid_path_, "--format=bid"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("group mean_count median_count"), std::string::npos);
+}
+
+TEST_F(CliTest, ErrorsOnBadUsage) {
+  EXPECT_EQ(RunCliArgs({}).code, 2);
+  EXPECT_EQ(RunCliArgs({"frobnicate", tree_path_}).code, 2);
+  EXPECT_EQ(RunCliArgs({"validate"}).code, 1);  // missing input file
+  EXPECT_EQ(RunCliArgs({"validate", tree_path_, "--wat=1"}).code, 2);
+  EXPECT_EQ(RunCliArgs({"topk", tree_path_, "--metric=nope"}).code, 1);
+  EXPECT_EQ(RunCliArgs({"validate", "/does/not/exist"}).code, 1);
+}
+
+}  // namespace
+}  // namespace cpdb

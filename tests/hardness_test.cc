@@ -1,0 +1,162 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Exercises the Section 4.1 MAX-2-SAT reduction end to end: the key-level
+// median of the projected query result recovers the MAX-2-SAT optimum, and
+// the tractable leaf-level and/xor median is a *different* (easier) problem.
+
+#include "core/hardness.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/set_consensus.h"
+#include "model/possible_worlds.h"
+
+namespace cpdb {
+namespace {
+
+Max2SatInstance PaperStyleInstance() {
+  // (x0 or !x1), (x1 or x2), (!x0 or !x2), (x0 or x2)
+  Max2SatInstance instance;
+  instance.num_vars = 3;
+  instance.clauses = {
+      {0, true, 1, false},
+      {1, true, 2, true},
+      {0, false, 2, false},
+      {0, true, 2, true},
+  };
+  return instance;
+}
+
+TEST(HardnessTest, ClauseSatisfaction) {
+  TwoSatClause c{0, true, 1, false};
+  EXPECT_TRUE(ClauseSatisfied(c, {true, true}));
+  EXPECT_TRUE(ClauseSatisfied(c, {false, false}));
+  EXPECT_FALSE(ClauseSatisfied(c, {false, true}));
+}
+
+TEST(HardnessTest, BruteForceOnSatisfiableInstance) {
+  auto best = BruteForceMax2Sat(PaperStyleInstance());
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, 4);  // x0=1, x1=1, x2=0 satisfies all four
+}
+
+TEST(HardnessTest, BruteForceOnContradiction) {
+  // (x0)(x0) vs (!x0)(!x0): at most 2 of 4 "clauses" hold (unit clauses
+  // encoded by repeating the literal).
+  Max2SatInstance instance;
+  instance.num_vars = 1;
+  instance.clauses = {
+      {0, true, 0, true},
+      {0, true, 0, true},
+      {0, false, 0, false},
+      {0, false, 0, false},
+  };
+  auto best = BruteForceMax2Sat(instance);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, 2);
+}
+
+TEST(HardnessTest, ResultWorldsFormADistribution) {
+  auto worlds = EnumerateQueryResultWorlds(PaperStyleInstance());
+  ASSERT_TRUE(worlds.ok());
+  double total = 0.0;
+  for (const ResultWorld& w : *worlds) total += w.prob;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Every 2-clause holds with marginal 3/4 over uniform assignments.
+  std::vector<double> marginal(4, 0.0);
+  for (const ResultWorld& w : *worlds) {
+    for (int c : w.satisfied_clauses) marginal[static_cast<size_t>(c)] += w.prob;
+  }
+  for (double m : marginal) EXPECT_NEAR(m, 0.75, 1e-12);
+}
+
+TEST(HardnessTest, MedianRecoversMax2SatOptimum) {
+  // The paper's reduction: median answer = maximum satisfiable clause set.
+  for (const Max2SatInstance& instance :
+       {PaperStyleInstance(), [] {
+          Max2SatInstance hard;
+          hard.num_vars = 4;
+          hard.clauses = {
+              {0, true, 1, true},   {0, false, 1, false},
+              {2, true, 3, false},  {2, false, 3, true},
+              {0, true, 3, true},   {1, false, 2, true},
+          };
+          return hard;
+        }()}) {
+    auto median = MedianQueryResult(instance);
+    auto best = BruteForceMax2Sat(instance);
+    ASSERT_TRUE(median.ok());
+    ASSERT_TRUE(best.ok());
+    EXPECT_EQ(static_cast<int>(median->size()), *best);
+  }
+}
+
+TEST(HardnessTest, RandomInstancesAgree) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    Max2SatInstance instance;
+    instance.num_vars = 3 + static_cast<int>(rng.UniformInt(0, 2));
+    int num_clauses = 3 + static_cast<int>(rng.UniformInt(0, 4));
+    for (int c = 0; c < num_clauses; ++c) {
+      TwoSatClause clause;
+      clause.var1 = static_cast<int>(rng.UniformInt(0, instance.num_vars - 1));
+      // Distinct variables keep every clause marginal at exactly 3/4, which
+      // the reduction's counting argument relies on.
+      do {
+        clause.var2 =
+            static_cast<int>(rng.UniformInt(0, instance.num_vars - 1));
+      } while (clause.var2 == clause.var1);
+      clause.positive1 = rng.Bernoulli(0.5);
+      clause.positive2 = rng.Bernoulli(0.5);
+      instance.clauses.push_back(clause);
+    }
+    auto median = MedianQueryResult(instance);
+    auto best = BruteForceMax2Sat(instance);
+    ASSERT_TRUE(median.ok());
+    ASSERT_TRUE(best.ok());
+    EXPECT_EQ(static_cast<int>(median->size()), *best) << "trial " << trial;
+  }
+}
+
+TEST(HardnessTest, QueryResultTreeMatchesDistribution) {
+  Max2SatInstance instance = PaperStyleInstance();
+  auto tree = BuildQueryResultTree(instance);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto tree_worlds = EnumerateWorlds(*tree);
+  ASSERT_TRUE(tree_worlds.ok());
+  auto result_worlds = EnumerateQueryResultWorlds(instance);
+  ASSERT_TRUE(result_worlds.ok());
+
+  // Key marginals of the tree equal the clause marginals (0.75 each).
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(tree->KeyMarginal(c), 0.75, 1e-12);
+  }
+}
+
+TEST(HardnessTest, LeafLevelMedianIsADifferentProblem) {
+  // The tree's leaf-level median DP is tractable, but each duplicated leaf
+  // has a small marginal (below 1/2), so the leaf-level objective is
+  // minimized by small worlds — unlike the key-level median that recovers
+  // MAX-2-SAT. This documents why Corollary 1 does not contradict the
+  // NP-hardness of the reduction.
+  Max2SatInstance instance = PaperStyleInstance();
+  auto tree = BuildQueryResultTree(instance);
+  ASSERT_TRUE(tree.ok());
+  std::vector<NodeId> leaf_median = MedianWorldSymDiff(*tree);
+  auto key_median = MedianQueryResult(instance);
+  ASSERT_TRUE(key_median.ok());
+  EXPECT_LT(leaf_median.size(), key_median->size());
+}
+
+TEST(HardnessTest, RejectsOversizedInstances) {
+  Max2SatInstance instance;
+  instance.num_vars = 25;
+  EXPECT_FALSE(BruteForceMax2Sat(instance).ok());
+  instance.num_vars = 2;
+  instance.clauses = {{0, true, 5, true}};
+  EXPECT_FALSE(BruteForceMax2Sat(instance).ok());
+}
+
+}  // namespace
+}  // namespace cpdb

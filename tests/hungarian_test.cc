@@ -1,0 +1,112 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "matching/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace cpdb {
+namespace {
+
+// Brute force over all row->column injections.
+double BruteForceMin(const std::vector<std::vector<double>>& cost) {
+  size_t n = cost.size(), m = cost[0].size();
+  std::vector<int> cols(m);
+  std::iota(cols.begin(), cols.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  // Permute columns; use the first n as the assignment.
+  std::sort(cols.begin(), cols.end());
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += cost[i][static_cast<size_t>(cols[i])];
+    best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(HungarianTest, SquareKnownInstance) {
+  std::vector<std::vector<double>> cost = {
+      {4, 1, 3},
+      {2, 0, 5},
+      {3, 2, 2},
+  };
+  auto a = SolveAssignmentMin(cost);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(a->total, 5.0);  // 1 + 2 + 2
+  EXPECT_EQ(a->row_to_col[0], 1);
+  EXPECT_EQ(a->row_to_col[1], 0);
+  EXPECT_EQ(a->row_to_col[2], 2);
+}
+
+TEST(HungarianTest, RectangularUsesBestColumns) {
+  std::vector<std::vector<double>> cost = {
+      {10, 10, 1, 10},
+      {10, 2, 10, 10},
+  };
+  auto a = SolveAssignmentMin(cost);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(a->total, 3.0);
+  EXPECT_EQ(a->row_to_col[0], 2);
+  EXPECT_EQ(a->row_to_col[1], 1);
+}
+
+TEST(HungarianTest, RejectsBadShapes) {
+  EXPECT_FALSE(SolveAssignmentMin({}).ok());
+  EXPECT_FALSE(SolveAssignmentMin({{1.0, 2.0}, {1.0}}).ok());  // ragged
+  EXPECT_FALSE(SolveAssignmentMin({{1.0}, {2.0}}).ok());  // rows > cols
+}
+
+TEST(HungarianTest, MaxIsNegatedMin) {
+  std::vector<std::vector<double>> profit = {
+      {4, 1, 3},
+      {2, 0, 5},
+  };
+  auto a = SolveAssignmentMax(profit);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(a->total, 9.0);  // 4 + 5
+}
+
+TEST(HungarianTest, HandlesNegativeCosts) {
+  std::vector<std::vector<double>> cost = {
+      {-5, 0},
+      {0, -3},
+  };
+  auto a = SolveAssignmentMin(cost);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(a->total, -8.0);
+}
+
+class HungarianRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomProperty, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 17);
+  int rows = static_cast<int>(rng.UniformInt(1, 5));
+  int cols = rows + static_cast<int>(rng.UniformInt(0, 3));
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(rows), std::vector<double>(static_cast<size_t>(cols)));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.Uniform(-10.0, 10.0);
+  }
+  auto a = SolveAssignmentMin(cost);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(a->total, BruteForceMin(cost), 1e-9);
+  // The assignment must be a valid injection.
+  std::vector<bool> used(static_cast<size_t>(cols), false);
+  for (int col : a->row_to_col) {
+    ASSERT_GE(col, 0);
+    ASSERT_LT(col, cols);
+    EXPECT_FALSE(used[static_cast<size_t>(col)]);
+    used[static_cast<size_t>(col)] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandomProperty,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace cpdb

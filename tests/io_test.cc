@@ -1,0 +1,137 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/table_io.h"
+#include "io/tree_text.h"
+#include "model/possible_worlds.h"
+#include "workload/generators.h"
+
+namespace cpdb {
+namespace {
+
+TEST(TreeTextTest, ParsesLeaf) {
+  auto tree = ParseTree("(leaf key=3 score=2.5 label=1)");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->NumLeaves(), 1);
+  const TupleAlternative& alt = tree->node(tree->LeafIds()[0]).leaf;
+  EXPECT_EQ(alt.key, 3);
+  EXPECT_EQ(alt.score, 2.5);
+  EXPECT_EQ(alt.label, 1);
+}
+
+TEST(TreeTextTest, ParsesNestedStructure) {
+  auto tree = ParseTree(
+      "(and (xor 0.3 (leaf key=1 score=8) 0.5 (leaf key=1 score=2))"
+      " (xor 0.9 (leaf key=2 score=5)))");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->NumLeaves(), 3);
+  EXPECT_NEAR(tree->KeyMarginal(1), 0.8, 1e-12);
+  EXPECT_NEAR(tree->KeyMarginal(2), 0.9, 1e-12);
+}
+
+TEST(TreeTextTest, RejectsMalformedInput) {
+  EXPECT_EQ(ParseTree("").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseTree("(leaf)").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseTree("(leaf key=1").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseTree("(blah key=1)").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseTree("(and)").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseTree("(xor (leaf key=1 score=1))").status().code(),
+            StatusCode::kParseError);  // missing probability
+  EXPECT_EQ(ParseTree("(leaf key=1 score=abc)").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseTree("(leaf key=1 score=1) extra").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseTree("(leaf wat=1 key=2)").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(TreeTextTest, RejectsSemanticViolations) {
+  // Parsing succeeds syntactically but Validate() catches the constraint.
+  EXPECT_FALSE(
+      ParseTree("(and (leaf key=1 score=1) (leaf key=1 score=2))").ok());
+  EXPECT_FALSE(
+      ParseTree("(xor 0.7 (leaf key=1 score=1) 0.7 (leaf key=1 score=2))").ok());
+}
+
+TEST(TreeTextTest, RoundTripsRandomTrees) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) + 1000);
+    RandomTreeOptions opts;
+    opts.num_keys = 6;
+    opts.max_depth = 3;
+    auto tree = RandomAndXorTree(opts, &rng);
+    ASSERT_TRUE(tree.ok());
+    for (bool indent : {false, true}) {
+      std::string text = FormatTree(*tree, indent);
+      auto reparsed = ParseTree(text);
+      ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+      // Structural equality via the possible-world distribution: the two
+      // trees must induce the same world probabilities over (key, score).
+      auto w1 = EnumerateWorlds(*tree);
+      auto w2 = EnumerateWorlds(*reparsed);
+      ASSERT_TRUE(w1.ok());
+      ASSERT_TRUE(w2.ok());
+      ASSERT_EQ(w1->size(), w2->size());
+      double total1 = 0.0, total2 = 0.0;
+      for (const World& w : *w1) total1 += w.prob;
+      for (const World& w : *w2) total2 += w.prob;
+      EXPECT_NEAR(total1, total2, 1e-9);
+    }
+  }
+}
+
+TEST(BidTableTest, ParsesBlocksGroupedByKey) {
+  auto blocks = ParseBidTable(
+      "# comment line\n"
+      "1 0.3 8.0\n"
+      "2 0.9 5.0 4\n"
+      "1 0.5 2.0\n");
+  ASSERT_TRUE(blocks.ok()) << blocks.status().ToString();
+  ASSERT_EQ(blocks->size(), 2u);
+  EXPECT_EQ((*blocks)[0].size(), 2u);  // key 1 has two alternatives
+  EXPECT_EQ((*blocks)[0][0].alt.key, 1);
+  EXPECT_EQ((*blocks)[0][1].alt.score, 2.0);
+  EXPECT_EQ((*blocks)[1][0].alt.label, 4);
+}
+
+TEST(BidTableTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseBidTable("").ok());
+  EXPECT_FALSE(ParseBidTable("1 0.5\n").ok());            // missing score
+  EXPECT_FALSE(ParseBidTable("1 1.5 2.0\n").ok());        // prob > 1
+  EXPECT_FALSE(ParseBidTable("1 0.5 2.0 3 junk\n").ok()); // trailing field
+  EXPECT_FALSE(ParseBidTable("1 0.5 2.0\n1 0.5 2.0\n").ok());  // duplicate
+  EXPECT_FALSE(ParseBidTable("1 0.6 2.0\n1 0.6 3.0\n").ok());  // mass > 1
+}
+
+TEST(BidTableTest, RoundTrip) {
+  Rng rng(77);
+  RandomTreeOptions opts;
+  opts.num_keys = 8;
+  std::vector<Block> blocks = RandomBidBlocks(opts, &rng);
+  auto reparsed = ParseBidTable(FormatBidTable(blocks));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->size(), blocks.size());
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    ASSERT_EQ((*reparsed)[b].size(), blocks[b].size());
+    for (size_t a = 0; a < blocks[b].size(); ++a) {
+      EXPECT_EQ((*reparsed)[b][a].alt.key, blocks[b][a].alt.key);
+      EXPECT_NEAR((*reparsed)[b][a].prob, blocks[b][a].prob, 1e-6);
+      EXPECT_NEAR((*reparsed)[b][a].alt.score, blocks[b][a].alt.score, 1e-6);
+    }
+  }
+}
+
+TEST(FileIoTest, WriteAndReadBack) {
+  std::string path = ::testing::TempDir() + "/cpdb_io_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello\nworld\n");
+  EXPECT_EQ(ReadFileToString("/nonexistent/path").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cpdb

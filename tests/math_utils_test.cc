@@ -1,0 +1,71 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "common/math_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace cpdb {
+namespace {
+
+TEST(MathUtilsTest, HarmonicNumbers) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(MathUtilsTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1e12, 1e12 * (1 + 1e-10)));
+}
+
+TEST(MathUtilsTest, ClampProbability) {
+  EXPECT_EQ(ClampProbability(-0.1), 0.0);
+  EXPECT_EQ(ClampProbability(0.5), 0.5);
+  EXPECT_EQ(ClampProbability(1.5), 1.0);
+}
+
+TEST(MathUtilsTest, MaxPlusConvolveBasic) {
+  std::vector<double> a = {0.0, 1.0};      // size 0 value 0, size 1 value 1
+  std::vector<double> b = {0.0, 5.0, 2.0};
+  std::vector<double> out = MaxPlusConvolve(a, b, 3);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);  // max(0+5, 1+0)
+  EXPECT_DOUBLE_EQ(out[2], 6.0);  // 1+5
+  EXPECT_DOUBLE_EQ(out[3], 3.0);  // 1+2
+}
+
+TEST(MathUtilsTest, MaxPlusConvolveRespectsInfeasible) {
+  std::vector<double> a = {0.0, kNegInf, 2.0};
+  std::vector<double> b = {kNegInf, 1.0};
+  std::vector<double> out = MaxPlusConvolve(a, b, 4);
+  EXPECT_EQ(out[0], kNegInf);        // needs b[0]
+  EXPECT_DOUBLE_EQ(out[1], 1.0);     // a[0]+b[1]
+  EXPECT_EQ(out[2], kNegInf);        // a[1] infeasible, b[0] infeasible
+  EXPECT_DOUBLE_EQ(out[3], 3.0);     // a[2]+b[1]
+}
+
+TEST(MathUtilsTest, MaxPlusConvolveTruncates) {
+  std::vector<double> a = {0.0, 0.0, 0.0};
+  std::vector<double> b = {0.0, 0.0, 0.0};
+  std::vector<double> out = MaxPlusConvolve(a, b, 2);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(MathUtilsTest, StableSumMatchesNaiveOnBenignInput) {
+  std::vector<double> v = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(StableSum(v), 1.0, 1e-15);
+}
+
+TEST(MathUtilsTest, StableSumHandlesCancellation) {
+  // Sum many tiny values against a large one; Kahan keeps full precision.
+  std::vector<double> v = {1e16};
+  for (int i = 0; i < 10000; ++i) v.push_back(1.0);
+  EXPECT_DOUBLE_EQ(StableSum(v), 1e16 + 10000.0);
+}
+
+}  // namespace
+}  // namespace cpdb

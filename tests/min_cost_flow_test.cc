@@ -1,0 +1,135 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "matching/min_cost_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matching/hungarian.h"
+
+namespace cpdb {
+namespace {
+
+TEST(MinCostFlowTest, SingleEdge) {
+  MinCostFlow flow(2);
+  int e = flow.AddEdge(0, 1, 5, 2.0);
+  auto sol = flow.Solve(0, 1);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->flow, 5);
+  EXPECT_DOUBLE_EQ(sol->cost, 10.0);
+  EXPECT_EQ(flow.Flow(e), 5);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperParallelPath) {
+  MinCostFlow flow(2);
+  int cheap = flow.AddEdge(0, 1, 3, 1.0);
+  int pricey = flow.AddEdge(0, 1, 3, 4.0);
+  auto sol = flow.Solve(0, 1, 4);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->flow, 4);
+  EXPECT_DOUBLE_EQ(sol->cost, 3.0 * 1.0 + 1.0 * 4.0);
+  EXPECT_EQ(flow.Flow(cheap), 3);
+  EXPECT_EQ(flow.Flow(pricey), 1);
+}
+
+TEST(MinCostFlowTest, ReroutesThroughResidualEdges) {
+  // Classic diamond where the min-cost solution must cancel an earlier
+  // greedy path: 0->1 (cost 1), 0->2 (cost 2), 1->3 (cost 2), 2->3 (cost 1),
+  // 1->2 (cost 0, cap 1). Pushing 2 units optimally costs 6.
+  MinCostFlow flow(4);
+  flow.AddEdge(0, 1, 1, 1.0);
+  flow.AddEdge(0, 2, 1, 2.0);
+  flow.AddEdge(1, 3, 1, 2.0);
+  flow.AddEdge(2, 3, 1, 1.0);
+  flow.AddEdge(1, 2, 1, 0.0);
+  auto sol = flow.Solve(0, 3, 2);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->flow, 2);
+  EXPECT_DOUBLE_EQ(sol->cost, 6.0);
+}
+
+TEST(MinCostFlowTest, FlowLimitRespected) {
+  MinCostFlow flow(2);
+  flow.AddEdge(0, 1, 100, 1.0);
+  auto sol = flow.Solve(0, 1, 7);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->flow, 7);
+}
+
+TEST(MinCostFlowTest, DisconnectedSinkGivesZeroFlow) {
+  MinCostFlow flow(3);
+  flow.AddEdge(0, 1, 1, 1.0);
+  auto sol = flow.Solve(0, 2, 5);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->flow, 0);
+  EXPECT_DOUBLE_EQ(sol->cost, 0.0);
+}
+
+TEST(MinCostFlowTest, RejectsDoubleSolveAndBadEndpoints) {
+  MinCostFlow flow(2);
+  flow.AddEdge(0, 1, 1, 1.0);
+  ASSERT_TRUE(flow.Solve(0, 1).ok());
+  EXPECT_FALSE(flow.Solve(0, 1).ok());
+  MinCostFlow flow2(2);
+  EXPECT_FALSE(flow2.Solve(0, 0).ok());
+  MinCostFlow flow3(2);
+  EXPECT_FALSE(flow3.Solve(0, 5).ok());
+}
+
+TEST(MinCostFlowTest, BipartiteAssignmentMatchesHungarianShape) {
+  // 2 tuples x 2 groups with unit chains: verifies the flow decomposition
+  // used by the aggregate median.
+  MinCostFlow flow(6);  // s=0, t=1, tuples 2,3, groups 4,5
+  flow.AddEdge(0, 2, 1, 0.0);
+  flow.AddEdge(0, 3, 1, 0.0);
+  flow.AddEdge(2, 4, 1, 0.0);
+  flow.AddEdge(2, 5, 1, 0.0);
+  flow.AddEdge(3, 5, 1, 0.0);
+  int g4 = flow.AddEdge(4, 1, 1, 1.0);
+  int g5a = flow.AddEdge(5, 1, 1, 1.0);
+  int g5b = flow.AddEdge(5, 1, 1, 3.0);
+  auto sol = flow.Solve(0, 1, 2);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->flow, 2);
+  // Optimal: tuple2->group4, tuple3->group5 => cost 1 + 1 = 2.
+  EXPECT_DOUBLE_EQ(sol->cost, 2.0);
+  EXPECT_EQ(flow.Flow(g4), 1);
+  EXPECT_EQ(flow.Flow(g5a), 1);
+  EXPECT_EQ(flow.Flow(g5b), 0);
+}
+
+class McmfRandomProperty : public ::testing::TestWithParam<int> {};
+
+// Random bipartite transportation instances cross-checked against the
+// Hungarian solver (costs >= 0, perfect matchings).
+TEST_P(McmfRandomProperty, AgreesWithHungarianOnAssignmentInstances) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 5);
+  int n = static_cast<int>(rng.UniformInt(2, 6));
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.Uniform(0.0, 10.0);
+  }
+
+  MinCostFlow flow(2 * n + 2);
+  int s = 2 * n, t = 2 * n + 1;
+  for (int i = 0; i < n; ++i) {
+    flow.AddEdge(s, i, 1, 0.0);
+    flow.AddEdge(n + i, t, 1, 0.0);
+    for (int j = 0; j < n; ++j) {
+      flow.AddEdge(i, n + j, 1, cost[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+  }
+  auto sol = flow.Solve(s, t, n);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->flow, n);
+
+  auto hungarian = SolveAssignmentMin(cost);
+  ASSERT_TRUE(hungarian.ok());
+  EXPECT_NEAR(sol->cost, hungarian->total, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McmfRandomProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cpdb

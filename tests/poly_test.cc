@@ -1,0 +1,205 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "poly/poly1.h"
+#include "poly/poly2.h"
+#include "poly/sparse_poly.h"
+
+namespace cpdb {
+namespace {
+
+TEST(Poly1Test, ConstructorsAndAccessors) {
+  Poly1 zero(4);
+  EXPECT_EQ(zero.Degree(), -1);
+  EXPECT_EQ(zero.Coeff(0), 0.0);
+
+  Poly1 c = Poly1::Constant(4, 2.5);
+  EXPECT_EQ(c.Degree(), 0);
+  EXPECT_EQ(c.Coeff(0), 2.5);
+
+  Poly1 m = Poly1::Monomial(4, 3, -1.0);
+  EXPECT_EQ(m.Degree(), 3);
+  EXPECT_EQ(m.Coeff(3), -1.0);
+
+  Poly1 a = Poly1::Affine(4, 0.4, 0.6);
+  EXPECT_EQ(a.Coeff(0), 0.4);
+  EXPECT_EQ(a.Coeff(1), 0.6);
+}
+
+TEST(Poly1Test, MonomialBeyondTruncationIsZero) {
+  Poly1 m = Poly1::Monomial(2, 5, 1.0);
+  EXPECT_EQ(m.Degree(), -1);
+}
+
+TEST(Poly1Test, OutOfRangeCoeffAccess) {
+  Poly1 p = Poly1::Constant(3, 1.0);
+  EXPECT_EQ(p.Coeff(-1), 0.0);
+  EXPECT_EQ(p.Coeff(4), 0.0);
+  p.SetCoeff(9, 1.0);  // silently ignored (truncation semantics)
+  EXPECT_EQ(p.Coeff(9), 0.0);
+}
+
+TEST(Poly1Test, MultiplicationMatchesHandExpansion) {
+  // (0.4 + 0.6x)(0.7 + 0.3x) = 0.28 + 0.54x + 0.18x^2
+  Poly1 a = Poly1::Affine(3, 0.4, 0.6);
+  Poly1 b = Poly1::Affine(3, 0.7, 0.3);
+  Poly1 p = a * b;
+  EXPECT_NEAR(p.Coeff(0), 0.28, 1e-12);
+  EXPECT_NEAR(p.Coeff(1), 0.54, 1e-12);
+  EXPECT_NEAR(p.Coeff(2), 0.18, 1e-12);
+  EXPECT_EQ(p.Coeff(3), 0.0);
+}
+
+TEST(Poly1Test, MultiplicationTruncates) {
+  Poly1 x = Poly1::Monomial(2, 1, 1.0);
+  Poly1 p = x * x * x;  // x^3 truncated at degree 2
+  EXPECT_EQ(p.Degree(), -1);
+}
+
+TEST(Poly1Test, ProbabilityMassConservation) {
+  // A product of affine probability factors keeps total mass 1 when no
+  // truncation occurs.
+  Rng rng(3);
+  Poly1 p = Poly1::Constant(16, 1.0);
+  for (int i = 0; i < 16; ++i) {
+    double q = rng.Uniform01();
+    p *= Poly1::Affine(16, 1 - q, q);
+  }
+  EXPECT_NEAR(p.SumCoeffs(), 1.0, 1e-9);
+  EXPECT_NEAR(p.Eval(1.0), 1.0, 1e-9);
+}
+
+TEST(Poly1Test, EvalMatchesHorner) {
+  Poly1 p(3);
+  p.SetCoeff(0, 1.0);
+  p.SetCoeff(1, -2.0);
+  p.SetCoeff(3, 4.0);
+  EXPECT_NEAR(p.Eval(0.5), 1.0 - 1.0 + 4.0 * 0.125, 1e-12);
+}
+
+TEST(Poly1Test, AddScaledAndArithmetic) {
+  Poly1 a = Poly1::Affine(2, 1.0, 2.0);
+  Poly1 b = Poly1::Affine(2, 0.5, 0.5);
+  a.AddScaled(b, 2.0);
+  EXPECT_NEAR(a.Coeff(0), 2.0, 1e-12);
+  EXPECT_NEAR(a.Coeff(1), 3.0, 1e-12);
+  Poly1 d = a - b;
+  EXPECT_NEAR(d.Coeff(0), 1.5, 1e-12);
+  Poly1 s = 2.0 * b;
+  EXPECT_NEAR(s.Coeff(1), 1.0, 1e-12);
+}
+
+TEST(Poly1Test, ToString) {
+  Poly1 p(3);
+  EXPECT_EQ(p.ToString(), "0");
+  p.SetCoeff(0, 0.5);
+  p.SetCoeff(2, 1.5);
+  EXPECT_EQ(p.ToString(), "0.5 + 1.5 x^2");
+}
+
+TEST(Poly2Test, MonomialAndCoeff) {
+  Poly2 m = Poly2::Monomial(3, 2, 1, 2, 4.0);
+  EXPECT_EQ(m.Coeff(1, 2), 4.0);
+  EXPECT_EQ(m.Coeff(0, 0), 0.0);
+  EXPECT_EQ(m.Coeff(4, 0), 0.0);  // out of bounds
+}
+
+TEST(Poly2Test, MultiplicationMatchesHandExpansion) {
+  // (1 + x)(1 + y) = 1 + x + y + xy
+  Poly2 a = Poly2::Constant(2, 2, 1.0) + Poly2::Monomial(2, 2, 1, 0, 1.0);
+  Poly2 b = Poly2::Constant(2, 2, 1.0) + Poly2::Monomial(2, 2, 0, 1, 1.0);
+  Poly2 p = a * b;
+  EXPECT_EQ(p.Coeff(0, 0), 1.0);
+  EXPECT_EQ(p.Coeff(1, 0), 1.0);
+  EXPECT_EQ(p.Coeff(0, 1), 1.0);
+  EXPECT_EQ(p.Coeff(1, 1), 1.0);
+  EXPECT_EQ(p.Coeff(2, 0), 0.0);
+}
+
+TEST(Poly2Test, TruncationPerVariable) {
+  Poly2 x = Poly2::Monomial(1, 1, 1, 0, 1.0);
+  Poly2 p = x * x;  // x^2 truncated (max_dx = 1)
+  EXPECT_EQ(p.SumCoeffs(), 0.0);
+}
+
+TEST(Poly2Test, EvalAndSum) {
+  Poly2 p(2, 1);
+  p.SetCoeff(0, 0, 0.25);
+  p.SetCoeff(2, 1, 0.75);
+  EXPECT_NEAR(p.SumCoeffs(), 1.0, 1e-12);
+  EXPECT_NEAR(p.Eval(2.0, 3.0), 0.25 + 0.75 * 4.0 * 3.0, 1e-12);
+}
+
+TEST(Poly2Test, AddScaled) {
+  Poly2 a = Poly2::Constant(1, 1, 1.0);
+  Poly2 b = Poly2::Monomial(1, 1, 1, 1, 2.0);
+  a.AddScaled(b, 0.5);
+  EXPECT_EQ(a.Coeff(1, 1), 1.0);
+}
+
+TEST(SparsePolyTest, BasicArithmetic) {
+  SparsePoly a = SparsePoly::Constant(2, 1.0);
+  SparsePoly x = SparsePoly::Monomial(2, {1, 0}, 1.0);
+  SparsePoly y = SparsePoly::Monomial(2, {0, 1}, 1.0);
+  SparsePoly p = (a + x) * (a + y);
+  EXPECT_EQ(p.Coeff({0, 0}), 1.0);
+  EXPECT_EQ(p.Coeff({1, 0}), 1.0);
+  EXPECT_EQ(p.Coeff({0, 1}), 1.0);
+  EXPECT_EQ(p.Coeff({1, 1}), 1.0);
+  EXPECT_EQ(p.NumTerms(), 4u);
+}
+
+TEST(SparsePolyTest, TotalDegreeTruncation) {
+  SparsePoly x = SparsePoly::Monomial(1, {1}, 1.0, /*max_total_degree=*/2);
+  SparsePoly p = x * x * x;
+  EXPECT_EQ(p.NumTerms(), 0u);
+}
+
+TEST(SparsePolyTest, EvalMatchesExpansion) {
+  SparsePoly p(2);
+  p.AddTerm({1, 2}, 3.0);
+  p.AddTerm({0, 0}, 1.0);
+  EXPECT_NEAR(p.Eval({2.0, 3.0}), 1.0 + 3.0 * 2.0 * 9.0, 1e-12);
+}
+
+TEST(SparsePolyTest, PruneDropsSmallTerms) {
+  SparsePoly p(1);
+  p.AddTerm({0}, 1.0);
+  p.AddTerm({1}, 1e-15);
+  p.Prune(1e-12);
+  EXPECT_EQ(p.NumTerms(), 1u);
+}
+
+TEST(SparsePolyTest, AgreesWithPoly2OnRandomProducts) {
+  // SparsePoly is the reference implementation: random products of bivariate
+  // affine factors must match Poly2 exactly (up to FP rounding).
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Poly2 dense = Poly2::Constant(6, 6, 1.0);
+    SparsePoly sparse = SparsePoly::Constant(2, 1.0);
+    for (int f = 0; f < 6; ++f) {
+      double c0 = rng.Uniform01(), cx = rng.Uniform01(), cy = rng.Uniform01();
+      Poly2 df = Poly2::Constant(6, 6, c0);
+      df.AddScaled(Poly2::Monomial(6, 6, 1, 0, 1.0), cx);
+      df.AddScaled(Poly2::Monomial(6, 6, 0, 1, 1.0), cy);
+      dense = dense * df;
+      SparsePoly sf = SparsePoly::Constant(2, c0);
+      sf.AddTerm({1, 0}, cx);
+      sf.AddTerm({0, 1}, cy);
+      sparse = sparse * sf;
+    }
+    for (int i = 0; i <= 6; ++i) {
+      for (int j = 0; j <= 6; ++j) {
+        EXPECT_NEAR(dense.Coeff(i, j),
+                    sparse.Coeff({static_cast<uint32_t>(i),
+                                  static_cast<uint32_t>(j)}),
+                    1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpdb

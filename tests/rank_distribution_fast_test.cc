@@ -1,0 +1,110 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// The fast block-independent rank-distribution algorithm must agree exactly
+// with the generic generating-function engine (which is itself validated
+// against enumeration in rank_distribution_test.cc).
+
+#include "core/rank_distribution_fast.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/jaccard.h"
+#include "model/builders.h"
+#include "workload/generators.h"
+
+namespace cpdb {
+namespace {
+
+class FastRankDistProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastRankDistProperty, AgreesWithGenericEngineOnBid) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 241 + 31);
+  RandomTreeOptions opts;
+  opts.num_keys = 4 + GetParam() % 24;
+  opts.max_alternatives = 1 + GetParam() % 4;
+  auto tree = RandomBid(opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  const int k = 1 + GetParam() % 8;
+
+  RankDistribution generic = ComputeRankDistribution(*tree, k);
+  auto fast = ComputeRankDistributionFast(*tree, k);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+
+  ASSERT_EQ(fast->keys(), generic.keys());
+  ASSERT_EQ(fast->k(), generic.k());
+  for (KeyId key : generic.keys()) {
+    for (int i = 1; i <= k; ++i) {
+      EXPECT_NEAR(fast->PrRankEq(key, i), generic.PrRankEq(key, i), 1e-9)
+          << "key " << key << " rank " << i;
+    }
+    EXPECT_NEAR(fast->PrTopK(key), generic.PrTopK(key), 1e-9);
+  }
+}
+
+TEST_P(FastRankDistProperty, AgreesOnTupleIndependent) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 757 + 3);
+  int n = 3 + GetParam() % 20;
+  auto tree = RandomTupleIndependent(n, &rng);
+  ASSERT_TRUE(tree.ok());
+  const int k = 5;
+  RankDistribution generic = ComputeRankDistribution(*tree, k);
+  auto fast = ComputeRankDistributionFast(*tree, k);
+  ASSERT_TRUE(fast.ok());
+  for (KeyId key : generic.keys()) {
+    for (int i = 1; i <= k; ++i) {
+      EXPECT_NEAR(fast->PrRankEq(key, i), generic.PrRankEq(key, i), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastRankDistProperty, ::testing::Range(0, 20));
+
+TEST(FastRankDistTest, RejectsCorrelatedTrees) {
+  Rng rng(3);
+  RandomTreeOptions opts;
+  opts.num_keys = 4;
+  opts.max_depth = 3;
+  auto tree = RandomAndXorTree(opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  if (IsBlockIndependent(*tree)) GTEST_SKIP() << "degenerate draw";
+  EXPECT_EQ(ComputeRankDistributionFast(*tree, 3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FastRankDistTest, SingleBlockTree) {
+  // Root is the XOR itself (no AND wrapper).
+  std::vector<Block> blocks(1);
+  for (int a = 0; a < 3; ++a) {
+    TupleAlternative alt;
+    alt.key = 7;
+    alt.score = a + 1.0;
+    blocks[0].push_back({alt, 0.25});
+  }
+  auto tree = MakeBlockIndependent(blocks);
+  ASSERT_TRUE(tree.ok());
+  auto fast = ComputeRankDistributionFast(*tree, 2);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_NEAR(fast->PrRankEq(7, 1), 0.75, 1e-12);
+  EXPECT_NEAR(fast->PrRankEq(7, 2), 0.0, 1e-12);
+}
+
+TEST(FastRankDistTest, ZeroProbabilityAlternativesAreHarmless) {
+  std::vector<Block> blocks(2);
+  TupleAlternative a0{0, 5.0, -1}, a1{0, 4.0, -1}, b0{1, 3.0, -1};
+  blocks[0] = {{a0, 0.5}, {a1, 0.0}};
+  blocks[1] = {{b0, 0.8}};
+  auto tree = MakeBlockIndependent(blocks);
+  ASSERT_TRUE(tree.ok());
+  auto fast = ComputeRankDistributionFast(*tree, 2);
+  ASSERT_TRUE(fast.ok());
+  RankDistribution generic = ComputeRankDistribution(*tree, 2);
+  for (KeyId key : generic.keys()) {
+    for (int i = 1; i <= 2; ++i) {
+      EXPECT_NEAR(fast->PrRankEq(key, i), generic.PrRankEq(key, i), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpdb

@@ -1,0 +1,189 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Section 5.5: Kendall tau over Top-k answers — exact pairwise statistics,
+// the evaluator's agreement with enumeration, and the constant-factor
+// behavior of the pivot / footrule aggregation heuristics.
+
+#include "core/topk_kendall.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/evaluation.h"
+#include "core/topk_footrule.h"
+#include "model/possible_worlds.h"
+#include "workload/generators.h"
+
+namespace cpdb {
+namespace {
+
+constexpr int kK = 2;
+
+class TopKKendallProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKKendallProperty, PairwiseStatisticMatchesEnumeration) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 151 + 13);
+  RandomTreeOptions opts;
+  opts.num_keys = 4;
+  opts.max_depth = 3;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  auto worlds = EnumerateWorlds(*tree);
+  ASSERT_TRUE(worlds.ok());
+
+  std::vector<KeyId> keys = tree->Keys();
+  for (KeyId u : keys) {
+    for (KeyId t : keys) {
+      if (u == t) continue;
+      double expected = 0.0;
+      for (const World& w : *worlds) {
+        std::vector<TupleAlternative> tuples = WorldTuples(*tree, w.leaf_ids);
+        int rank_u = -1, rank_t = -1;
+        for (size_t pos = 0; pos < tuples.size(); ++pos) {
+          if (tuples[pos].key == u) rank_u = static_cast<int>(pos) + 1;
+          if (tuples[pos].key == t) rank_t = static_cast<int>(pos) + 1;
+        }
+        bool u_in_topk = rank_u > 0 && rank_u <= kK;
+        bool u_before_t = rank_u > 0 && (rank_t < 0 || rank_u < rank_t);
+        if (u_in_topk && u_before_t) expected += w.prob;
+      }
+      EXPECT_NEAR(PrInTopKAndBefore(*tree, u, t, kK), expected, 1e-9)
+          << "u=" << u << " t=" << t;
+    }
+  }
+}
+
+TEST_P(TopKKendallProperty, EvaluatorMatchesEnumeration) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 157 + 17);
+  RandomTreeOptions opts;
+  opts.num_keys = 4;
+  opts.max_depth = 3;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  KendallEvaluator evaluator(*tree, kK);
+
+  std::vector<KeyId> keys = tree->Keys();
+  for (int trial = 0; trial < 4; ++trial) {
+    rng.Shuffle(&keys);
+    std::vector<KeyId> answer(keys.begin(),
+                              keys.begin() + std::min<size_t>(keys.size(), kK));
+    auto expected =
+        EnumExpectedTopKDistance(*tree, answer, kK, TopKMetric::kKendall);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_NEAR(evaluator.Expected(answer), *expected, 1e-9);
+  }
+}
+
+TEST_P(TopKKendallProperty, HeuristicsWithinFactorTwoOfExact) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 163 + 19);
+  RandomTreeOptions opts;
+  opts.num_keys = 5;
+  opts.max_depth = 2;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  RankDistribution dist = ComputeRankDistribution(*tree, kK);
+  if (static_cast<int>(dist.keys().size()) < kK) GTEST_SKIP();
+  KendallEvaluator evaluator(*tree, kK);
+
+  auto exact = MeanTopKKendallExact(evaluator, dist);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+
+  auto footrule = MeanTopKKendallViaFootrule(evaluator, dist);
+  ASSERT_TRUE(footrule.ok());
+  EXPECT_GE(footrule->expected_distance, exact->expected_distance - 1e-9);
+  if (exact->expected_distance > 1e-6) {
+    EXPECT_LE(footrule->expected_distance,
+              2.0 * exact->expected_distance + 1e-6)
+        << "footrule aggregation exceeded its 2-approximation bound";
+  }
+
+  auto order_probs = PairwiseOrderProbabilities(*tree, evaluator.keys());
+  auto pivot = MeanTopKKendallPivot(evaluator, order_probs, &rng);
+  ASSERT_TRUE(pivot.ok());
+  EXPECT_GE(pivot->expected_distance, exact->expected_distance - 1e-9);
+}
+
+TEST_P(TopKKendallProperty, SubsetDpMatchesBruteForceExact) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 179 + 23);
+  RandomTreeOptions opts;
+  opts.num_keys = 5;
+  opts.max_depth = 2;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  RankDistribution dist = ComputeRankDistribution(*tree, kK);
+  KendallEvaluator evaluator(*tree, kK);
+
+  auto brute = MeanTopKKendallExact(evaluator, dist);
+  auto dp = MeanTopKKendallExactDp(evaluator, dist);
+  if (!brute.ok()) {
+    // Too many candidates for the factorial search; the DP must still work.
+    ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+    return;
+  }
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  EXPECT_NEAR(dp->expected_distance, brute->expected_distance, 1e-9)
+      << "subset DP disagrees with factorial brute force";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKKendallProperty, ::testing::Range(0, 12));
+
+TEST(TopKKendallTest, SubsetDpScalesBeyondBruteForce) {
+  Rng rng(7);
+  RandomTreeOptions opts;
+  opts.num_keys = 14;
+  opts.max_alternatives = 2;
+  auto tree = RandomBid(opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  const int k = 4;
+  RankDistribution dist = ComputeRankDistribution(*tree, k);
+  KendallEvaluator evaluator(*tree, k);
+  // 14 candidates: the factorial search refuses, the DP succeeds, and the
+  // heuristics may not beat it.
+  EXPECT_FALSE(MeanTopKKendallExact(evaluator, dist).ok());
+  auto dp = MeanTopKKendallExactDp(evaluator, dist);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  auto footrule = MeanTopKKendallViaFootrule(evaluator, dist);
+  ASSERT_TRUE(footrule.ok());
+  EXPECT_LE(dp->expected_distance, footrule->expected_distance + 1e-9);
+}
+
+TEST(TopKKendallTest, ExactRefusesLargeCandidateSets) {
+  Rng rng(3);
+  auto tree = RandomTupleIndependent(12, &rng);
+  ASSERT_TRUE(tree.ok());
+  RankDistribution dist = ComputeRankDistribution(*tree, 2);
+  KendallEvaluator evaluator(*tree, 2);
+  EXPECT_EQ(MeanTopKKendallExact(evaluator, dist, /*max_candidates=*/5)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(TopKKendallTest, CertainDatabaseExactIsTrueTopK) {
+  std::vector<IndependentTuple> tuples;
+  for (int i = 0; i < 5; ++i) {
+    IndependentTuple t;
+    t.alt.key = i;
+    t.alt.score = 50.0 - i;
+    t.prob = 1.0;
+    tuples.push_back(t);
+  }
+  auto tree_or = MakeTupleIndependent(tuples);
+  ASSERT_TRUE(tree_or.ok());
+  KendallEvaluator evaluator(*tree_or, 3);
+  RankDistribution dist = ComputeRankDistribution(*tree_or, 3);
+  auto exact = MeanTopKKendallExact(evaluator, dist);
+  ASSERT_TRUE(exact.ok());
+  std::vector<KeyId> truth = {0, 1, 2};
+  EXPECT_EQ(exact->keys, truth);
+  EXPECT_NEAR(exact->expected_distance, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cpdb

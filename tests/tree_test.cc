@@ -1,0 +1,245 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "model/and_xor_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/builders.h"
+#include "model/possible_worlds.h"
+#include "workload/generators.h"
+
+namespace cpdb {
+namespace {
+
+TupleAlternative Alt(KeyId key, double score, int32_t label = -1) {
+  TupleAlternative a;
+  a.key = key;
+  a.score = score;
+  a.label = label;
+  return a;
+}
+
+// The example of Figure 1(i): four independent tuples with two alternatives
+// each.
+AndXorTree Figure1iTree() {
+  AndXorTree tree;
+  NodeId x1 = tree.AddXor({tree.AddLeaf(Alt(1, 8)), tree.AddLeaf(Alt(1, 2))},
+                          {0.1, 0.5});
+  NodeId x2 = tree.AddXor({tree.AddLeaf(Alt(2, 3)), tree.AddLeaf(Alt(2, 4))},
+                          {0.4, 0.4});
+  NodeId x3 = tree.AddXor({tree.AddLeaf(Alt(3, 1)), tree.AddLeaf(Alt(3, 9))},
+                          {0.2, 0.8});
+  NodeId x4 = tree.AddXor({tree.AddLeaf(Alt(4, 6)), tree.AddLeaf(Alt(4, 5))},
+                          {0.5, 0.5});
+  tree.SetRoot(tree.AddAnd({x1, x2, x3, x4}));
+  EXPECT_TRUE(tree.Validate().ok());
+  return tree;
+}
+
+TEST(AndXorTreeTest, ValidatesFigure1Example) {
+  AndXorTree tree = Figure1iTree();
+  EXPECT_EQ(tree.NumLeaves(), 8);
+  EXPECT_EQ(tree.Keys().size(), 4u);
+}
+
+TEST(AndXorTreeTest, RejectsMissingRoot) {
+  AndXorTree tree;
+  tree.AddLeaf(Alt(1, 1));
+  EXPECT_EQ(tree.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AndXorTreeTest, RejectsNegativeEdgeProbability) {
+  AndXorTree tree;
+  NodeId l = tree.AddLeaf(Alt(1, 1));
+  tree.SetRoot(tree.AddXor({l}, {-0.2}));
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(AndXorTreeTest, RejectsProbabilityMassAboveOne) {
+  AndXorTree tree;
+  NodeId a = tree.AddLeaf(Alt(1, 1));
+  NodeId b = tree.AddLeaf(Alt(1, 2));
+  tree.SetRoot(tree.AddXor({a, b}, {0.7, 0.7}));
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(AndXorTreeTest, RejectsMismatchedProbabilityCount) {
+  AndXorTree tree;
+  NodeId a = tree.AddLeaf(Alt(1, 1));
+  NodeId b = tree.AddLeaf(Alt(2, 2));
+  tree.SetRoot(tree.AddXor({a, b}, {0.5}));
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(AndXorTreeTest, RejectsSharedChild) {
+  AndXorTree tree;
+  NodeId l = tree.AddLeaf(Alt(1, 1));
+  NodeId x1 = tree.AddXor({l}, {0.5});
+  NodeId x2 = tree.AddXor({l}, {0.5});  // same leaf under two parents
+  tree.SetRoot(tree.AddAnd({x1, x2}));
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(AndXorTreeTest, RejectsEmptyInnerNode) {
+  AndXorTree tree;
+  tree.SetRoot(tree.AddAnd({}));
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(AndXorTreeTest, RejectsKeyConstraintViolation) {
+  // Two alternatives of key 1 under an AND node: their LCA is not a XOR.
+  AndXorTree tree;
+  NodeId a = tree.AddLeaf(Alt(1, 1));
+  NodeId b = tree.AddLeaf(Alt(1, 2));
+  tree.SetRoot(tree.AddAnd({a, b}));
+  Status st = tree.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("key constraint"), std::string::npos);
+}
+
+TEST(AndXorTreeTest, AcceptsSameKeyUnderXor) {
+  AndXorTree tree;
+  NodeId a = tree.AddLeaf(Alt(1, 1));
+  NodeId b = tree.AddLeaf(Alt(1, 2));
+  tree.SetRoot(tree.AddXor({a, b}, {0.4, 0.4}));
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(AndXorTreeTest, AcceptsSameKeyAcrossXorBranchesOfAndSubtrees) {
+  // Key 1 appears in both children of a XOR whose children are AND nodes;
+  // the LCA is the XOR, which is legal.
+  AndXorTree tree;
+  NodeId a1 = tree.AddLeaf(Alt(1, 1));
+  NodeId a2 = tree.AddLeaf(Alt(2, 2));
+  NodeId b1 = tree.AddLeaf(Alt(1, 3));
+  NodeId b2 = tree.AddLeaf(Alt(2, 4));
+  NodeId and_a = tree.AddAnd({a1, a2});
+  NodeId and_b = tree.AddAnd({b1, b2});
+  tree.SetRoot(tree.AddXor({and_a, and_b}, {0.3, 0.3}));
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(AndXorTreeTest, LeafMarginalsMultiplyAlongPath) {
+  AndXorTree tree;
+  NodeId leaf = tree.AddLeaf(Alt(1, 1));
+  NodeId inner = tree.AddXor({leaf}, {0.5});
+  NodeId outer = tree.AddXor({inner}, {0.4});
+  tree.SetRoot(outer);
+  ASSERT_TRUE(tree.Validate().ok());
+  std::vector<double> m = tree.LeafMarginals();
+  EXPECT_NEAR(m[static_cast<size_t>(leaf)], 0.2, 1e-12);
+  EXPECT_NEAR(tree.KeyMarginal(1), 0.2, 1e-12);
+}
+
+TEST(AndXorTreeTest, KeyMarginalSumsAlternatives) {
+  AndXorTree tree = Figure1iTree();
+  EXPECT_NEAR(tree.KeyMarginal(1), 0.6, 1e-12);
+  EXPECT_NEAR(tree.KeyMarginal(2), 0.8, 1e-12);
+  EXPECT_NEAR(tree.KeyMarginal(3), 1.0, 1e-12);
+}
+
+TEST(AndXorTreeTest, PairPresenceIndependentTuples) {
+  AndXorTree tree = Figure1iTree();
+  // Alternatives of independent tuples: joint = product of marginals.
+  std::vector<NodeId> leaves = tree.LeafIds();
+  std::vector<double> m = tree.LeafMarginals();
+  // leaf 0 is (1, 8) with marginal 0.1; leaf 2 is (2, 3) with marginal 0.4.
+  EXPECT_NEAR(tree.PairPresenceProbability(leaves[0], leaves[2]),
+              m[static_cast<size_t>(leaves[0])] * m[static_cast<size_t>(leaves[2])],
+              1e-12);
+}
+
+TEST(AndXorTreeTest, PairPresenceMutuallyExclusiveIsZero) {
+  AndXorTree tree = Figure1iTree();
+  std::vector<NodeId> leaves = tree.LeafIds();
+  // Two alternatives of tuple 1 can never coexist.
+  EXPECT_EQ(tree.PairPresenceProbability(leaves[0], leaves[1]), 0.0);
+}
+
+TEST(AndXorTreeTest, PairPresenceSelfIsMarginal) {
+  AndXorTree tree = Figure1iTree();
+  std::vector<NodeId> leaves = tree.LeafIds();
+  EXPECT_NEAR(tree.PairPresenceProbability(leaves[0], leaves[0]), 0.1, 1e-12);
+}
+
+// Property test: pairwise presence probabilities match exhaustive
+// enumeration on random and/xor trees.
+class PairPresenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PairPresenceProperty, MatchesEnumeration) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  RandomTreeOptions opts;
+  opts.num_keys = 5;
+  opts.max_depth = 3;
+  opts.max_alternatives = 2;
+  auto tree_or = RandomAndXorTree(opts, &rng);
+  ASSERT_TRUE(tree_or.ok());
+  const AndXorTree& tree = *tree_or;
+  auto worlds_or = EnumerateWorlds(tree);
+  ASSERT_TRUE(worlds_or.ok());
+  const std::vector<World>& worlds = *worlds_or;
+
+  const std::vector<NodeId>& leaves = tree.LeafIds();
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    for (size_t j = i; j < leaves.size(); ++j) {
+      double expected = 0.0;
+      for (const World& w : worlds) {
+        bool has_i = std::binary_search(w.leaf_ids.begin(), w.leaf_ids.end(),
+                                        leaves[i]);
+        bool has_j = std::binary_search(w.leaf_ids.begin(), w.leaf_ids.end(),
+                                        leaves[j]);
+        if (has_i && has_j) expected += w.prob;
+      }
+      EXPECT_NEAR(tree.PairPresenceProbability(leaves[i], leaves[j]), expected,
+                  1e-9)
+          << "leaves " << leaves[i] << ", " << leaves[j];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairPresenceProperty,
+                         ::testing::Range(0, 12));
+
+TEST(BuildersTest, TupleIndependentShape) {
+  std::vector<IndependentTuple> tuples;
+  for (int i = 0; i < 3; ++i) {
+    IndependentTuple t;
+    t.alt = Alt(i, i + 1.0);
+    t.prob = 0.5;
+    tuples.push_back(t);
+  }
+  auto tree = MakeTupleIndependent(tuples);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NumLeaves(), 3);
+  EXPECT_NEAR(tree->KeyMarginal(0), 0.5, 1e-12);
+}
+
+TEST(BuildersTest, EmptyInputRejected) {
+  EXPECT_FALSE(MakeTupleIndependent({}).ok());
+  EXPECT_FALSE(MakeBlockIndependent({}).ok());
+  EXPECT_FALSE(MakeBlockIndependent({Block{}}).ok());
+}
+
+TEST(BuildersTest, AttributeUncertainTable) {
+  auto tree = MakeAttributeUncertain({{0.5, 0.3}, {0.0, 0.9}});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Keys().size(), 2u);
+  EXPECT_NEAR(tree->KeyMarginal(0), 0.8, 1e-12);
+  EXPECT_NEAR(tree->KeyMarginal(1), 0.9, 1e-12);
+}
+
+TEST(BuildersTest, AttributeUncertainRejectsEmptyRow) {
+  EXPECT_FALSE(MakeAttributeUncertain({{0.0, 0.0}}).ok());
+}
+
+TEST(AndXorTreeTest, ToStringMentionsStructure) {
+  AndXorTree tree = Figure1iTree();
+  std::string s = tree.ToString();
+  EXPECT_NE(s.find("and"), std::string::npos);
+  EXPECT_NE(s.find("xor"), std::string::npos);
+  EXPECT_NE(s.find("leaf key=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpdb

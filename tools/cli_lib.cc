@@ -1,0 +1,345 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "tools/cli_lib.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "core/aggregates.h"
+#include "core/jaccard.h"
+#include "core/rank_distribution.h"
+#include "core/rank_distribution_fast.h"
+#include "core/set_consensus.h"
+#include "core/topk_footrule.h"
+#include "core/topk_intersection.h"
+#include "core/topk_kendall.h"
+#include "core/topk_symdiff.h"
+#include "io/table_io.h"
+#include "io/tree_text.h"
+#include "model/builders.h"
+#include "model/possible_worlds.h"
+
+namespace cpdb {
+
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string input_path;
+  std::string format = "tree";  // tree | bid
+  std::string metric = "symdiff";
+  std::string answer = "mean";  // mean | median
+  int k = 5;
+  int count = 5;
+  size_t max_worlds = 4096;
+  uint64_t seed = 1;
+};
+
+// Parses "--name=value" flags; positional arguments fill command then input.
+Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
+  CliOptions opts;
+  std::vector<std::string> positional;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {
+      positional.push_back(a);
+      continue;
+    }
+    size_t eq = a.find('=');
+    std::string name = a.substr(2, eq == std::string::npos ? a.npos : eq - 2);
+    std::string value = eq == std::string::npos ? "" : a.substr(eq + 1);
+    if (name == "format") {
+      opts.format = value;
+    } else if (name == "metric") {
+      opts.metric = value;
+    } else if (name == "answer") {
+      opts.answer = value;
+    } else if (name == "k") {
+      opts.k = std::atoi(value.c_str());
+    } else if (name == "count") {
+      opts.count = std::atoi(value.c_str());
+    } else if (name == "max-worlds") {
+      opts.max_worlds = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (name == "seed") {
+      opts.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+  }
+  if (positional.empty()) {
+    return Status::InvalidArgument("missing command");
+  }
+  opts.command = positional[0];
+  if (positional.size() > 1) opts.input_path = positional[1];
+  if (positional.size() > 2) {
+    return Status::InvalidArgument("unexpected argument: " + positional[2]);
+  }
+  return opts;
+}
+
+Result<AndXorTree> LoadTree(const CliOptions& opts) {
+  if (opts.input_path.empty()) {
+    return Status::InvalidArgument("missing input file");
+  }
+  CPDB_ASSIGN_OR_RETURN(std::string content,
+                        ReadFileToString(opts.input_path));
+  if (opts.format == "tree") {
+    return ParseTree(content);
+  }
+  if (opts.format == "bid") {
+    CPDB_ASSIGN_OR_RETURN(std::vector<Block> blocks, ParseBidTable(content));
+    return MakeBlockIndependent(blocks);
+  }
+  return Status::InvalidArgument("unknown --format=" + opts.format +
+                                 " (expected tree or bid)");
+}
+
+void PrintWorld(const AndXorTree& tree, const std::vector<NodeId>& leaf_ids,
+                std::FILE* out) {
+  std::fprintf(out, "{");
+  bool first = true;
+  for (const TupleAlternative& t : WorldTuples(tree, leaf_ids)) {
+    std::fprintf(out, "%s(%d:%g)", first ? "" : " ", t.key, t.score);
+    first = false;
+  }
+  std::fprintf(out, "}");
+}
+
+int CmdValidate(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "INVALID: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "OK: %d leaves, %zu keys, %d nodes\n", tree->NumLeaves(),
+               tree->Keys().size(), tree->NumNodes());
+  return 0;
+}
+
+int CmdMarginals(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "key presence_probability\n");
+  for (KeyId key : tree->Keys()) {
+    std::fprintf(out, "%d %.6f\n", key, tree->KeyMarginal(key));
+  }
+  return 0;
+}
+
+int CmdWorlds(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  auto worlds = EnumerateWorlds(*tree, opts.max_worlds);
+  if (!worlds.ok()) {
+    std::fprintf(err, "%s\n", worlds.status().ToString().c_str());
+    return 1;
+  }
+  std::sort(worlds->begin(), worlds->end(),
+            [](const World& a, const World& b) { return a.prob > b.prob; });
+  for (const World& w : *worlds) {
+    std::fprintf(out, "%.6f ", w.prob);
+    PrintWorld(*tree, w.leaf_ids, out);
+    std::fprintf(out, "\n");
+  }
+  return 0;
+}
+
+int CmdSample(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(opts.seed);
+  for (int i = 0; i < opts.count; ++i) {
+    PrintWorld(*tree, SampleWorld(*tree, &rng), out);
+    std::fprintf(out, "\n");
+  }
+  return 0;
+}
+
+int CmdConsensusWorld(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<NodeId> world;
+  double expected = 0.0;
+  if (opts.metric == "symdiff") {
+    world = opts.answer == "median" ? MedianWorldSymDiff(*tree)
+                                    : MeanWorldSymDiff(*tree);
+    expected = ExpectedSymDiffDistance(*tree, world);
+  } else if (opts.metric == "jaccard") {
+    Result<std::vector<NodeId>> result =
+        opts.answer == "median" && IsBlockIndependent(*tree) &&
+                !IsTupleIndependent(*tree)
+            ? MedianWorldJaccardBid(*tree)
+            : MeanWorldJaccard(*tree);
+    if (!result.ok()) {
+      std::fprintf(err, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    world = *result;
+    expected = ExpectedJaccardDistance(*tree, world);
+  } else {
+    std::fprintf(err, "unknown --metric=%s (expected symdiff or jaccard)\n",
+                 opts.metric.c_str());
+    return 1;
+  }
+  std::fprintf(out, "%s world under %s, E[distance] = %.6f:\n",
+               opts.answer.c_str(), opts.metric.c_str(), expected);
+  PrintWorld(*tree, world, out);
+  std::fprintf(out, "\n");
+  return 0;
+}
+
+int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  if (opts.k < 1) {
+    std::fprintf(err, "--k must be >= 1\n");
+    return 1;
+  }
+  RankDistribution dist =
+      IsBlockIndependent(*tree)
+          ? *ComputeRankDistributionFast(*tree, opts.k)
+          : ComputeRankDistribution(*tree, opts.k);
+
+  Result<TopKResult> result = Status::Internal("unset");
+  if (opts.metric == "symdiff") {
+    if (opts.answer == "median") {
+      result = MedianTopKSymDiff(*tree, dist);
+    } else if (opts.answer == "any-size") {
+      result = MeanTopKSymDiffUnrestricted(dist);
+    } else {
+      result = MeanTopKSymDiff(dist);
+    }
+  } else if (opts.metric == "intersection") {
+    result = opts.answer == "approx"
+                 ? Result<TopKResult>(MeanTopKIntersectionApprox(dist))
+                 : MeanTopKIntersectionExact(dist);
+  } else if (opts.metric == "footrule") {
+    result = MeanTopKFootrule(dist);
+  } else if (opts.metric == "kendall") {
+    KendallEvaluator evaluator(*tree, opts.k);
+    result = MeanTopKKendallViaFootrule(evaluator, dist);
+  } else {
+    std::fprintf(err,
+                 "unknown --metric=%s (expected symdiff, intersection, "
+                 "footrule or kendall)\n",
+                 opts.metric.c_str());
+    return 1;
+  }
+  if (!result.ok()) {
+    std::fprintf(err, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "top-%d (%s, %s): [", opts.k, opts.metric.c_str(),
+               opts.answer.c_str());
+  for (KeyId key : result->keys) std::fprintf(out, " %d", key);
+  std::fprintf(out, " ]  E[distance] = %.6f\n", result->expected_distance);
+  return 0;
+}
+
+int CmdAggregate(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  // Build the group-by matrix from the tree's (key, label) marginals.
+  std::vector<double> marginal = tree->LeafMarginals();
+  std::map<KeyId, std::map<int32_t, double>> rows;
+  int32_t max_label = -1;
+  for (NodeId l : tree->LeafIds()) {
+    const TupleAlternative& alt = tree->node(l).leaf;
+    if (alt.label < 0) {
+      std::fprintf(err,
+                   "aggregate requires a label on every alternative "
+                   "(key %d has none)\n",
+                   alt.key);
+      return 1;
+    }
+    rows[alt.key][alt.label] += marginal[static_cast<size_t>(l)];
+    max_label = std::max(max_label, alt.label);
+  }
+  GroupByInstance instance;
+  for (const auto& [key, labels] : rows) {
+    std::vector<double> row(static_cast<size_t>(max_label) + 1, 0.0);
+    for (const auto& [label, p] : labels) row[static_cast<size_t>(label)] = p;
+    instance.probs.push_back(std::move(row));
+  }
+  std::vector<double> mean = MeanAggregate(instance);
+  auto median = ClosestPossibleAggregate(instance);
+  if (!median.ok()) {
+    std::fprintf(err, "%s\n", median.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "group mean_count median_count\n");
+  for (size_t j = 0; j < mean.size(); ++j) {
+    std::fprintf(out, "%zu %.6f %lld\n", j, mean[j],
+                 static_cast<long long>((*median)[j]));
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return
+      "usage: cpdb_cli <command> <input-file> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  validate         check the input against the model constraints\n"
+      "  marginals        per-key presence probabilities\n"
+      "  worlds           enumerate possible worlds (most likely first)\n"
+      "  sample           draw random worlds (--count, --seed)\n"
+      "  consensus-world  --metric=symdiff|jaccard --answer=mean|median\n"
+      "  topk             --k=K --metric=symdiff|intersection|footrule|kendall\n"
+      "                   --answer=mean|median|approx|any-size\n"
+      "  aggregate        consensus group-by COUNT over the label attribute\n"
+      "  help             print this message\n"
+      "\n"
+      "flags:\n"
+      "  --format=tree|bid   input format (default tree: s-expression;\n"
+      "                      bid: 'key prob score [label]' lines)\n"
+      "  --max-worlds=N      enumeration guard for `worlds` (default 4096)\n";
+}
+
+int RunCli(const std::vector<std::string>& args, std::FILE* out,
+           std::FILE* err) {
+  auto opts = ParseArgs(args);
+  if (!opts.ok()) {
+    std::fprintf(err, "%s\n%s", opts.status().ToString().c_str(),
+                 CliUsage().c_str());
+    return 2;
+  }
+  const std::string& cmd = opts->command;
+  if (cmd == "help") {
+    std::fprintf(out, "%s", CliUsage().c_str());
+    return 0;
+  }
+  if (cmd == "validate") return CmdValidate(*opts, out, err);
+  if (cmd == "marginals") return CmdMarginals(*opts, out, err);
+  if (cmd == "worlds") return CmdWorlds(*opts, out, err);
+  if (cmd == "sample") return CmdSample(*opts, out, err);
+  if (cmd == "consensus-world") return CmdConsensusWorld(*opts, out, err);
+  if (cmd == "topk") return CmdTopK(*opts, out, err);
+  if (cmd == "aggregate") return CmdAggregate(*opts, out, err);
+  std::fprintf(err, "unknown command '%s'\n%s", cmd.c_str(),
+               CliUsage().c_str());
+  return 2;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,37 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// The consensusdb command-line tool, as a library so tests can drive it
+// in-process. Supported commands (see Usage() for the full synopsis):
+//
+//   validate         check a tree / BID file against the model constraints
+//   marginals        per-key presence probabilities
+//   worlds           enumerate possible worlds with probabilities
+//   sample           draw random worlds
+//   consensus-world  mean/median world under symmetric difference / Jaccard
+//   topk             consensus Top-k answers under the Section 5 metrics
+//   aggregate        mean + median group-by COUNT vectors (BID label input)
+//
+// Input files are either and/xor trees in the s-expression format
+// (io/tree_text.h) or BID tables (io/table_io.h) selected with --format.
+
+#ifndef CPDB_TOOLS_CLI_LIB_H_
+#define CPDB_TOOLS_CLI_LIB_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cpdb {
+
+/// \brief Runs the CLI with the given arguments (argv[0] is the program
+/// name). Output goes to `out`, diagnostics to `err`. Returns the process
+/// exit code (0 on success).
+int RunCli(const std::vector<std::string>& args, std::FILE* out,
+           std::FILE* err);
+
+/// \brief The usage text printed for `help` and argument errors.
+std::string CliUsage();
+
+}  // namespace cpdb
+
+#endif  // CPDB_TOOLS_CLI_LIB_H_

@@ -1,0 +1,11 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Entry point for the consensusdb command line tool; all logic lives in
+// cli_lib so the test suite can exercise it in-process.
+
+#include "tools/cli_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  return cpdb::RunCli(args, stdout, stderr);
+}
