@@ -1,0 +1,124 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace cpdb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) {
+    num_threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  num_threads = std::min(num_threads, kMaxThreads);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers: run inline so submitted work cannot be stranded.
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Shared loop state: workers and the caller claim indices from `next`
+  // until exhausted; `pending` counts helper tasks still running so the
+  // caller knows when every claimed index has completed.
+  struct LoopState {
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int pending = 0;
+  };
+  auto state = std::make_shared<LoopState>();
+  auto run = [state, n, &body] {
+    for (int64_t i = state->next.fetch_add(1); i < n;
+         i = state->next.fetch_add(1)) {
+      body(i);
+    }
+  };
+
+  int helpers = static_cast<int>(
+      std::min<int64_t>(static_cast<int64_t>(workers_.size()), n - 1));
+  state->pending = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    Submit([state, run] {
+      run();
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (--state->pending == 0) state->done_cv.notify_one();
+    });
+  }
+  run();  // the calling thread participates
+  // While helpers are outstanding, the caller executes queued tasks instead
+  // of blocking: a helper of this loop (or of a nested one) may still sit in
+  // the queue behind us, and sleeping on it would deadlock.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (state->pending == 0) return;
+    }
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (task) {
+      task();
+    } else {
+      // Queue empty: the remaining helpers are running on other threads.
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->done_cv.wait(lock, [&] { return state->pending == 0; });
+      return;
+    }
+  }
+}
+
+}  // namespace cpdb

@@ -1,0 +1,52 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Welford's online mean/variance accumulator, shared by the sequential
+// Monte-Carlo estimators (core/monte_carlo.cc) and the engine's chunked
+// parallel estimation (engine/engine.cc) so the uncertainty math lives in
+// exactly one place.
+
+#ifndef CPDB_COMMON_WELFORD_H_
+#define CPDB_COMMON_WELFORD_H_
+
+#include <cstdint>
+
+namespace cpdb {
+
+/// \brief Numerically stable running mean and sum of squared deviations.
+///
+/// Add() is Welford's update; Merge() is Chan's exact pairwise combination,
+/// which lets independently accumulated chunks be folded together in a
+/// fixed order — the basis of the engine's schedule-deterministic parallel
+/// estimates. Variance of the mean is m2 / ((n - 1) n); see
+/// McEstimate-producing callers for the std-error conversion.
+struct Welford {
+  int64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void Add(double x) {
+    ++n;
+    double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+  }
+
+  void Merge(const Welford& other) {
+    if (other.n == 0) return;
+    if (n == 0) {
+      *this = other;
+      return;
+    }
+    double delta = other.mean - mean;
+    int64_t total = n + other.n;
+    mean += delta * static_cast<double>(other.n) / static_cast<double>(total);
+    m2 += other.m2 + delta * delta * static_cast<double>(n) *
+                         static_cast<double>(other.n) /
+                         static_cast<double>(total);
+    n = total;
+  }
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_COMMON_WELFORD_H_

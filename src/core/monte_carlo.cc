@@ -10,34 +10,16 @@
 
 namespace cpdb {
 
-namespace {
-
-// Welford accumulator.
-struct Welford {
-  int n = 0;
-  double mean = 0.0;
-  double m2 = 0.0;
-
-  void Add(double x) {
-    ++n;
-    double delta = x - mean;
-    mean += delta / n;
-    m2 += delta * (x - mean);
+McEstimate FinishEstimate(const Welford& acc) {
+  McEstimate e;
+  e.mean = acc.mean;
+  e.samples = static_cast<int>(acc.n);
+  if (acc.n > 1) {
+    double variance = acc.m2 / static_cast<double>(acc.n - 1);
+    e.std_error = std::sqrt(variance / static_cast<double>(acc.n));
   }
-
-  McEstimate Finish() const {
-    McEstimate e;
-    e.mean = mean;
-    e.samples = n;
-    if (n > 1) {
-      double variance = m2 / (n - 1);
-      e.std_error = std::sqrt(variance / n);
-    }
-    return e;
-  }
-};
-
-}  // namespace
+  return e;
+}
 
 McEstimate EstimateOverWorlds(
     const AndXorTree& tree, int num_samples, Rng* rng,
@@ -46,7 +28,7 @@ McEstimate EstimateOverWorlds(
   for (int s = 0; s < num_samples; ++s) {
     acc.Add(f(SampleWorld(tree, rng)));
   }
-  return acc.Finish();
+  return FinishEstimate(acc);
 }
 
 McEstimate EstimateOverWorldsAdaptive(
@@ -58,10 +40,10 @@ McEstimate EstimateOverWorldsAdaptive(
     for (int s = 0; s < batch && acc.n < max_samples; ++s) {
       acc.Add(f(SampleWorld(tree, rng)));
     }
-    McEstimate current = acc.Finish();
+    McEstimate current = FinishEstimate(acc);
     if (acc.n >= 2 * batch && current.std_error <= target_std_error) break;
   }
-  return acc.Finish();
+  return FinishEstimate(acc);
 }
 
 McEstimate McExpectedTopKDistance(const AndXorTree& tree,

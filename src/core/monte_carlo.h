@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "common/rng.h"
+#include "common/welford.h"
 #include "core/clustering.h"
 #include "core/evaluation.h"
 #include "model/and_xor_tree.h"
@@ -33,6 +34,12 @@ struct McEstimate {
     return value >= mean - z * std_error && value <= mean + z * std_error;
   }
 };
+
+/// \brief Converts an accumulated Welford state into an McEstimate
+/// (std_error = sqrt(m2 / ((n - 1) n)); 0 for fewer than two samples).
+/// The single home of the uncertainty math, shared with the engine's
+/// chunked parallel estimators.
+McEstimate FinishEstimate(const Welford& acc);
 
 /// \brief Estimates E[f(pw)] by sampling worlds; `f` maps a sampled world's
 /// sorted leaf ids to a real value. Uses Welford's online variance.

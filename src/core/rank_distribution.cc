@@ -62,6 +62,29 @@ RankDistribution RankDistributionBuilder::Build() && {
   return std::move(dist_);
 }
 
+std::vector<double> LeafRankContribution(const AndXorTree& tree, NodeId target,
+                                         int k) {
+  // One bivariate generating function per tuple alternative. Truncations:
+  // x (count of higher-ranked tuples) at k-1 is enough for ranks <= k, but
+  // we keep k to read Pr(r = k) from x^{k-1}; y (the alternative itself) at 1.
+  const TupleAlternative& alt = tree.node(target).leaf;
+  auto leaf_poly = [&](NodeId id) {
+    if (id == target) return Poly2::Monomial(k, 1, 0, 1, 1.0);
+    const TupleAlternative& other = tree.node(id).leaf;
+    if (other.key != alt.key && other.score > alt.score) {
+      return Poly2::Monomial(k, 1, 1, 0, 1.0);  // counts toward the rank
+    }
+    return Poly2::Constant(k, 1, 1.0);
+  };
+  auto make_const = [&](double c) { return Poly2::Constant(k, 1, c); };
+  Poly2 f = EvalGeneratingFunction<Poly2>(tree, leaf_poly, make_const);
+  std::vector<double> contribution(static_cast<size_t>(k) + 1, 0.0);
+  for (int i = 1; i <= k; ++i) {
+    contribution[static_cast<size_t>(i)] = f.Coeff(i - 1, 1);
+  }
+  return contribution;
+}
+
 RankDistribution ComputeRankDistribution(const AndXorTree& tree, int k) {
   RankDistribution dist;
   dist.k_ = k;
@@ -72,25 +95,12 @@ RankDistribution ComputeRankDistribution(const AndXorTree& tree, int k) {
   dist.pr_eq_.assign(dist.keys_.size(),
                      std::vector<double>(static_cast<size_t>(k) + 1, 0.0));
 
-  // One bivariate generating function per tuple alternative. Truncations:
-  // x (count of higher-ranked tuples) at k-1 is enough for ranks <= k, but
-  // we keep k to read Pr(r = k) from x^{k-1}; y (the alternative itself) at 1.
   for (NodeId target : tree.LeafIds()) {
-    const TupleAlternative& alt = tree.node(target).leaf;
-    auto leaf_poly = [&](NodeId id) {
-      if (id == target) return Poly2::Monomial(k, 1, 0, 1, 1.0);
-      const TupleAlternative& other = tree.node(id).leaf;
-      if (other.key != alt.key && other.score > alt.score) {
-        return Poly2::Monomial(k, 1, 1, 0, 1.0);  // counts toward the rank
-      }
-      return Poly2::Constant(k, 1, 1.0);
-    };
-    auto make_const = [&](double c) { return Poly2::Constant(k, 1, c); };
-    Poly2 f = EvalGeneratingFunction<Poly2>(tree, leaf_poly, make_const);
-    int key_idx = dist.key_index_[alt.key];
+    std::vector<double> contribution = LeafRankContribution(tree, target, k);
+    int key_idx = dist.key_index_[tree.node(target).leaf.key];
     for (int i = 1; i <= k; ++i) {
       dist.pr_eq_[static_cast<size_t>(key_idx)][static_cast<size_t>(i)] +=
-          f.Coeff(i - 1, 1);
+          contribution[static_cast<size_t>(i)];
     }
   }
 

@@ -18,6 +18,13 @@
 namespace cpdb {
 
 /// \brief Pr(r(t) = i) and Pr(r(t) <= i) for every key and every i in 1..k.
+///
+/// Paper semantics: these positional probabilities are the sufficient
+/// statistics of Section 5 — every consensus Top-k objective (mean answers
+/// under d_Delta, d_I, F^(k+1)) is a linear functional of them, which is
+/// why "compute the rank distribution once, then optimize" is the uniform
+/// algorithmic pattern. Accessors are O(log n) per lookup (key index map)
+/// and O(1) in i.
 class RankDistribution {
  public:
   int k() const { return k_; }
@@ -25,16 +32,21 @@ class RankDistribution {
   /// \brief Keys covered, ascending (all keys of the generating tree).
   const std::vector<KeyId>& keys() const { return keys_; }
 
-  /// \brief Pr(r(key) = i); 0 for i outside [1, k] or unknown keys.
+  /// \brief Pr(r(key) = i): the probability some alternative of `key` is
+  /// present and ranked exactly i-th by score. 0 for i outside [1, k] or
+  /// unknown keys. O(log n) per call.
   double PrRankEq(KeyId key, int i) const;
 
   /// \brief Pr(r(key) <= i) for i in [1, k]; 0 for i < 1; PrTopK for i > k.
+  /// Precomputed prefix sums, so O(log n) per call.
   double PrRankLe(KeyId key, int i) const;
 
-  /// \brief Pr(r(key) <= k): the probability the tuple makes the Top-k.
+  /// \brief Pr(r(key) <= k): the probability the tuple makes the Top-k —
+  /// the Global-Top-k / PT-k statistic of Theorem 3. O(log n) per call.
   double PrTopK(KeyId key) const { return PrRankLe(key, k_); }
 
-  /// \brief Pr(r(key) > k), including the probability the tuple is absent.
+  /// \brief Pr(r(key) > k), including the probability the tuple is absent
+  /// (absent tuples have rank infinity). O(log n) per call.
   double PrBeyondK(KeyId key) const { return 1.0 - PrTopK(key); }
 
  private:
@@ -51,7 +63,8 @@ class RankDistribution {
 
 /// \brief Assembles a RankDistribution from externally computed
 /// Pr(r(key) = i) values (used by the fast block-independent algorithm in
-/// rank_distribution_fast.h).
+/// rank_distribution_fast.h and by the parallel engine's per-leaf merge).
+/// Build() sorts keys and finalizes prefix sums in O(n (log n + k)).
 class RankDistributionBuilder {
  public:
   explicit RankDistributionBuilder(int k) { dist_.k_ = k; }
@@ -70,22 +83,36 @@ class RankDistributionBuilder {
   RankDistribution dist_;
 };
 
+/// \brief The contribution of one leaf to its key's rank distribution:
+/// entry i of the returned vector (size k + 1, entry 0 unused) is
+/// Pr(`target` is present and ranked i-th), i.e. the coefficient of
+/// x^{i-1} y^1 of the leaf's bivariate generating function. Summing over a
+/// key's alternatives yields Pr(r(key) = i). One evaluation costs O(L k)
+/// for L leaves; this is the unit of work the parallel engine distributes.
+std::vector<double> LeafRankContribution(const AndXorTree& tree, NodeId target,
+                                         int k);
+
 /// \brief Computes the rank distribution of every key, truncated at rank k.
 ///
 /// Implementation (Example 3): for each tuple alternative a with score s,
 /// the bivariate generating function with variable x on higher-scoring
 /// leaves of other keys and y on a has Pr(rank via a = i) as the coefficient
 /// of x^{i-1} y; summing over a's alternatives gives the key's distribution.
-/// Cost O(L^2 k) for L leaves.
+/// Cost O(L^2 k) for L leaves (L independent O(L k) leaf evaluations; see
+/// LeafRankContribution, the unit the parallel engine distributes).
 RankDistribution ComputeRankDistribution(const AndXorTree& tree, int k);
 
 /// \brief Pr(r(t_u) < r(t_v)): the probability that key u ranks strictly
 /// ahead of key v (v absent counts as rank infinity, so u present with v
 /// absent qualifies). Used by Kendall-tau aggregation (Section 5.5).
+/// O(A_u L) for A_u alternatives of u over L leaves.
 double PrRanksBefore(const AndXorTree& tree, KeyId u, KeyId v);
 
 /// \brief All pairwise order probabilities among `keys`;
-/// result[i][j] = Pr(r(keys[i]) < r(keys[j])). Diagonal is 0.
+/// result[i][j] = Pr(r(keys[i]) < r(keys[j])). Diagonal is 0. O(n^2)
+/// PrRanksBefore folds — the quadratic precomputation behind every
+/// Kendall consensus answer (Engine::PairwiseOrderProbabilities runs the
+/// pairs in parallel).
 std::vector<std::vector<double>> PairwiseOrderProbabilities(
     const AndXorTree& tree, const std::vector<KeyId>& keys);
 

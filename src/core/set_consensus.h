@@ -18,22 +18,43 @@
 namespace cpdb {
 
 /// \brief E[d_Delta(S, pw)] for a fixed leaf set S: each leaf in S
-/// contributes Pr(absent), each leaf outside contributes Pr(present).
+/// contributes Pr(absent), each leaf outside contributes Pr(present). The
+/// objective both consensus answers below minimize — over all sets for the
+/// mean, over possible worlds for the median.
+///
+/// Complexity: O(L) for L leaves, after the O(N)-node marginal pass.
 double ExpectedSymDiffDistance(const AndXorTree& tree,
                                const std::vector<NodeId>& world);
 
 /// \brief The mean world under symmetric difference (Theorem 2): all leaves
 /// with marginal probability > 1/2, as sorted NodeIds.
+///
+/// Paper semantics: the *mean* answer minimizes E[d_Delta(S, pw)] over
+/// arbitrary leaf sets S — the set analogue of an expected value, and NOT
+/// necessarily a realizable world (contrast MedianWorldSymDiff). It keeps
+/// exactly the tuples more likely present than absent, the set-consensus
+/// analogue of ranking by expected rank rather than by the single most
+/// probable outcome.
+///
+/// Complexity: O(N) for N tree nodes (one marginal pass plus a filter).
 std::vector<NodeId> MeanWorldSymDiff(const AndXorTree& tree);
 
 /// \brief The median world under symmetric difference (Corollary 1): a
 /// possible world (positive probability) minimizing the expected distance.
+///
+/// Paper semantics: the *median* answer constrains the minimizer to the
+/// support of the distribution — a realizable ("most central", not
+/// most-probable) world. By Corollary 1 its objective value coincides with
+/// the unrestricted mean on and/xor trees, but ties at probability exactly
+/// 1/2 can force a different witness set.
 ///
 /// Exact for every and/xor tree via a min-cost DP: minimizing
 /// E[d_Delta(S, pw)] = sum_l Pr(l) + sum_{l in S} (1 - 2 Pr(l)) over possible
 /// worlds S decomposes over the tree (AND sums children minima; XOR takes
 /// the cheapest positive-probability option, including "nothing" when the
 /// leftover mass is positive).
+///
+/// Complexity: O(N) for N tree nodes (one bottom-up DP pass).
 std::vector<NodeId> MedianWorldSymDiff(const AndXorTree& tree);
 
 }  // namespace cpdb

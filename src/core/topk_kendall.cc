@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <limits>
 
@@ -42,18 +44,39 @@ double PrInTopKAndBefore(const AndXorTree& tree, KeyId u, KeyId t, int k) {
 
 KendallEvaluator::KendallEvaluator(const AndXorTree& tree, int k)
     : k_(k), keys_(tree.Keys()) {
-  KeyId max_key = 0;
-  for (KeyId key : keys_) max_key = std::max(max_key, key);
-  index_of_key_.assign(static_cast<size_t>(max_key) + 1, -1);
-  for (size_t i = 0; i < keys_.size(); ++i) {
-    index_of_key_[static_cast<size_t>(keys_[i])] = static_cast<int>(i);
-  }
+  BuildKeyIndex();
   q_.assign(keys_.size(), std::vector<double>(keys_.size(), 0.0));
   for (size_t iu = 0; iu < keys_.size(); ++iu) {
     for (size_t it = 0; it < keys_.size(); ++it) {
       if (iu == it) continue;
       q_[iu][it] = PrInTopKAndBefore(tree, keys_[iu], keys_[it], k_);
     }
+  }
+}
+
+KendallEvaluator::KendallEvaluator(const AndXorTree& tree, int k,
+                                   std::vector<std::vector<double>> q)
+    : k_(k), keys_(tree.Keys()), q_(std::move(q)) {
+  BuildKeyIndex();
+  // A mis-shaped matrix (built over a different key list) must fail fast:
+  // padding it out would silently produce wrong Kendall expectations.
+  bool shape_ok = q_.size() == keys_.size();
+  for (const auto& row : q_) shape_ok = shape_ok && row.size() == keys_.size();
+  if (!shape_ok) {
+    std::fprintf(stderr,
+                 "KendallEvaluator: q matrix shape does not match %zu keys\n",
+                 keys_.size());
+    std::abort();
+  }
+  for (size_t i = 0; i < keys_.size(); ++i) q_[i][i] = 0.0;
+}
+
+void KendallEvaluator::BuildKeyIndex() {
+  KeyId max_key = 0;
+  for (KeyId key : keys_) max_key = std::max(max_key, key);
+  index_of_key_.assign(static_cast<size_t>(max_key) + 1, -1);
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    index_of_key_[static_cast<size_t>(keys_[i])] = static_cast<int>(i);
   }
 }
 

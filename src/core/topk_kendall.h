@@ -42,6 +42,17 @@ class KendallEvaluator {
   /// Precomputation costs O(|keys|^2) generating-function folds.
   KendallEvaluator(const AndXorTree& tree, int k);
 
+  /// \brief Constructs from an externally computed q matrix with
+  /// q[i][j] = q(keys[i], keys[j]) over keys = tree.Keys() (diagonal
+  /// ignored). Lets callers parallelize the quadratic precompute — the
+  /// engine fans one PrInTopKAndBefore fold per ordered pair across its
+  /// thread pool — while this class stays thread-free. Aborts if the
+  /// matrix shape does not match tree.Keys() (a mis-shaped matrix would
+  /// otherwise yield silently wrong expectations). O(|keys|^2) to adopt
+  /// the matrix.
+  KendallEvaluator(const AndXorTree& tree, int k,
+                   std::vector<std::vector<double>> q);
+
   int k() const { return k_; }
   const std::vector<KeyId>& keys() const { return keys_; }
 
@@ -57,6 +68,7 @@ class KendallEvaluator {
   std::vector<KeyId> keys_;
   std::vector<std::vector<double>> q_;  // q_[u_idx][t_idx]
   std::vector<int> index_of_key_;       // dense map; keys are validated ids
+  void BuildKeyIndex();
   int IndexOf(KeyId key) const;
 };
 

@@ -21,22 +21,41 @@
 
 namespace cpdb {
 
-/// \brief (1/2k) |a Δ b| over the key sets.
+/// \brief The normalized symmetric difference d_Delta(a, b) =
+/// (1/2k) |a Δ b| over the key sets (Section 5.2); order within the lists
+/// is ignored, so this is the pure membership distance. Range [0, 1].
+///
+/// Complexity: O((|a| + |b|) log(|a| + |b|)) via ordered-set
+/// membership.
 double TopKSymmetricDifference(const std::vector<KeyId>& a,
                                const std::vector<KeyId>& b, int k);
 
-/// \brief (1/k) sum_{i=1..k} (1/2i) |a^i Δ b^i| where x^i is the length-
-/// min(i,|x|) prefix.
+/// \brief The intersection metric d_I(a, b) =
+/// (1/k) sum_{i=1..k} (1/2i) |a^i Δ b^i| where x^i is the length-min(i,|x|)
+/// prefix (Section 5.3): a prefix-averaged d_Delta, so agreement near the
+/// top of the lists counts more. Range [0, 1].
+///
+/// Complexity: O(k^2 log k) (each of the k prefixes is diffed
+/// independently).
 double TopKIntersectionDistance(const std::vector<KeyId>& a,
                                 const std::vector<KeyId>& b, int k);
 
-/// \brief Footrule with location parameter k+1: every key of a ∪ b
-/// contributes |pos_a - pos_b| with missing keys placed at position k+1.
+/// \brief The Spearman footrule with location parameter k+1, F^(k+1)(a, b)
+/// (Section 5.4): every key of a ∪ b contributes |pos_a - pos_b| with keys
+/// missing from a list placed at position k+1. A true metric on Top-k
+/// lists; range [0, k(k+1)].
+///
+/// Complexity: O((|a| + |b|) log(|a| + |b|)).
 double TopKFootrule(const std::vector<KeyId>& a, const std::vector<KeyId>& b,
                     int k);
 
-/// \brief K^(0): number of unordered pairs {t, u} of a ∪ b whose relative
-/// order differs in all full rankings extending a and b respectively.
+/// \brief The Kendall distance K^(0)(a, b) (Section 5.5): the number of
+/// unordered pairs {t, u} of a ∪ b whose relative order provably differs in
+/// every pair of full rankings extending a and b — the optimistic variant,
+/// so pairs whose order is unconstrained by either list cost nothing.
+/// Range [0, k^2].
+///
+/// Complexity: O(m^2 log m) for m = |a ∪ b| <= 2k pair enumeration.
 double TopKKendall(const std::vector<KeyId>& a, const std::vector<KeyId>& b,
                    int k);
 

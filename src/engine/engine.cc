@@ -1,0 +1,223 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/jaccard.h"
+#include "core/rank_distribution_fast.h"
+#include "core/set_consensus.h"
+#include "core/topk_footrule.h"
+#include "core/topk_intersection.h"
+#include "core/topk_kendall.h"
+#include "core/topk_metrics.h"
+#include "model/possible_worlds.h"
+
+namespace cpdb {
+
+namespace {
+
+// SplitMix64 over (seed, chunk): decorrelates per-chunk Rng streams while
+// staying a pure function of the user seed and the chunk index.
+uint64_t ChunkSeed(uint64_t seed, int64_t chunk) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(chunk) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Engine::Engine(const EngineOptions& options)
+    : options_(options), pool_(options.num_threads) {}
+
+Engine::~Engine() = default;
+
+int Engine::num_threads() const { return pool_.num_threads(); }
+
+RankDistribution Engine::ComputeRankDistribution(const AndXorTree& tree,
+                                                 int k) const {
+  if (options_.use_fast_bid_path && IsBlockIndependent(tree)) {
+    Result<RankDistribution> fast = ComputeRankDistributionFast(tree, k);
+    if (fast.ok()) return std::move(fast).ValueOrDie();
+    // Fall through to the general path on any fast-path failure.
+  }
+
+  const std::vector<NodeId>& leaves = tree.LeafIds();
+  std::vector<std::vector<double>> contributions(leaves.size());
+  pool_.ParallelFor(static_cast<int64_t>(leaves.size()), [&](int64_t i) {
+    contributions[static_cast<size_t>(i)] =
+        LeafRankContribution(tree, leaves[static_cast<size_t>(i)], k);
+  });
+
+  // Merge in DFS leaf order — the exact accumulation order of the
+  // sequential ComputeRankDistribution, hence bitwise-identical sums.
+  RankDistributionBuilder builder(k);
+  for (KeyId key : tree.Keys()) builder.EnsureKey(key);
+  for (size_t l = 0; l < leaves.size(); ++l) {
+    KeyId key = tree.node(leaves[l]).leaf.key;
+    for (int i = 1; i <= k; ++i) {
+      builder.Add(key, i, contributions[l][static_cast<size_t>(i)]);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::vector<std::vector<double>> Engine::PairwiseOrderProbabilities(
+    const AndXorTree& tree, const std::vector<KeyId>& keys) const {
+  size_t n = keys.size();
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  // One unit per ordered pair, each writing its own cell: embarrassingly
+  // parallel and trivially schedule-deterministic.
+  pool_.ParallelFor(static_cast<int64_t>(n * n), [&](int64_t flat) {
+    size_t i = static_cast<size_t>(flat) / n;
+    size_t j = static_cast<size_t>(flat) % n;
+    if (i == j) return;
+    p[i][j] = PrRanksBefore(tree, keys[i], keys[j]);
+  });
+  return p;
+}
+
+namespace {
+
+// Validates a (metric, answer) combination up front, so unsupported pairs
+// fail before the O(L^2 k) rank-distribution precompute is paid.
+Status ValidateTopKRequest(TopKMetric metric, TopKAnswer answer) {
+  switch (metric) {
+    case TopKMetric::kSymDiff:
+      if (answer == TopKAnswer::kMeanApprox) {
+        return Status::NotImplemented(
+            "approx answers exist only for the intersection metric");
+      }
+      return Status::OK();
+    case TopKMetric::kIntersection:
+      if (answer != TopKAnswer::kMean && answer != TopKAnswer::kMeanApprox) {
+        return Status::NotImplemented(
+            "only mean/approx answers are implemented for intersection");
+      }
+      return Status::OK();
+    case TopKMetric::kFootrule:
+      if (answer != TopKAnswer::kMean) {
+        return Status::NotImplemented(
+            "only the mean answer is implemented for footrule");
+      }
+      return Status::OK();
+    case TopKMetric::kKendall:
+      if (answer != TopKAnswer::kMean) {
+        return Status::NotImplemented(
+            "only the mean (via-footrule) answer is implemented for kendall");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown metric");
+}
+
+}  // namespace
+
+Result<TopKResult> Engine::ConsensusTopK(const AndXorTree& tree, int k,
+                                         TopKMetric metric,
+                                         TopKAnswer answer) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  Status valid = ValidateTopKRequest(metric, answer);
+  if (!valid.ok()) return valid;
+  RankDistribution dist = ComputeRankDistribution(tree, k);
+  switch (metric) {
+    case TopKMetric::kSymDiff:
+      switch (answer) {
+        case TopKAnswer::kMean:
+          return MeanTopKSymDiff(dist);
+        case TopKAnswer::kMedian:
+          return MedianTopKSymDiff(tree, dist);
+        case TopKAnswer::kMeanUnrestricted:
+          return MeanTopKSymDiffUnrestricted(dist);
+        case TopKAnswer::kMeanApprox:
+          break;  // rejected by ValidateTopKRequest
+      }
+      break;
+    case TopKMetric::kIntersection:
+      switch (answer) {
+        case TopKAnswer::kMean:
+          return MeanTopKIntersectionExact(dist);
+        case TopKAnswer::kMeanApprox:
+          return MeanTopKIntersectionApprox(dist);
+        case TopKAnswer::kMedian:
+        case TopKAnswer::kMeanUnrestricted:
+          break;  // rejected by ValidateTopKRequest
+      }
+      break;
+    case TopKMetric::kFootrule:
+      return MeanTopKFootrule(dist);
+    case TopKMetric::kKendall: {
+      // The evaluator's O(n^2) q-statistics dominate the query; fan one
+      // generating-function fold per ordered pair across the pool (each
+      // writes its own cell, so the matrix is schedule-deterministic).
+      std::vector<KeyId> keys = tree.Keys();
+      size_t n = keys.size();
+      std::vector<std::vector<double>> q(n, std::vector<double>(n, 0.0));
+      pool_.ParallelFor(static_cast<int64_t>(n * n), [&](int64_t flat) {
+        size_t iu = static_cast<size_t>(flat) / n;
+        size_t it = static_cast<size_t>(flat) % n;
+        if (iu == it) return;
+        q[iu][it] = PrInTopKAndBefore(tree, keys[iu], keys[it], k);
+      });
+      KendallEvaluator evaluator(tree, k, std::move(q));
+      return MeanTopKKendallViaFootrule(evaluator, dist);
+    }
+  }
+  return Status::InvalidArgument("unknown metric or answer kind");
+}
+
+std::vector<NodeId> Engine::MeanWorldSymDiff(const AndXorTree& tree) const {
+  return cpdb::MeanWorldSymDiff(tree);
+}
+
+std::vector<NodeId> Engine::MedianWorldSymDiff(const AndXorTree& tree) const {
+  return cpdb::MedianWorldSymDiff(tree);
+}
+
+McEstimate Engine::EstimateOverWorlds(
+    const AndXorTree& tree, int num_samples, uint64_t seed,
+    const std::function<double(const std::vector<NodeId>&)>& f) const {
+  if (num_samples <= 0) return McEstimate{};
+  int64_t chunk_size = options_.mc_chunk_size < 1 ? 1 : options_.mc_chunk_size;
+  int64_t num_chunks = (num_samples + chunk_size - 1) / chunk_size;
+  std::vector<Welford> stats(static_cast<size_t>(num_chunks));
+  pool_.ParallelFor(num_chunks, [&](int64_t c) {
+    Rng rng(ChunkSeed(seed, c));
+    int64_t begin = c * chunk_size;
+    int64_t end = std::min<int64_t>(begin + chunk_size, num_samples);
+    Welford& acc = stats[static_cast<size_t>(c)];
+    for (int64_t s = begin; s < end; ++s) {
+      acc.Add(f(SampleWorld(tree, &rng)));
+    }
+  });
+  Welford total;
+  for (const Welford& chunk : stats) total.Merge(chunk);
+  return FinishEstimate(total);
+}
+
+McEstimate Engine::McExpectedTopKDistance(const AndXorTree& tree,
+                                          const std::vector<KeyId>& answer,
+                                          int k, TopKMetric metric,
+                                          int num_samples,
+                                          uint64_t seed) const {
+  return EstimateOverWorlds(
+      tree, num_samples, seed, [&](const std::vector<NodeId>& world) {
+        std::vector<KeyId> topk = TopKOfWorld(tree, world, k);
+        switch (metric) {
+          case TopKMetric::kSymDiff:
+            return TopKSymmetricDifference(answer, topk, k);
+          case TopKMetric::kIntersection:
+            return TopKIntersectionDistance(answer, topk, k);
+          case TopKMetric::kFootrule:
+            return TopKFootrule(answer, topk, k);
+          case TopKMetric::kKendall:
+            return TopKKendall(answer, topk, k);
+        }
+        return 0.0;
+      });
+}
+
+}  // namespace cpdb

@@ -1,0 +1,147 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// cpdb::Engine — the parallel evaluation facade over the Section 4-5
+// consensus algorithms. One Engine owns one ThreadPool and routes
+// rank-distribution, consensus Top-k, set-consensus, and Monte-Carlo
+// queries through it. Every parallel path is *schedule-deterministic*: the
+// result is bitwise identical for any thread count (including 1), because
+// work is split into fixed units whose partial results are merged in a
+// fixed order on the calling thread:
+//
+//   * rank distributions — one unit per leaf (LeafRankContribution), merged
+//     in DFS leaf order, which is exactly the accumulation order of the
+//     sequential ComputeRankDistribution;
+//   * pairwise order probabilities — one unit per ordered key pair, each
+//     writing its own matrix cell;
+//   * Monte-Carlo estimation — samples are drawn in fixed-size chunks, each
+//     chunk from its own Rng seeded by (seed, chunk index), and the
+//     per-chunk Welford statistics are combined in chunk order. The chunk
+//     size is an algorithm parameter (EngineOptions::mc_chunk_size), not a
+//     scheduling hint: changing it changes the sample stream.
+//
+// Future scaling work (sharding trees across engines, batching queries,
+// caching rank distributions) should hang off this facade rather than the
+// core functions, so callers keep a single entry point.
+
+#ifndef CPDB_ENGINE_ENGINE_H_
+#define CPDB_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/evaluation.h"
+#include "core/monte_carlo.h"
+#include "core/rank_distribution.h"
+#include "core/topk_symdiff.h"
+#include "model/and_xor_tree.h"
+
+namespace cpdb {
+
+/// \brief Which consensus answer a Top-k query asks for (the CLI's
+/// --answer flag). Not every (metric, answer) pair is supported — see
+/// Engine::ConsensusTopK.
+enum class TopKAnswer {
+  kMean,               ///< exact mean answer (size exactly k)
+  kMedian,             ///< median answer (a realizable world's Top-k)
+  kMeanUnrestricted,   ///< size-unrestricted mean (symdiff only)
+  kMeanApprox,         ///< H_k-approximate mean (intersection only)
+};
+
+/// \brief Construction-time knobs for an Engine.
+struct EngineOptions {
+  /// Threads used for query evaluation, counting the calling thread;
+  /// values < 1 use the hardware concurrency. 1 means fully sequential.
+  int num_threads = 0;
+
+  /// Samples per Monte-Carlo chunk. Part of the sampling algorithm (it
+  /// seeds one Rng per chunk): two engines agree bitwise only if their
+  /// chunk sizes agree. The default balances scheduling granularity
+  /// against per-chunk Rng setup.
+  int mc_chunk_size = 256;
+
+  /// Use the O(n k) block-independent fast path for rank distributions
+  /// when the tree qualifies (matches the CLI's historical behavior).
+  bool use_fast_bid_path = true;
+};
+
+/// \brief Parallel evaluation engine; thread-safe for concurrent queries
+/// against distinct trees (the engine itself holds no per-query state).
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options = EngineOptions());
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// \brief Actual thread count (options().num_threads resolved).
+  int num_threads() const;
+
+  const EngineOptions& options() const { return options_; }
+
+  // -- Rank distributions (Section 5 sufficient statistics) ---------------
+
+  /// \brief Parallel ComputeRankDistribution: per-leaf generating functions
+  /// are evaluated across the pool and merged in DFS leaf order. Bitwise
+  /// identical for any thread count; on the general path this also means
+  /// bitwise identity with the sequential core function. When the fast BID
+  /// path engages (options().use_fast_bid_path on a block-independent
+  /// tree), the result is that of ComputeRankDistributionFast — sequential
+  /// and deterministic, but a numerically different (equally correct)
+  /// algorithm than the general path, agreeing only to ~1e-9.
+  RankDistribution ComputeRankDistribution(const AndXorTree& tree,
+                                           int k) const;
+
+  /// \brief Parallel PairwiseOrderProbabilities: one task per ordered pair.
+  /// result[i][j] = Pr(r(keys[i]) < r(keys[j])); diagonal is 0.
+  std::vector<std::vector<double>> PairwiseOrderProbabilities(
+      const AndXorTree& tree, const std::vector<KeyId>& keys) const;
+
+  // -- Consensus Top-k (Section 5) ----------------------------------------
+
+  /// \brief Computes the consensus Top-k answer for (metric, answer),
+  /// routing the rank-distribution precomputation through the pool.
+  /// Unsupported combinations (e.g. footrule median) return NotImplemented;
+  /// unknown enum values return InvalidArgument.
+  Result<TopKResult> ConsensusTopK(const AndXorTree& tree, int k,
+                                   TopKMetric metric,
+                                   TopKAnswer answer = TopKAnswer::kMean) const;
+
+  // -- Set consensus (Section 4.1) ----------------------------------------
+
+  /// \brief The mean world under symmetric difference (Theorem 2).
+  std::vector<NodeId> MeanWorldSymDiff(const AndXorTree& tree) const;
+
+  /// \brief The median world under symmetric difference (Corollary 1).
+  std::vector<NodeId> MedianWorldSymDiff(const AndXorTree& tree) const;
+
+  // -- Monte-Carlo estimation ---------------------------------------------
+
+  /// \brief Chunked-parallel E[f(pw)] estimate: deterministic in `seed` and
+  /// options().mc_chunk_size, independent of the thread count. The sample
+  /// stream differs from the sequential core EstimateOverWorlds (which
+  /// threads one Rng through all samples) but is an equally valid draw.
+  /// `f` may be called concurrently and must be thread-safe.
+  McEstimate EstimateOverWorlds(
+      const AndXorTree& tree, int num_samples, uint64_t seed,
+      const std::function<double(const std::vector<NodeId>&)>& f) const;
+
+  /// \brief Chunked-parallel E[d(answer, topk(pw))] estimate.
+  McEstimate McExpectedTopKDistance(const AndXorTree& tree,
+                                    const std::vector<KeyId>& answer, int k,
+                                    TopKMetric metric, int num_samples,
+                                    uint64_t seed) const;
+
+ private:
+  EngineOptions options_;
+  // ParallelFor mutates pool bookkeeping; queries are logically const.
+  mutable ThreadPool pool_;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_ENGINE_ENGINE_H_

@@ -1,0 +1,323 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Tests for the thread pool and the parallel evaluation engine: full index
+// coverage, schedule determinism (bitwise-identical results for any thread
+// count), parity with the sequential core functions, and seeded-Rng
+// reproducibility of the chunked Monte-Carlo paths.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/evaluation.h"
+#include "core/rank_distribution.h"
+#include "core/set_consensus.h"
+#include "core/topk_footrule.h"
+#include "core/topk_intersection.h"
+#include "core/topk_kendall.h"
+#include "core/topk_symdiff.h"
+#include "model/builders.h"
+#include "workload/generators.h"
+
+namespace cpdb {
+namespace {
+
+AndXorTree RandomDeepTree(uint64_t seed, int num_keys = 8) {
+  Rng rng(seed);
+  RandomTreeOptions opts;
+  opts.num_keys = num_keys;
+  opts.max_depth = 3;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  EXPECT_TRUE(tree.ok());
+  return *std::move(tree);
+}
+
+AndXorTree RandomBidTree(uint64_t seed, int num_keys = 10) {
+  Rng rng(seed);
+  RandomTreeOptions opts;
+  opts.num_keys = num_keys;
+  opts.max_alternatives = 3;
+  auto tree = RandomBid(opts, &rng);
+  EXPECT_TRUE(tree.ok());
+  return *std::move(tree);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    const int64_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(n, [&](int64_t i) { hits[i].fetch_add(1); });
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, AbsurdThreadCountIsClampedNotFatal) {
+  ThreadPool pool(1000000);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::kMaxThreads);
+  std::atomic<int> count{0};
+  pool.ParallelFor(1000, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](int64_t) { FAIL() << "body called for n = 0"; });
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](int64_t) {
+    pool.ParallelFor(8, [&](int64_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+// ---------------------------------------------------------------------------
+// Engine — determinism and parity of the exact paths
+// ---------------------------------------------------------------------------
+
+// The parallel rank distribution must match the sequential core function
+// bitwise, for every thread count (the merge replays the same accumulation
+// order).
+TEST(EngineTest, RankDistributionBitwiseEqualAcrossThreadCounts) {
+  const int k = 5;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    AndXorTree tree = RandomDeepTree(seed);
+    RankDistribution expected = ComputeRankDistribution(tree, k);
+    for (int threads : {1, 2, 4, 8}) {
+      EngineOptions opts;
+      opts.num_threads = threads;
+      Engine engine(opts);
+      RankDistribution dist = engine.ComputeRankDistribution(tree, k);
+      ASSERT_EQ(dist.keys(), expected.keys());
+      for (KeyId key : expected.keys()) {
+        for (int i = 1; i <= k; ++i) {
+          // Bitwise equality, not EXPECT_NEAR: the parallel path must be
+          // indistinguishable from the sequential one.
+          ASSERT_EQ(dist.PrRankEq(key, i), expected.PrRankEq(key, i))
+              << "seed " << seed << " threads " << threads << " key " << key
+              << " rank " << i;
+          ASSERT_EQ(dist.PrRankLe(key, i), expected.PrRankLe(key, i));
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineTest, RankDistributionUsesFastBidPathByDefault) {
+  const int k = 4;
+  AndXorTree tree = RandomBidTree(7);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  Engine engine(opts);
+  RankDistribution dist = engine.ComputeRankDistribution(tree, k);
+  // The fast path and the general path agree analytically; check against
+  // the sequential general-path computation to a tight tolerance.
+  RankDistribution general = ComputeRankDistribution(tree, k);
+  for (KeyId key : general.keys()) {
+    for (int i = 1; i <= k; ++i) {
+      EXPECT_NEAR(dist.PrRankEq(key, i), general.PrRankEq(key, i), 1e-9);
+    }
+  }
+}
+
+TEST(EngineTest, PairwiseOrderProbabilitiesMatchCore) {
+  AndXorTree tree = RandomDeepTree(11, 6);
+  std::vector<KeyId> keys = tree.Keys();
+  std::vector<std::vector<double>> expected =
+      PairwiseOrderProbabilities(tree, keys);
+  for (int threads : {1, 4}) {
+    EngineOptions opts;
+    opts.num_threads = threads;
+    Engine engine(opts);
+    std::vector<std::vector<double>> got =
+        engine.PairwiseOrderProbabilities(tree, keys);
+    ASSERT_EQ(got, expected) << "threads " << threads;
+  }
+}
+
+TEST(EngineTest, ConsensusTopKMatchesDirectCoreCalls) {
+  const int k = 3;
+  AndXorTree tree = RandomDeepTree(13);
+  RankDistribution dist = ComputeRankDistribution(tree, k);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.use_fast_bid_path = false;
+  Engine engine(opts);
+
+  auto mean_sym = engine.ConsensusTopK(tree, k, TopKMetric::kSymDiff);
+  ASSERT_TRUE(mean_sym.ok());
+  EXPECT_EQ(mean_sym->keys, MeanTopKSymDiff(dist).keys);
+
+  auto median_sym =
+      engine.ConsensusTopK(tree, k, TopKMetric::kSymDiff, TopKAnswer::kMedian);
+  ASSERT_TRUE(median_sym.ok());
+  auto median_direct = MedianTopKSymDiff(tree, dist);
+  ASSERT_TRUE(median_direct.ok());
+  EXPECT_EQ(median_sym->keys, median_direct->keys);
+
+  auto mean_foot = engine.ConsensusTopK(tree, k, TopKMetric::kFootrule);
+  ASSERT_TRUE(mean_foot.ok());
+  auto foot_direct = MeanTopKFootrule(dist);
+  ASSERT_TRUE(foot_direct.ok());
+  EXPECT_EQ(mean_foot->keys, foot_direct->keys);
+
+  auto approx_int = engine.ConsensusTopK(tree, k, TopKMetric::kIntersection,
+                                         TopKAnswer::kMeanApprox);
+  ASSERT_TRUE(approx_int.ok());
+  EXPECT_EQ(approx_int->keys, MeanTopKIntersectionApprox(dist).keys);
+}
+
+// The engine's kendall path precomputes the q matrix in parallel and feeds
+// it to KendallEvaluator; the result must match the sequential evaluator
+// bitwise for any thread count.
+TEST(EngineTest, KendallConsensusMatchesSequentialEvaluator) {
+  const int k = 3;
+  AndXorTree tree = RandomDeepTree(41, 6);
+  RankDistribution dist = ComputeRankDistribution(tree, k);
+  KendallEvaluator evaluator(tree, k);
+  auto direct = MeanTopKKendallViaFootrule(evaluator, dist);
+  ASSERT_TRUE(direct.ok());
+  for (int threads : {1, 4}) {
+    EngineOptions opts;
+    opts.num_threads = threads;
+    opts.use_fast_bid_path = false;
+    Engine engine(opts);
+    auto got = engine.ConsensusTopK(tree, k, TopKMetric::kKendall);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->keys, direct->keys) << "threads " << threads;
+    EXPECT_EQ(got->expected_distance, direct->expected_distance);
+  }
+}
+
+TEST(EngineTest, ConsensusTopKRejectsBadArguments) {
+  AndXorTree tree = RandomDeepTree(17);
+  Engine engine;
+  EXPECT_FALSE(engine.ConsensusTopK(tree, 0, TopKMetric::kSymDiff).ok());
+  EXPECT_FALSE(engine
+                   .ConsensusTopK(tree, 3, TopKMetric::kFootrule,
+                                  TopKAnswer::kMedian)
+                   .ok());
+  EXPECT_FALSE(engine
+                   .ConsensusTopK(tree, 3, TopKMetric::kSymDiff,
+                                  TopKAnswer::kMeanApprox)
+                   .ok());
+}
+
+TEST(EngineTest, SetConsensusDelegatesToCore) {
+  AndXorTree tree = RandomDeepTree(19);
+  Engine engine;
+  EXPECT_EQ(engine.MeanWorldSymDiff(tree), MeanWorldSymDiff(tree));
+  EXPECT_EQ(engine.MedianWorldSymDiff(tree), MedianWorldSymDiff(tree));
+}
+
+// ---------------------------------------------------------------------------
+// Engine — chunked Monte Carlo
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, MonteCarloBitwiseEqualAcrossThreadCounts) {
+  AndXorTree tree = RandomDeepTree(23);
+  const uint64_t seed = 42;
+  McEstimate reference;
+  for (int threads : {1, 2, 4, 8}) {
+    EngineOptions opts;
+    opts.num_threads = threads;
+    Engine engine(opts);
+    McEstimate e = engine.EstimateOverWorlds(
+        tree, 2000, seed,
+        [](const std::vector<NodeId>& world) {
+          return static_cast<double>(world.size());
+        });
+    if (threads == 1) {
+      reference = e;
+    } else {
+      // Bitwise: the chunk decomposition, per-chunk Rng streams, and merge
+      // order are all independent of the schedule.
+      ASSERT_EQ(e.mean, reference.mean) << "threads " << threads;
+      ASSERT_EQ(e.std_error, reference.std_error) << "threads " << threads;
+      ASSERT_EQ(e.samples, reference.samples);
+    }
+  }
+}
+
+TEST(EngineTest, MonteCarloReproducibleAndSeedSensitive) {
+  AndXorTree tree = RandomDeepTree(29);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  Engine engine(opts);
+  auto size_of = [](const std::vector<NodeId>& world) {
+    return static_cast<double>(world.size());
+  };
+  McEstimate a = engine.EstimateOverWorlds(tree, 1000, 7, size_of);
+  McEstimate b = engine.EstimateOverWorlds(tree, 1000, 7, size_of);
+  McEstimate c = engine.EstimateOverWorlds(tree, 1000, 8, size_of);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.std_error, b.std_error);
+  EXPECT_NE(a.mean, c.mean);
+}
+
+TEST(EngineTest, MonteCarloTopKDistanceCoversEnumeratedTruth) {
+  const int k = 3;
+  AndXorTree tree = RandomDeepTree(31, 6);
+  RankDistribution dist = ComputeRankDistribution(tree, k);
+  std::vector<KeyId> answer = MeanTopKSymDiff(dist).keys;
+  auto exact =
+      EnumExpectedTopKDistance(tree, answer, k, TopKMetric::kSymDiff);
+  ASSERT_TRUE(exact.ok());
+  EngineOptions opts;
+  opts.num_threads = 4;
+  Engine engine(opts);
+  McEstimate est = engine.McExpectedTopKDistance(
+      tree, answer, k, TopKMetric::kSymDiff, 20000, 123);
+  EXPECT_EQ(est.samples, 20000);
+  EXPECT_TRUE(est.Covers(*exact, 4.0))
+      << "exact " << *exact << " vs [" << est.ci95_low() << ", "
+      << est.ci95_high() << "]";
+}
+
+TEST(EngineTest, MonteCarloHandlesDegenerateSampleCounts) {
+  AndXorTree tree = RandomDeepTree(37);
+  Engine engine;
+  McEstimate none = engine.EstimateOverWorlds(
+      tree, 0, 1, [](const std::vector<NodeId>&) { return 1.0; });
+  EXPECT_EQ(none.samples, 0);
+  McEstimate one = engine.EstimateOverWorlds(
+      tree, 1, 1, [](const std::vector<NodeId>&) { return 1.0; });
+  EXPECT_EQ(one.samples, 1);
+  EXPECT_EQ(one.mean, 1.0);
+  EXPECT_EQ(one.std_error, 0.0);
+}
+
+}  // namespace
+}  // namespace cpdb

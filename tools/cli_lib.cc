@@ -3,18 +3,15 @@
 #include "tools/cli_lib.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 
 #include "common/rng.h"
 #include "core/aggregates.h"
 #include "core/jaccard.h"
-#include "core/rank_distribution.h"
-#include "core/rank_distribution_fast.h"
 #include "core/set_consensus.h"
-#include "core/topk_footrule.h"
-#include "core/topk_intersection.h"
-#include "core/topk_kendall.h"
 #include "core/topk_symdiff.h"
+#include "engine/engine.h"
 #include "io/table_io.h"
 #include "io/tree_text.h"
 #include "model/builders.h"
@@ -34,7 +31,17 @@ struct CliOptions {
   int count = 5;
   size_t max_worlds = 4096;
   uint64_t seed = 1;
+  int threads = 1;
 };
+
+// The evaluation engine configured by --threads. Results are independent of
+// the thread count (see engine/engine.h), so parallelism is safe to expose
+// as a plain performance knob.
+Engine MakeEngine(const CliOptions& opts) {
+  EngineOptions eopts;
+  eopts.num_threads = opts.threads;
+  return Engine(eopts);
+}
 
 // Parses "--name=value" flags; positional arguments fill command then input.
 Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
@@ -63,6 +70,18 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       opts.max_worlds = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (name == "seed") {
       opts.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (name == "threads") {
+      // Strict parse: a typo'd value must not silently become 0, which is
+      // the valid "all hardware cores" setting.
+      char* end = nullptr;
+      long threads = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("--threads expects an integer, got '" +
+                                       value + "'");
+      }
+      // Clamp before narrowing; the pool caps the count anyway.
+      opts.threads = static_cast<int>(
+          std::min<long>(std::max<long>(threads, -1), 1 << 20));
     } else {
       return Status::InvalidArgument("unknown flag --" + name);
     }
@@ -174,6 +193,7 @@ int CmdConsensusWorld(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   std::vector<NodeId> world;
   double expected = 0.0;
   if (opts.metric == "symdiff") {
+    // The set-consensus DPs are O(N) and sequential; no engine needed here.
     world = opts.answer == "median" ? MedianWorldSymDiff(*tree)
                                     : MeanWorldSymDiff(*tree);
     expected = ExpectedSymDiffDistance(*tree, world);
@@ -211,29 +231,19 @@ int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     std::fprintf(err, "--k must be >= 1\n");
     return 1;
   }
-  RankDistribution dist =
-      IsBlockIndependent(*tree)
-          ? *ComputeRankDistributionFast(*tree, opts.k)
-          : ComputeRankDistribution(*tree, opts.k);
-
-  Result<TopKResult> result = Status::Internal("unset");
+  if (opts.threads < 0) {
+    std::fprintf(err, "--threads must be >= 0 (0 = all hardware cores)\n");
+    return 1;
+  }
+  TopKMetric metric;
   if (opts.metric == "symdiff") {
-    if (opts.answer == "median") {
-      result = MedianTopKSymDiff(*tree, dist);
-    } else if (opts.answer == "any-size") {
-      result = MeanTopKSymDiffUnrestricted(dist);
-    } else {
-      result = MeanTopKSymDiff(dist);
-    }
+    metric = TopKMetric::kSymDiff;
   } else if (opts.metric == "intersection") {
-    result = opts.answer == "approx"
-                 ? Result<TopKResult>(MeanTopKIntersectionApprox(dist))
-                 : MeanTopKIntersectionExact(dist);
+    metric = TopKMetric::kIntersection;
   } else if (opts.metric == "footrule") {
-    result = MeanTopKFootrule(dist);
+    metric = TopKMetric::kFootrule;
   } else if (opts.metric == "kendall") {
-    KendallEvaluator evaluator(*tree, opts.k);
-    result = MeanTopKKendallViaFootrule(evaluator, dist);
+    metric = TopKMetric::kKendall;
   } else {
     std::fprintf(err,
                  "unknown --metric=%s (expected symdiff, intersection, "
@@ -241,6 +251,19 @@ int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
                  opts.metric.c_str());
     return 1;
   }
+  // Historical flag behavior: --answer values that don't apply to the
+  // chosen metric fall back to the mean answer rather than erroring.
+  TopKAnswer answer = TopKAnswer::kMean;
+  if (opts.answer == "median" && opts.metric == "symdiff") {
+    answer = TopKAnswer::kMedian;
+  } else if (opts.answer == "any-size" && opts.metric == "symdiff") {
+    answer = TopKAnswer::kMeanUnrestricted;
+  } else if (opts.answer == "approx" && opts.metric == "intersection") {
+    answer = TopKAnswer::kMeanApprox;
+  }
+  Engine engine = MakeEngine(opts);
+  Result<TopKResult> result = engine.ConsensusTopK(*tree, opts.k, metric,
+                                                   answer);
   if (!result.ok()) {
     std::fprintf(err, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -314,7 +337,10 @@ std::string CliUsage() {
       "flags:\n"
       "  --format=tree|bid   input format (default tree: s-expression;\n"
       "                      bid: 'key prob score [label]' lines)\n"
-      "  --max-worlds=N      enumeration guard for `worlds` (default 4096)\n";
+      "  --max-worlds=N      enumeration guard for `worlds` (default 4096)\n"
+      "  --threads=N         evaluation threads for topk queries (default 1;\n"
+      "                      0 = all hardware cores; results are independent\n"
+      "                      of N)\n";
 }
 
 int RunCli(const std::vector<std::string>& args, std::FILE* out,
