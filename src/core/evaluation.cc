@@ -7,26 +7,6 @@
 
 namespace cpdb {
 
-namespace {
-
-double TopKDistanceByMetric(const std::vector<KeyId>& a,
-                            const std::vector<KeyId>& b, int k,
-                            TopKMetric metric) {
-  switch (metric) {
-    case TopKMetric::kSymDiff:
-      return TopKSymmetricDifference(a, b, k);
-    case TopKMetric::kIntersection:
-      return TopKIntersectionDistance(a, b, k);
-    case TopKMetric::kFootrule:
-      return TopKFootrule(a, b, k);
-    case TopKMetric::kKendall:
-      return TopKKendall(a, b, k);
-  }
-  return 0.0;
-}
-
-}  // namespace
-
 Result<double> EnumExpectedTopKDistance(const AndXorTree& tree,
                                         const std::vector<KeyId>& answer,
                                         int k, TopKMetric metric,
@@ -35,9 +15,9 @@ Result<double> EnumExpectedTopKDistance(const AndXorTree& tree,
                         EnumerateWorlds(tree, max_worlds));
   double expected = 0.0;
   for (const World& w : worlds) {
-    expected +=
-        w.prob * TopKDistanceByMetric(answer, TopKOfWorld(tree, w.leaf_ids, k),
-                                      k, metric);
+    expected += w.prob * TopKListDistance(
+                             answer, TopKOfWorld(tree, w.leaf_ids, k), k,
+                             metric);
   }
   return expected;
 }
@@ -49,8 +29,7 @@ double SampleExpectedTopKDistance(const AndXorTree& tree,
   double total = 0.0;
   for (int s = 0; s < num_samples; ++s) {
     std::vector<NodeId> world = SampleWorld(tree, rng);
-    total += TopKDistanceByMetric(answer, TopKOfWorld(tree, world, k), k,
-                                  metric);
+    total += TopKListDistance(answer, TopKOfWorld(tree, world, k), k, metric);
   }
   return total / num_samples;
 }

@@ -14,13 +14,11 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "core/clustering.h"
+#include "core/topk_metrics.h"  // TopKMetric and the distance dispatch
 #include "model/and_xor_tree.h"
 #include "model/possible_worlds.h"
 
 namespace cpdb {
-
-/// \brief Top-k list metrics selectable by the generic evaluators.
-enum class TopKMetric { kSymDiff, kIntersection, kFootrule, kKendall };
 
 /// \brief E[d(answer, topk(pw))] by exhaustive enumeration.
 Result<double> EnumExpectedTopKDistance(const AndXorTree& tree,

@@ -52,18 +52,8 @@ McEstimate McExpectedTopKDistance(const AndXorTree& tree,
                                   Rng* rng) {
   return EstimateOverWorlds(
       tree, num_samples, rng, [&](const std::vector<NodeId>& world) {
-        std::vector<KeyId> topk = TopKOfWorld(tree, world, k);
-        switch (metric) {
-          case TopKMetric::kSymDiff:
-            return TopKSymmetricDifference(answer, topk, k);
-          case TopKMetric::kIntersection:
-            return TopKIntersectionDistance(answer, topk, k);
-          case TopKMetric::kFootrule:
-            return TopKFootrule(answer, topk, k);
-          case TopKMetric::kKendall:
-            return TopKKendall(answer, topk, k);
-        }
-        return 0.0;
+        return TopKListDistance(answer, TopKOfWorld(tree, world, k), k,
+                                metric);
       });
 }
 

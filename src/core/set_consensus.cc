@@ -10,7 +10,13 @@ namespace cpdb {
 
 double ExpectedSymDiffDistance(const AndXorTree& tree,
                                const std::vector<NodeId>& world) {
-  std::vector<double> marginal = tree.LeafMarginals();
+  return ExpectedSymDiffDistanceFromMarginals(tree, tree.LeafMarginals(),
+                                              world);
+}
+
+double ExpectedSymDiffDistanceFromMarginals(
+    const AndXorTree& tree, const std::vector<double>& marginal,
+    const std::vector<NodeId>& world) {
   std::set<NodeId> in_world(world.begin(), world.end());
   double expected = 0.0;
   for (NodeId l : tree.LeafIds()) {
@@ -21,7 +27,11 @@ double ExpectedSymDiffDistance(const AndXorTree& tree,
 }
 
 std::vector<NodeId> MeanWorldSymDiff(const AndXorTree& tree) {
-  std::vector<double> marginal = tree.LeafMarginals();
+  return MeanWorldSymDiffFromMarginals(tree, tree.LeafMarginals());
+}
+
+std::vector<NodeId> MeanWorldSymDiffFromMarginals(
+    const AndXorTree& tree, const std::vector<double>& marginal) {
   std::vector<NodeId> world;
   for (NodeId l : tree.LeafIds()) {
     if (marginal[static_cast<size_t>(l)] > 0.5) world.push_back(l);
@@ -43,7 +53,11 @@ struct DpEntry {
 }  // namespace
 
 std::vector<NodeId> MedianWorldSymDiff(const AndXorTree& tree) {
-  std::vector<double> marginal = tree.LeafMarginals();
+  return MedianWorldSymDiffFromMarginals(tree, tree.LeafMarginals());
+}
+
+std::vector<NodeId> MedianWorldSymDiffFromMarginals(
+    const AndXorTree& tree, const std::vector<double>& marginal) {
   std::vector<DpEntry> dp(static_cast<size_t>(tree.NumNodes()));
 
   // Post-order DP.

@@ -57,6 +57,29 @@ std::vector<NodeId> MeanWorldSymDiff(const AndXorTree& tree);
 /// Complexity: O(N) for N tree nodes (one bottom-up DP pass).
 std::vector<NodeId> MedianWorldSymDiff(const AndXorTree& tree);
 
+// -- Marginal-parameterized forms ------------------------------------------
+//
+// The three functions above each start from tree.LeafMarginals() — the only
+// super-constant-per-leaf work on these O(N) paths. The variants below take
+// the marginal vector (indexed by NodeId, as produced by LeafMarginals() or
+// by per-leaf AndXorTree::LeafMarginal calls) as an argument, so the engine
+// can compute the per-leaf folds across its thread pool and keep the cheap
+// filter / DP / sum on the calling thread. Each wrapper above is exactly
+// `FromMarginals(tree, tree.LeafMarginals(), ...)`.
+
+/// \brief MeanWorldSymDiff from precomputed leaf marginals.
+std::vector<NodeId> MeanWorldSymDiffFromMarginals(
+    const AndXorTree& tree, const std::vector<double>& marginal);
+
+/// \brief MedianWorldSymDiff from precomputed leaf marginals.
+std::vector<NodeId> MedianWorldSymDiffFromMarginals(
+    const AndXorTree& tree, const std::vector<double>& marginal);
+
+/// \brief ExpectedSymDiffDistance from precomputed leaf marginals.
+double ExpectedSymDiffDistanceFromMarginals(
+    const AndXorTree& tree, const std::vector<double>& marginal,
+    const std::vector<NodeId>& world);
+
 }  // namespace cpdb
 
 #endif  // CPDB_CORE_SET_CONSENSUS_H_

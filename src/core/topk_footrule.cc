@@ -58,19 +58,37 @@ double ExpectedTopKFootrule(const RankDistribution& dist,
   return total;
 }
 
-Result<TopKResult> MeanTopKFootrule(const RankDistribution& dist) {
+std::vector<double> FootruleCostColumn(const RankDistribution& dist,
+                                       KeyId key) {
+  std::vector<double> column(static_cast<size_t>(dist.k()), 0.0);
+  for (int i = 1; i <= dist.k(); ++i) {
+    column[static_cast<size_t>(i - 1)] = FootrulePositionCost(dist, key, i);
+  }
+  return column;
+}
+
+Result<TopKResult> MeanTopKFootruleFromColumns(
+    const RankDistribution& dist,
+    const std::vector<std::vector<double>>& columns) {
   const int k = dist.k();
   const std::vector<KeyId>& keys = dist.keys();
   if (static_cast<int>(keys.size()) < k) {
     return Status::InvalidArgument(
         "footrule mean answer needs at least k tuples");
   }
+  if (columns.size() != keys.size()) {
+    return Status::InvalidArgument("one cost column per key required");
+  }
+  // Transpose into the row-major (positions x tuples) matrix the Hungarian
+  // solver consumes.
   std::vector<std::vector<double>> cost(
       static_cast<size_t>(k), std::vector<double>(keys.size(), 0.0));
-  for (int i = 1; i <= k; ++i) {
-    for (size_t t = 0; t < keys.size(); ++t) {
-      cost[static_cast<size_t>(i - 1)][t] =
-          FootrulePositionCost(dist, keys[t], i);
+  for (size_t t = 0; t < keys.size(); ++t) {
+    if (static_cast<int>(columns[t].size()) != k) {
+      return Status::InvalidArgument("cost column has wrong length");
+    }
+    for (int i = 0; i < k; ++i) {
+      cost[static_cast<size_t>(i)][t] = columns[t][static_cast<size_t>(i)];
     }
   }
   CPDB_ASSIGN_OR_RETURN(Assignment assignment, SolveAssignmentMin(cost));
@@ -82,6 +100,15 @@ Result<TopKResult> MeanTopKFootrule(const RankDistribution& dist) {
   }
   result.expected_distance = ExpectedTopKFootrule(dist, result.keys);
   return result;
+}
+
+Result<TopKResult> MeanTopKFootrule(const RankDistribution& dist) {
+  std::vector<std::vector<double>> columns;
+  columns.reserve(dist.keys().size());
+  for (KeyId key : dist.keys()) {
+    columns.push_back(FootruleCostColumn(dist, key));
+  }
+  return MeanTopKFootruleFromColumns(dist, columns);
 }
 
 }  // namespace cpdb

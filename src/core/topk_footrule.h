@@ -49,6 +49,21 @@ double ExpectedTopKFootrule(const RankDistribution& dist,
 /// Hungarian algorithm. Requires at least k keys.
 Result<TopKResult> MeanTopKFootrule(const RankDistribution& dist);
 
+/// \brief The assignment costs of one candidate tuple: entry i - 1 is
+/// FootrulePositionCost(dist, key, i) for positions i = 1..k. Building the
+/// k x n cost matrix is the dominant O(n k^2) part of MeanTopKFootrule; one
+/// column is the per-candidate unit Engine::ConsensusTopK fans across its
+/// thread pool.
+std::vector<double> FootruleCostColumn(const RankDistribution& dist, KeyId key);
+
+/// \brief MeanTopKFootrule from externally computed candidate columns
+/// (columns[t] = FootruleCostColumn(dist, dist.keys()[t])); shared by the
+/// sequential wrapper and the engine's parallel path, so both feed the same
+/// Hungarian solve. Fails on a column count or length mismatch.
+Result<TopKResult> MeanTopKFootruleFromColumns(
+    const RankDistribution& dist,
+    const std::vector<std::vector<double>>& columns);
+
 }  // namespace cpdb
 
 #endif  // CPDB_CORE_TOPK_FOOTRULE_H_

@@ -35,20 +35,38 @@ double IntersectionPositionProfit(const RankDistribution& dist, KeyId key,
   return profit;
 }
 
-Result<TopKResult> MeanTopKIntersectionExact(const RankDistribution& dist) {
+std::vector<double> IntersectionProfitColumn(const RankDistribution& dist,
+                                             KeyId key) {
+  std::vector<double> column(static_cast<size_t>(dist.k()), 0.0);
+  for (int j = 1; j <= dist.k(); ++j) {
+    column[static_cast<size_t>(j - 1)] =
+        IntersectionPositionProfit(dist, key, j);
+  }
+  return column;
+}
+
+Result<TopKResult> MeanTopKIntersectionExactFromColumns(
+    const RankDistribution& dist,
+    const std::vector<std::vector<double>>& columns) {
   const int k = dist.k();
   const std::vector<KeyId>& keys = dist.keys();
   if (static_cast<int>(keys.size()) < k) {
     return Status::InvalidArgument(
         "intersection-metric mean answer needs at least k tuples");
   }
-  // Rows = positions 1..k, columns = tuples.
+  if (columns.size() != keys.size()) {
+    return Status::InvalidArgument("one profit column per key required");
+  }
+  // Transpose into the row-major (positions x tuples) matrix the Hungarian
+  // solver consumes.
   std::vector<std::vector<double>> profit(
       static_cast<size_t>(k), std::vector<double>(keys.size(), 0.0));
-  for (int j = 1; j <= k; ++j) {
-    for (size_t t = 0; t < keys.size(); ++t) {
-      profit[static_cast<size_t>(j - 1)][t] =
-          IntersectionPositionProfit(dist, keys[t], j);
+  for (size_t t = 0; t < keys.size(); ++t) {
+    if (static_cast<int>(columns[t].size()) != k) {
+      return Status::InvalidArgument("profit column has wrong length");
+    }
+    for (int j = 0; j < k; ++j) {
+      profit[static_cast<size_t>(j)][t] = columns[t][static_cast<size_t>(j)];
     }
   }
   CPDB_ASSIGN_OR_RETURN(Assignment assignment, SolveAssignmentMax(profit));
@@ -60,6 +78,15 @@ Result<TopKResult> MeanTopKIntersectionExact(const RankDistribution& dist) {
   }
   result.expected_distance = ExpectedTopKIntersection(dist, result.keys);
   return result;
+}
+
+Result<TopKResult> MeanTopKIntersectionExact(const RankDistribution& dist) {
+  std::vector<std::vector<double>> columns;
+  columns.reserve(dist.keys().size());
+  for (KeyId key : dist.keys()) {
+    columns.push_back(IntersectionProfitColumn(dist, key));
+  }
+  return MeanTopKIntersectionExactFromColumns(dist, columns);
 }
 
 double UpsilonH(const RankDistribution& dist, KeyId key) {

@@ -33,6 +33,20 @@ double IntersectionPositionProfit(const RankDistribution& dist, KeyId key,
 /// (O(n k^2) with potentials). Requires at least k keys.
 Result<TopKResult> MeanTopKIntersectionExact(const RankDistribution& dist);
 
+/// \brief The assignment profits of one candidate tuple: entry j - 1 is
+/// IntersectionPositionProfit(dist, key, j) for positions j = 1..k — the
+/// per-candidate unit Engine::ConsensusTopK fans across its thread pool.
+std::vector<double> IntersectionProfitColumn(const RankDistribution& dist,
+                                             KeyId key);
+
+/// \brief MeanTopKIntersectionExact from externally computed candidate
+/// columns (columns[t] = IntersectionProfitColumn(dist, dist.keys()[t]));
+/// shared by the sequential wrapper and the engine's parallel path. Fails on
+/// a column count or length mismatch.
+Result<TopKResult> MeanTopKIntersectionExactFromColumns(
+    const RankDistribution& dist,
+    const std::vector<std::vector<double>>& columns);
+
 /// \brief Upsilon_H(t) = sum_{i=1..k} Pr(r(t) <= i)/i (a special case of
 /// the parameterized ranking functions of Li-Saha-Deshpande).
 double UpsilonH(const RankDistribution& dist, KeyId key);

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <functional>
 #include <limits>
+#include <utility>
 
 #include "core/topk_footrule.h"
 #include "model/generating_function.h"
@@ -162,11 +163,16 @@ Result<TopKResult> MeanTopKKendallPivot(
   return result;
 }
 
+TopKResult RescoreUnderKendall(const KendallEvaluator& evaluator,
+                               TopKResult answer) {
+  answer.expected_distance = evaluator.Expected(answer.keys);
+  return answer;
+}
+
 Result<TopKResult> MeanTopKKendallViaFootrule(const KendallEvaluator& evaluator,
                                               const RankDistribution& dist) {
   CPDB_ASSIGN_OR_RETURN(TopKResult footrule, MeanTopKFootrule(dist));
-  footrule.expected_distance = evaluator.Expected(footrule.keys);
-  return footrule;
+  return RescoreUnderKendall(evaluator, std::move(footrule));
 }
 
 Result<TopKResult> MeanTopKKendallExactDp(const KendallEvaluator& evaluator,

@@ -83,6 +83,12 @@ Result<TopKResult> MeanTopKKendallPivot(const KendallEvaluator& evaluator,
 Result<TopKResult> MeanTopKKendallViaFootrule(const KendallEvaluator& evaluator,
                                               const RankDistribution& dist);
 
+/// \brief Re-scores an already computed answer under d_K — the tail of
+/// MeanTopKKendallViaFootrule, split out so the engine can supply a footrule
+/// answer whose cost columns were built across its thread pool.
+TopKResult RescoreUnderKendall(const KendallEvaluator& evaluator,
+                               TopKResult answer);
+
 /// \brief Exact mean answer by exhaustive search over ordered k-subsets of
 /// the candidate keys (those with Pr(r(t) <= k) > 0). Exponential; fails
 /// unless the candidate count is at most `max_candidates`.

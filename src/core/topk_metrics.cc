@@ -35,6 +35,21 @@ std::map<KeyId, int> Positions(const std::vector<KeyId>& list) {
 
 }  // namespace
 
+double TopKListDistance(const std::vector<KeyId>& a,
+                        const std::vector<KeyId>& b, int k, TopKMetric metric) {
+  switch (metric) {
+    case TopKMetric::kSymDiff:
+      return TopKSymmetricDifference(a, b, k);
+    case TopKMetric::kIntersection:
+      return TopKIntersectionDistance(a, b, k);
+    case TopKMetric::kFootrule:
+      return TopKFootrule(a, b, k);
+    case TopKMetric::kKendall:
+      return TopKKendall(a, b, k);
+  }
+  return 0.0;
+}
+
 double TopKSymmetricDifference(const std::vector<KeyId>& a,
                                const std::vector<KeyId>& b, int k) {
   return static_cast<double>(SymDiffSize(a, b)) / (2.0 * k);

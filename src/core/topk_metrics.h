@@ -21,6 +21,17 @@
 
 namespace cpdb {
 
+/// \brief The four Top-k list metrics of Section 5, selectable wherever a
+/// distance is a runtime parameter (the generic evaluators, the Monte-Carlo
+/// estimators, the engine's query API, the CLI's --metric flag).
+enum class TopKMetric { kSymDiff, kIntersection, kFootrule, kKendall };
+
+/// \brief d(a, b) under `metric` — the single distance dispatch shared by
+/// every metric-parameterized caller (core/evaluation.cc, core/monte_carlo.cc,
+/// engine/engine.cc). Unknown enum values return 0.
+double TopKListDistance(const std::vector<KeyId>& a,
+                        const std::vector<KeyId>& b, int k, TopKMetric metric);
+
 /// \brief The normalized symmetric difference d_Delta(a, b) =
 /// (1/2k) |a Δ b| over the key sets (Section 5.2); order within the lists
 /// is ignored, so this is the pure membership distance. Range [0, 1].

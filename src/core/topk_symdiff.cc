@@ -207,31 +207,43 @@ class SizeValueDp {
 
 }  // namespace
 
-Result<TopKResult> MedianTopKSymDiff(const AndXorTree& tree,
-                                     const RankDistribution& dist) {
-  const int k = dist.k();
-  const int num_leaves = tree.NumLeaves();
-  if (num_leaves == 0) return Status::InvalidArgument("empty tree");
-
-  // Per-leaf DP values: P(t) = Pr(r(t) <= k) of the leaf's key (for the
-  // size-k threshold DP), and P(t) - 1/2 (for the small-world DP).
-  std::vector<double> value_p(static_cast<size_t>(tree.NumNodes()), 0.0);
-  std::vector<double> value_centered(value_p);
+MedianSymDiffContext BuildMedianSymDiffContext(const AndXorTree& tree,
+                                               const RankDistribution& dist) {
+  MedianSymDiffContext context;
+  context.k = dist.k();
+  // Distinct leaf scores ascending: the Theorem 4 thresholds, in the order
+  // the sequential scan (a std::set walk) considered them historically.
+  std::set<double> scores;
+  for (NodeId l : tree.LeafIds()) scores.insert(tree.node(l).leaf.score);
+  context.thresholds.assign(scores.begin(), scores.end());
+  context.value_p.assign(static_cast<size_t>(tree.NumNodes()), 0.0);
+  context.value_centered.assign(static_cast<size_t>(tree.NumNodes()), 0.0);
   for (NodeId l : tree.LeafIds()) {
     double p = dist.PrTopK(tree.node(l).leaf.key);
-    value_p[static_cast<size_t>(l)] = p;
-    value_centered[static_cast<size_t>(l)] = p - 0.5;
+    context.value_p[static_cast<size_t>(l)] = p;
+    context.value_centered[static_cast<size_t>(l)] = p - 0.5;
+  }
+  return context;
+}
+
+int NumMedianSymDiffStrata(const MedianSymDiffContext& context) {
+  return static_cast<int>(context.thresholds.size()) + 1;
+}
+
+std::vector<SymDiffMedianCandidate> EvalMedianSymDiffStratum(
+    const AndXorTree& tree, const MedianSymDiffContext& context, int stratum) {
+  const int k = context.k;
+  std::vector<SymDiffMedianCandidate> candidates;
+  if (tree.NumLeaves() == 0 || k < 1) return candidates;
+  if (stratum < 0 || stratum > static_cast<int>(context.thresholds.size())) {
+    return candidates;
   }
 
-  double best_v = kNegInf;  // objective: sum_{t in tau} (P(t) - 1/2)
-  std::vector<NodeId> best_leaves;
-
-  // --- Candidates of size exactly k: one score-threshold DP per distinct
-  // score (Theorem 4). A size-k world of the pruned tree is exactly the
-  // Top-k of a realizable full world.
-  std::set<double> distinct_scores;
-  for (NodeId l : tree.LeafIds()) distinct_scores.insert(tree.node(l).leaf.score);
-  for (double threshold : distinct_scores) {
+  if (stratum < static_cast<int>(context.thresholds.size())) {
+    // Candidates of size exactly k above this score threshold (Theorem 4):
+    // a size-k world of the pruned tree is exactly the Top-k of a
+    // realizable full world. DP values are P(t) = Pr(r(t) <= k).
+    const double threshold = context.thresholds[static_cast<size_t>(stratum)];
     std::vector<bool> active(static_cast<size_t>(tree.NumNodes()), false);
     int num_active = 0;
     for (NodeId l : tree.LeafIds()) {
@@ -240,39 +252,53 @@ Result<TopKResult> MedianTopKSymDiff(const AndXorTree& tree,
         ++num_active;
       }
     }
-    if (num_active < k) continue;
-    SizeValueDp dp(tree, value_p, active, k);
+    if (num_active < k) return candidates;
+    SizeValueDp dp(tree, context.value_p, active, k);
     double v = dp.ValueAt(k);
-    if (v == kNegInf) continue;
-    double centered = v - 0.5 * k;
-    if (centered > best_v + kValueEps) {
-      best_v = centered;
-      best_leaves = dp.Reconstruct(k);
-    }
+    if (v == kNegInf) return candidates;
+    candidates.push_back({v - 0.5 * k, dp.Reconstruct(k)});
+    return candidates;
   }
 
-  // --- Candidates smaller than k: whole worlds with fewer than k tuples
-  // (their Top-k answer is the world itself). DP over the unpruned tree.
-  if (num_leaves >= 1 && k >= 1) {
-    std::vector<bool> all_active(static_cast<size_t>(tree.NumNodes()), false);
-    for (NodeId l : tree.LeafIds()) all_active[static_cast<size_t>(l)] = true;
-    SizeValueDp dp(tree, value_centered, all_active, k - 1);
-    for (int size = 0; size < k; ++size) {
-      double v = dp.ValueAt(size);
-      if (v == kNegInf) continue;
-      if (v > best_v + kValueEps) {
-        best_v = v;
-        best_leaves = dp.Reconstruct(size);
+  // Final stratum: whole worlds with fewer than k tuples (their Top-k answer
+  // is the world itself), over the unpruned tree with centered values
+  // P(t) - 1/2 so sizes compare on the uniform objective.
+  std::vector<bool> all_active(static_cast<size_t>(tree.NumNodes()), false);
+  for (NodeId l : tree.LeafIds()) {
+    all_active[static_cast<size_t>(l)] = true;
+  }
+  SizeValueDp dp(tree, context.value_centered, all_active, k - 1);
+  for (int size = 0; size < k; ++size) {
+    double v = dp.ValueAt(size);
+    if (v == kNegInf) continue;
+    candidates.push_back({v, dp.Reconstruct(size)});
+  }
+  return candidates;
+}
+
+Result<TopKResult> PickMedianSymDiffCandidate(
+    const AndXorTree& tree, const RankDistribution& dist,
+    const std::vector<std::vector<SymDiffMedianCandidate>>& per_stratum) {
+  // First-improvement merge in stratum order — the exact comparison sequence
+  // of the historical sequential scan, so parallel stratum evaluation cannot
+  // change which candidate wins.
+  double best_v = kNegInf;
+  const std::vector<NodeId>* best = nullptr;
+  for (const std::vector<SymDiffMedianCandidate>& stratum : per_stratum) {
+    for (const SymDiffMedianCandidate& c : stratum) {
+      if (c.centered_value > best_v + kValueEps) {
+        best_v = c.centered_value;
+        best = &c.leaves;
       }
     }
   }
-
-  if (best_v == kNegInf) {
+  if (best == nullptr) {
     return Status::Infeasible("no candidate Top-k answer found");
   }
 
   // Order the answer by score descending (its rank order in the witnessing
   // world) and convert leaves to keys.
+  std::vector<NodeId> best_leaves = *best;
   std::sort(best_leaves.begin(), best_leaves.end(), [&](NodeId a, NodeId b) {
     return tree.node(a).leaf.score > tree.node(b).leaf.score;
   });
@@ -280,6 +306,20 @@ Result<TopKResult> MedianTopKSymDiff(const AndXorTree& tree,
   for (NodeId l : best_leaves) result.keys.push_back(tree.node(l).leaf.key);
   result.expected_distance = ExpectedTopKSymDiff(dist, result.keys);
   return result;
+}
+
+Result<TopKResult> MedianTopKSymDiff(const AndXorTree& tree,
+                                     const RankDistribution& dist) {
+  if (tree.NumLeaves() == 0) return Status::InvalidArgument("empty tree");
+  const MedianSymDiffContext context = BuildMedianSymDiffContext(tree, dist);
+  const int num_strata = NumMedianSymDiffStrata(context);
+  std::vector<std::vector<SymDiffMedianCandidate>> per_stratum(
+      static_cast<size_t>(num_strata));
+  for (int s = 0; s < num_strata; ++s) {
+    per_stratum[static_cast<size_t>(s)] =
+        EvalMedianSymDiffStratum(tree, context, s);
+  }
+  return PickMedianSymDiffCandidate(tree, dist, per_stratum);
 }
 
 }  // namespace cpdb

@@ -56,6 +56,63 @@ TopKResult MeanTopKSymDiffUnrestricted(const RankDistribution& dist);
 Result<TopKResult> MedianTopKSymDiff(const AndXorTree& tree,
                                      const RankDistribution& dist);
 
+// -- Stratum decomposition of MedianTopKSymDiff ----------------------------
+//
+// The Theorem 4 search runs one size-capped max-value DP per distinct leaf
+// score (candidates of size exactly k, Top-k answers of realizable worlds)
+// plus one DP over the unpruned tree (whole worlds smaller than k). The
+// strata are mutually independent, which makes them the unit of work
+// Engine::ConsensusTopK fans across its thread pool; MedianTopKSymDiff
+// itself evaluates them sequentially and merges with the identical code, so
+// the two paths are bitwise-interchangeable.
+
+/// \brief One candidate answer produced by a stratum: the uniform objective
+/// sum_{t in tau} (Pr(r(t) <= k) - 1/2) and the witnessing leaves (sorted
+/// NodeIds).
+struct SymDiffMedianCandidate {
+  double centered_value = 0.0;
+  std::vector<NodeId> leaves;
+};
+
+/// \brief Shared inputs of every stratum, computed once per query (one
+/// distinct-score scan and one PrTopK sweep instead of one per stratum):
+/// the Theorem 4 thresholds ascending, the per-node DP values
+/// Pr(r(t) <= k), and their centered form Pr(r(t) <= k) - 1/2 (leaves
+/// only; other nodes 0). Build with BuildMedianSymDiffContext.
+struct MedianSymDiffContext {
+  int k = 0;
+  std::vector<double> thresholds;
+  std::vector<double> value_p;
+  std::vector<double> value_centered;
+};
+
+/// \brief Precomputes the stratum inputs for MedianTopKSymDiff over `tree`;
+/// `dist` must come from ComputeRankDistribution(tree, k).
+MedianSymDiffContext BuildMedianSymDiffContext(const AndXorTree& tree,
+                                               const RankDistribution& dist);
+
+/// \brief Number of independent search strata: one per distinct leaf score,
+/// plus the smaller-than-k stratum. Valid stratum indices are
+/// [0, NumMedianSymDiffStrata(context)).
+int NumMedianSymDiffStrata(const MedianSymDiffContext& context);
+
+/// \brief Evaluates stratum `stratum`: indices below the distinct-score
+/// count run that score-threshold DP (at most one candidate); the final
+/// index runs the small-world DP (up to k candidates, sizes ascending).
+/// Candidates are returned in the exact order the sequential scan considers
+/// them; infeasible strata return an empty vector. Strata are independent
+/// and `context` is only read, so calls may run concurrently.
+std::vector<SymDiffMedianCandidate> EvalMedianSymDiffStratum(
+    const AndXorTree& tree, const MedianSymDiffContext& context, int stratum);
+
+/// \brief Merges per-stratum candidate lists (indexed by stratum) into the
+/// final median answer, replaying the sequential scan's first-improvement
+/// order, and finalizes (rank order by score, expected distance). Shared by
+/// MedianTopKSymDiff and the engine's parallel path.
+Result<TopKResult> PickMedianSymDiffCandidate(
+    const AndXorTree& tree, const RankDistribution& dist,
+    const std::vector<std::vector<SymDiffMedianCandidate>>& per_stratum);
+
 }  // namespace cpdb
 
 #endif  // CPDB_CORE_TOPK_SYMDIFF_H_

@@ -6,7 +6,7 @@
 #include <cmath>
 #include <utility>
 
-#include "core/jaccard.h"
+#include "core/jaccard.h"  // IsBlockIndependent
 #include "core/rank_distribution_fast.h"
 #include "core/set_consensus.h"
 #include "core/topk_footrule.h"
@@ -65,19 +65,48 @@ RankDistribution Engine::ComputeRankDistribution(const AndXorTree& tree,
   return std::move(builder).Build();
 }
 
-std::vector<std::vector<double>> Engine::PairwiseOrderProbabilities(
-    const AndXorTree& tree, const std::vector<KeyId>& keys) const {
-  size_t n = keys.size();
-  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+std::vector<std::vector<double>> Engine::PairwiseMatrix(
+    size_t n, const std::function<double(size_t, size_t)>& cell) const {
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
   // One unit per ordered pair, each writing its own cell: embarrassingly
   // parallel and trivially schedule-deterministic.
   pool_.ParallelFor(static_cast<int64_t>(n * n), [&](int64_t flat) {
     size_t i = static_cast<size_t>(flat) / n;
     size_t j = static_cast<size_t>(flat) % n;
     if (i == j) return;
-    p[i][j] = PrRanksBefore(tree, keys[i], keys[j]);
+    m[i][j] = cell(i, j);
   });
-  return p;
+  return m;
+}
+
+std::vector<std::vector<double>> Engine::PerKeyColumns(
+    const RankDistribution& dist,
+    const std::function<std::vector<double>(const RankDistribution&, KeyId)>&
+        column) const {
+  const std::vector<KeyId>& keys = dist.keys();
+  std::vector<std::vector<double>> columns(keys.size());
+  pool_.ParallelFor(static_cast<int64_t>(keys.size()), [&](int64_t t) {
+    columns[static_cast<size_t>(t)] =
+        column(dist, keys[static_cast<size_t>(t)]);
+  });
+  return columns;
+}
+
+std::vector<double> Engine::LeafMarginals(const AndXorTree& tree) const {
+  const std::vector<NodeId>& leaves = tree.LeafIds();
+  std::vector<double> marginal(static_cast<size_t>(tree.NumNodes()), 0.0);
+  pool_.ParallelFor(static_cast<int64_t>(leaves.size()), [&](int64_t i) {
+    NodeId leaf = leaves[static_cast<size_t>(i)];
+    marginal[static_cast<size_t>(leaf)] = tree.LeafMarginal(leaf);
+  });
+  return marginal;
+}
+
+std::vector<std::vector<double>> Engine::PairwiseOrderProbabilities(
+    const AndXorTree& tree, const std::vector<KeyId>& keys) const {
+  return PairwiseMatrix(keys.size(), [&](size_t i, size_t j) {
+    return PrRanksBefore(tree, keys[i], keys[j]);
+  });
 }
 
 namespace {
@@ -128,8 +157,24 @@ Result<TopKResult> Engine::ConsensusTopK(const AndXorTree& tree, int k,
       switch (answer) {
         case TopKAnswer::kMean:
           return MeanTopKSymDiff(dist);
-        case TopKAnswer::kMedian:
-          return MedianTopKSymDiff(tree, dist);
+        case TopKAnswer::kMedian: {
+          // One unit per Theorem 4 search stratum (score-threshold DPs plus
+          // the small-world DP); the merge replays the sequential scan's
+          // first-improvement order, so the winner is schedule-independent.
+          if (tree.NumLeaves() == 0) {
+            return Status::InvalidArgument("empty tree");
+          }
+          const MedianSymDiffContext context =
+              BuildMedianSymDiffContext(tree, dist);
+          const int num_strata = NumMedianSymDiffStrata(context);
+          std::vector<std::vector<SymDiffMedianCandidate>> per_stratum(
+              static_cast<size_t>(num_strata));
+          pool_.ParallelFor(num_strata, [&](int64_t s) {
+            per_stratum[static_cast<size_t>(s)] =
+                EvalMedianSymDiffStratum(tree, context, static_cast<int>(s));
+          });
+          return PickMedianSymDiffCandidate(tree, dist, per_stratum);
+        }
         case TopKAnswer::kMeanUnrestricted:
           return MeanTopKSymDiffUnrestricted(dist);
         case TopKAnswer::kMeanApprox:
@@ -139,8 +184,12 @@ Result<TopKResult> Engine::ConsensusTopK(const AndXorTree& tree, int k,
     case TopKMetric::kIntersection:
       switch (answer) {
         case TopKAnswer::kMean:
-          return MeanTopKIntersectionExact(dist);
+          // One profit column per candidate tuple across the pool; the
+          // Hungarian solve runs on the calling thread.
+          return MeanTopKIntersectionExactFromColumns(
+              dist, PerKeyColumns(dist, IntersectionProfitColumn));
         case TopKAnswer::kMeanApprox:
+          // A single O(n k + n log n) sort: below parallelization grain.
           return MeanTopKIntersectionApprox(dist);
         case TopKAnswer::kMedian:
         case TopKAnswer::kMeanUnrestricted:
@@ -148,33 +197,67 @@ Result<TopKResult> Engine::ConsensusTopK(const AndXorTree& tree, int k,
       }
       break;
     case TopKMetric::kFootrule:
-      return MeanTopKFootrule(dist);
+      // One cost column per candidate tuple across the pool; the Hungarian
+      // solve runs on the calling thread.
+      return MeanTopKFootruleFromColumns(
+          dist, PerKeyColumns(dist, FootruleCostColumn));
     case TopKMetric::kKendall: {
       // The evaluator's O(n^2) q-statistics dominate the query; fan one
       // generating-function fold per ordered pair across the pool (each
-      // writes its own cell, so the matrix is schedule-deterministic).
+      // writes its own cell, so the matrix is schedule-deterministic), then
+      // build the footrule answer from parallel cost columns and re-score
+      // it under d_K.
       std::vector<KeyId> keys = tree.Keys();
-      size_t n = keys.size();
-      std::vector<std::vector<double>> q(n, std::vector<double>(n, 0.0));
-      pool_.ParallelFor(static_cast<int64_t>(n * n), [&](int64_t flat) {
-        size_t iu = static_cast<size_t>(flat) / n;
-        size_t it = static_cast<size_t>(flat) % n;
-        if (iu == it) return;
-        q[iu][it] = PrInTopKAndBefore(tree, keys[iu], keys[it], k);
-      });
+      std::vector<std::vector<double>> q =
+          PairwiseMatrix(keys.size(), [&](size_t iu, size_t it) {
+            return PrInTopKAndBefore(tree, keys[iu], keys[it], k);
+          });
       KendallEvaluator evaluator(tree, k, std::move(q));
-      return MeanTopKKendallViaFootrule(evaluator, dist);
+      CPDB_ASSIGN_OR_RETURN(
+          TopKResult footrule,
+          MeanTopKFootruleFromColumns(dist,
+                                      PerKeyColumns(dist, FootruleCostColumn)));
+      return RescoreUnderKendall(evaluator, std::move(footrule));
     }
   }
   return Status::InvalidArgument("unknown metric or answer kind");
 }
 
+std::vector<Result<TopKResult>> Engine::EvaluateConsensusBatch(
+    const std::vector<ConsensusQuery>& queries) const {
+  std::vector<Result<TopKResult>> results(
+      queries.size(),
+      Result<TopKResult>(Status::Internal("query not evaluated")));
+  // Whole queries fan across the pool; each slot is written by exactly one
+  // unit and every query is itself schedule-deterministic, so the batch is
+  // bitwise-equivalent to a sequential loop of ConsensusTopK calls. Nested
+  // ParallelFor inside a query is safe (idle threads drain the shared
+  // queue), so inner units of one query fill gaps left by another.
+  pool_.ParallelFor(static_cast<int64_t>(queries.size()), [&](int64_t i) {
+    const ConsensusQuery& q = queries[static_cast<size_t>(i)];
+    if (q.tree == nullptr) {
+      results[static_cast<size_t>(i)] =
+          Status::InvalidArgument("ConsensusQuery.tree must not be null");
+      return;
+    }
+    results[static_cast<size_t>(i)] =
+        ConsensusTopK(*q.tree, q.k, q.metric, q.answer);
+  });
+  return results;
+}
+
 std::vector<NodeId> Engine::MeanWorldSymDiff(const AndXorTree& tree) const {
-  return cpdb::MeanWorldSymDiff(tree);
+  return MeanWorldSymDiffFromMarginals(tree, LeafMarginals(tree));
 }
 
 std::vector<NodeId> Engine::MedianWorldSymDiff(const AndXorTree& tree) const {
-  return cpdb::MedianWorldSymDiff(tree);
+  return MedianWorldSymDiffFromMarginals(tree, LeafMarginals(tree));
+}
+
+double Engine::ExpectedSymDiffDistance(
+    const AndXorTree& tree, const std::vector<NodeId>& world) const {
+  return ExpectedSymDiffDistanceFromMarginals(tree, LeafMarginals(tree),
+                                              world);
 }
 
 McEstimate Engine::EstimateOverWorlds(
@@ -205,18 +288,8 @@ McEstimate Engine::McExpectedTopKDistance(const AndXorTree& tree,
                                           uint64_t seed) const {
   return EstimateOverWorlds(
       tree, num_samples, seed, [&](const std::vector<NodeId>& world) {
-        std::vector<KeyId> topk = TopKOfWorld(tree, world, k);
-        switch (metric) {
-          case TopKMetric::kSymDiff:
-            return TopKSymmetricDifference(answer, topk, k);
-          case TopKMetric::kIntersection:
-            return TopKIntersectionDistance(answer, topk, k);
-          case TopKMetric::kFootrule:
-            return TopKFootrule(answer, topk, k);
-          case TopKMetric::kKendall:
-            return TopKKendall(answer, topk, k);
-        }
-        return 0.0;
+        return TopKListDistance(answer, TopKOfWorld(tree, world, k), k,
+                                metric);
       });
 }
 

@@ -11,17 +11,27 @@
 //   * rank distributions — one unit per leaf (LeafRankContribution), merged
 //     in DFS leaf order, which is exactly the accumulation order of the
 //     sequential ComputeRankDistribution;
-//   * pairwise order probabilities — one unit per ordered key pair, each
-//     writing its own matrix cell;
+//   * pairwise matrices (order probabilities, Kendall q statistics) — one
+//     unit per ordered key pair, each writing its own matrix cell;
+//   * median symdiff — one unit per Theorem 4 search stratum (score
+//     threshold DPs plus the small-world DP), merged by replaying the
+//     sequential first-improvement scan;
+//   * footrule / intersection assignment — one cost (profit) column per
+//     candidate tuple, fanned across the pool before the Hungarian solve;
+//   * set consensus — one marginal fold per leaf, with the O(N) filter / DP
+//     on the calling thread;
 //   * Monte-Carlo estimation — samples are drawn in fixed-size chunks, each
 //     chunk from its own Rng seeded by (seed, chunk index), and the
 //     per-chunk Welford statistics are combined in chunk order. The chunk
 //     size is an algorithm parameter (EngineOptions::mc_chunk_size), not a
 //     scheduling hint: changing it changes the sample stream.
 //
-// Future scaling work (sharding trees across engines, batching queries,
-// caching rank distributions) should hang off this facade rather than the
-// core functions, so callers keep a single entry point.
+// EvaluateConsensusBatch fans whole queries across the same pool (queries
+// nest their own ParallelFor calls; the pool is nest-safe), so callers with
+// many (tree, k, metric) combinations pay one submission. Future scaling
+// work (sharding trees across engines, caching rank distributions) should
+// hang off this facade rather than the core functions, so callers keep a
+// single entry point.
 
 #ifndef CPDB_ENGINE_ENGINE_H_
 #define CPDB_ENGINE_ENGINE_H_
@@ -103,21 +113,64 @@ class Engine {
 
   // -- Consensus Top-k (Section 5) ----------------------------------------
 
-  /// \brief Computes the consensus Top-k answer for (metric, answer),
-  /// routing the rank-distribution precomputation through the pool.
-  /// Unsupported combinations (e.g. footrule median) return NotImplemented;
-  /// unknown enum values return InvalidArgument.
+  /// \brief Computes the consensus Top-k answer for (metric, answer). Every
+  /// metric's heavy precomputation runs through the pool: the rank
+  /// distribution always; additionally the Theorem 4 strata (symdiff
+  /// median), the per-candidate Hungarian cost/profit columns (footrule,
+  /// intersection exact), and the pairwise q matrix plus footrule columns
+  /// (kendall). Results are bitwise identical to the sequential core
+  /// functions for any thread count. Unsupported combinations (e.g.
+  /// footrule median) return NotImplemented; unknown enum values return
+  /// InvalidArgument.
   Result<TopKResult> ConsensusTopK(const AndXorTree& tree, int k,
                                    TopKMetric metric,
                                    TopKAnswer answer = TopKAnswer::kMean) const;
 
+  /// \brief One query of a consensus Top-k batch; `tree` must stay alive
+  /// for the duration of the EvaluateConsensusBatch call (several queries
+  /// may share one tree).
+  struct ConsensusQuery {
+    const AndXorTree* tree = nullptr;
+    int k = 1;
+    TopKMetric metric = TopKMetric::kSymDiff;
+    TopKAnswer answer = TopKAnswer::kMean;
+  };
+
+  /// \brief Evaluates many consensus Top-k queries in one submission,
+  /// fanning whole queries across the pool (each query may nest its own
+  /// ParallelFor; the pool is nest-safe, and idle threads inside one query
+  /// steal units of another). results[i] corresponds to queries[i] and
+  /// equals what ConsensusTopK(queries[i]...) returns — bitwise, for any
+  /// thread count; per-query failures (null tree, bad k, unsupported
+  /// combination) land in their slot without affecting other queries.
+  std::vector<Result<TopKResult>> EvaluateConsensusBatch(
+      const std::vector<ConsensusQuery>& queries) const;
+
   // -- Set consensus (Section 4.1) ----------------------------------------
 
-  /// \brief The mean world under symmetric difference (Theorem 2).
+  /// \brief The mean world under symmetric difference (Theorem 2). The
+  /// per-leaf marginal folds run across the pool (one unit per leaf, like
+  /// the rank-distribution path); the O(L) filter runs on the calling
+  /// thread. Bitwise identical to the core function for any thread count.
   std::vector<NodeId> MeanWorldSymDiff(const AndXorTree& tree) const;
 
-  /// \brief The median world under symmetric difference (Corollary 1).
+  /// \brief The median world under symmetric difference (Corollary 1);
+  /// parallel marginal folds feeding the sequential O(N) min-cost DP.
+  /// Bitwise identical to the core function for any thread count.
   std::vector<NodeId> MedianWorldSymDiff(const AndXorTree& tree) const;
+
+  /// \brief E[d_Delta(world, pw)] for a fixed leaf set, with the marginal
+  /// folds run across the pool and the sum accumulated in DFS leaf order —
+  /// bitwise identical to the core ExpectedSymDiffDistance.
+  double ExpectedSymDiffDistance(const AndXorTree& tree,
+                                 const std::vector<NodeId>& world) const;
+
+  /// \brief Leaf marginals (indexed by NodeId) with one fold per leaf run
+  /// across the pool; bitwise identical to tree.LeafMarginals(). Callers
+  /// issuing several set-consensus operations against one tree (e.g. an
+  /// answer plus its expected distance) compute this once and use the
+  /// core *FromMarginals functions, paying the fold a single time.
+  std::vector<double> LeafMarginals(const AndXorTree& tree) const;
 
   // -- Monte-Carlo estimation ---------------------------------------------
 
@@ -137,6 +190,19 @@ class Engine {
                                     uint64_t seed) const;
 
  private:
+  /// n x n matrix with cell(i, j) evaluated across the pool (diagonal left
+  /// 0): the shared flat-index pairwise pattern behind
+  /// PairwiseOrderProbabilities and the Kendall q precompute.
+  std::vector<std::vector<double>> PairwiseMatrix(
+      size_t n, const std::function<double(size_t, size_t)>& cell) const;
+
+  /// One `column(dist, key)` evaluation per key of `dist`, fanned across
+  /// the pool — the per-candidate unit of the assignment-based metrics.
+  std::vector<std::vector<double>> PerKeyColumns(
+      const RankDistribution& dist,
+      const std::function<std::vector<double>(const RankDistribution&, KeyId)>&
+          column) const;
+
   EngineOptions options_;
   // ParallelFor mutates pool bookkeeping; queries are logically const.
   mutable ThreadPool pool_;

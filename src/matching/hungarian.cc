@@ -29,12 +29,16 @@ Result<Assignment> SolveAssignmentMin(
   std::vector<double> v(static_cast<size_t>(m) + 1, 0.0);
   std::vector<int> p(static_cast<size_t>(m) + 1, 0);
   std::vector<int> way(static_cast<size_t>(m) + 1, 0);
+  // Scratch for one augmentation, reset (not reallocated) per row: the
+  // solver sits on the engine's per-query hot path.
+  std::vector<double> minv(static_cast<size_t>(m) + 1, kInf);
+  std::vector<bool> used(static_cast<size_t>(m) + 1, false);
 
   for (int i = 1; i <= n; ++i) {
     p[0] = i;
     int j0 = 0;
-    std::vector<double> minv(static_cast<size_t>(m) + 1, kInf);
-    std::vector<bool> used(static_cast<size_t>(m) + 1, false);
+    std::fill(minv.begin(), minv.end(), kInf);
+    std::fill(used.begin(), used.end(), false);
     do {
       used[static_cast<size_t>(j0)] = true;
       int i0 = p[static_cast<size_t>(j0)];

@@ -32,10 +32,15 @@ struct Assignment {
 /// \brief Minimizes total cost over all assignments of each row to a
 /// distinct column. Requires a rectangular matrix with rows <= cols and at
 /// least one row.
+///
+/// Pure function of `cost` (no shared or global state), so distinct solves
+/// may run concurrently — Engine::EvaluateConsensusBatch fans one solve per
+/// footrule/intersection query across its thread pool.
 Result<Assignment> SolveAssignmentMin(
     const std::vector<std::vector<double>>& cost);
 
-/// \brief Maximizes total profit; same preconditions as SolveAssignmentMin.
+/// \brief Maximizes total profit; same preconditions (and the same
+/// concurrency guarantee) as SolveAssignmentMin.
 Result<Assignment> SolveAssignmentMax(
     const std::vector<std::vector<double>>& profit);
 

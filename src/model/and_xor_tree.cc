@@ -192,6 +192,29 @@ std::vector<double> AndXorTree::LeafMarginals() const {
   return marginal;
 }
 
+double AndXorTree::LeafMarginal(NodeId leaf) const {
+  // Root-to-leaf path via the parent index filled in by Validate().
+  std::vector<NodeId> path;
+  for (NodeId v = leaf; v != kInvalidNode;
+       v = parents_[static_cast<size_t>(v)]) {
+    path.push_back(v);
+  }
+  // Multiply edges top-down — the accumulation order of LeafMarginals()'s
+  // DFS, which is what makes the two bitwise interchangeable.
+  double p = 1.0;
+  for (size_t i = path.size(); i-- > 1;) {
+    const TreeNode& parent = nodes_[static_cast<size_t>(path[i])];
+    if (parent.kind != NodeKind::kXor) continue;
+    for (size_t c = 0; c < parent.children.size(); ++c) {
+      if (parent.children[c] == path[i - 1]) {
+        p *= parent.edge_probs[c];
+        break;
+      }
+    }
+  }
+  return p;
+}
+
 std::vector<KeyId> AndXorTree::Keys() const {
   std::set<KeyId> keys;
   for (NodeId l : leaf_ids_) keys.insert(node(l).leaf.key);

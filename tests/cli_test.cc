@@ -149,6 +149,67 @@ TEST_F(CliTest, TopKAcrossMetrics) {
   EXPECT_EQ(any_size.code, 0);
 }
 
+TEST_F(CliTest, TopKAllMetricsBatchesEveryMetric) {
+  CliResult r = RunCliArgs({"topk", bid_path_, "--format=bid", "--k=2",
+                            "--metric=all", "--threads=2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  for (const char* metric :
+       {"symdiff", "intersection", "footrule", "kendall"}) {
+    EXPECT_NE(r.out.find(std::string("top-2 (") + metric), std::string::npos)
+        << metric << " missing from batch output:\n"
+        << r.out;
+    // Each line must agree with the corresponding single-metric query.
+    CliResult single = RunCliArgs({"topk", bid_path_, "--format=bid", "--k=2",
+                                   std::string("--metric=") + metric});
+    EXPECT_EQ(single.code, 0);
+    std::string line = single.out.substr(0, single.out.find('\n'));
+    // The batch prints "(metric, mean)" where the single path echoes the
+    // --answer flag value; compare the key list + distance tail.
+    std::string tail = line.substr(line.find('['));
+    EXPECT_NE(r.out.find(tail), std::string::npos)
+        << metric << ": " << tail << " not in:\n"
+        << r.out;
+  }
+}
+
+TEST_F(CliTest, IntegerFlagsParseStrictly) {
+  // Rejects: trailing garbage, empty values, non-numeric strings — for every
+  // integer flag, at argument-parse time (exit 2, before any file I/O).
+  for (const char* flag :
+       {"--k=1o", "--k=", "--k=abc", "--count=5x", "--count=",
+        "--max-worlds=many", "--max-worlds=12.5", "--seed=0x9",
+        "--seed=", "--threads=two"}) {
+    CliResult r = RunCliArgs({"sample", tree_path_, flag});
+    EXPECT_EQ(r.code, 2) << flag << " was accepted";
+    EXPECT_NE(r.err.find("expects an integer"), std::string::npos) << flag;
+  }
+  // Syntactically valid integers outside the flag's range are rejected too,
+  // never silently clamped.
+  CliResult neg = RunCliArgs({"worlds", tree_path_, "--max-worlds=-1"});
+  EXPECT_EQ(neg.code, 2);
+  EXPECT_NE(neg.err.find("must be >= 0"), std::string::npos);
+  for (const char* flag : {"--k=-2", "--k=9999999", "--count=-5"}) {
+    CliResult r = RunCliArgs({"sample", tree_path_, flag});
+    EXPECT_EQ(r.code, 2) << flag << " was accepted";
+    EXPECT_NE(r.err.find("out of range"), std::string::npos) << flag;
+  }
+  // consensus-world validates --threads like topk does.
+  CliResult bad_threads = RunCliArgs(
+      {"consensus-world", tree_path_, "--threads=-1"});
+  EXPECT_EQ(bad_threads.code, 1);
+  EXPECT_NE(bad_threads.err.find("--threads must be >= 0"), std::string::npos);
+
+  // Accepts: plain decimal integers, including signs and leading zeros.
+  EXPECT_EQ(RunCliArgs({"sample", tree_path_, "--count=3", "--seed=09"}).code,
+            0);
+  EXPECT_EQ(RunCliArgs({"sample", tree_path_, "--seed=+7"}).code, 0);
+  EXPECT_EQ(
+      RunCliArgs({"topk", bid_path_, "--format=bid", "--k=2", "--threads=1"})
+          .code,
+      0);
+  EXPECT_EQ(RunCliArgs({"worlds", tree_path_, "--max-worlds=100"}).code, 0);
+}
+
 TEST_F(CliTest, AggregateUsesLabels) {
   CliResult r = RunCliArgs({"aggregate", bid_path_, "--format=bid"});
   EXPECT_EQ(r.code, 0) << r.err;

@@ -209,7 +209,7 @@ TEST(EngineTest, KendallConsensusMatchesSequentialEvaluator) {
   KendallEvaluator evaluator(tree, k);
   auto direct = MeanTopKKendallViaFootrule(evaluator, dist);
   ASSERT_TRUE(direct.ok());
-  for (int threads : {1, 4}) {
+  for (int threads : {1, 2, 4, 8}) {
     EngineOptions opts;
     opts.num_threads = threads;
     opts.use_fast_bid_path = false;
@@ -219,6 +219,168 @@ TEST(EngineTest, KendallConsensusMatchesSequentialEvaluator) {
     EXPECT_EQ(got->keys, direct->keys) << "threads " << threads;
     EXPECT_EQ(got->expected_distance, direct->expected_distance);
   }
+}
+
+// The parallel Theorem 4 stratum search must reproduce the sequential
+// MedianTopKSymDiff bitwise — same answer keys and same expected distance —
+// for every thread count.
+TEST(EngineTest, MedianSymDiffBitwiseAcrossThreadCounts) {
+  const int k = 3;
+  for (uint64_t seed : {3u, 43u, 47u}) {
+    AndXorTree tree = RandomDeepTree(seed);
+    RankDistribution dist = ComputeRankDistribution(tree, k);
+    auto direct = MedianTopKSymDiff(tree, dist);
+    ASSERT_TRUE(direct.ok());
+    for (int threads : {1, 2, 4, 8}) {
+      EngineOptions opts;
+      opts.num_threads = threads;
+      opts.use_fast_bid_path = false;
+      Engine engine(opts);
+      auto got = engine.ConsensusTopK(tree, k, TopKMetric::kSymDiff,
+                                      TopKAnswer::kMedian);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got->keys, direct->keys)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(got->expected_distance, direct->expected_distance);
+    }
+  }
+}
+
+// Footrule and intersection-exact fan per-candidate Hungarian cost/profit
+// columns across the pool; both must match the sequential core bitwise for
+// every thread count.
+TEST(EngineTest, AssignmentMetricsBitwiseAcrossThreadCounts) {
+  const int k = 3;
+  for (uint64_t seed : {5u, 53u}) {
+    AndXorTree tree = RandomDeepTree(seed);
+    RankDistribution dist = ComputeRankDistribution(tree, k);
+    auto foot_direct = MeanTopKFootrule(dist);
+    auto int_direct = MeanTopKIntersectionExact(dist);
+    ASSERT_TRUE(foot_direct.ok());
+    ASSERT_TRUE(int_direct.ok());
+    for (int threads : {1, 2, 4, 8}) {
+      EngineOptions opts;
+      opts.num_threads = threads;
+      opts.use_fast_bid_path = false;
+      Engine engine(opts);
+      auto foot = engine.ConsensusTopK(tree, k, TopKMetric::kFootrule);
+      ASSERT_TRUE(foot.ok());
+      ASSERT_EQ(foot->keys, foot_direct->keys)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(foot->expected_distance, foot_direct->expected_distance);
+      auto inter = engine.ConsensusTopK(tree, k, TopKMetric::kIntersection);
+      ASSERT_TRUE(inter.ok());
+      ASSERT_EQ(inter->keys, int_direct->keys)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(inter->expected_distance, int_direct->expected_distance);
+    }
+  }
+}
+
+// The set-consensus paths chunk one marginal fold per leaf across the pool;
+// worlds and expected distances must match the sequential core bitwise.
+TEST(EngineTest, SetConsensusBitwiseAcrossThreadCounts) {
+  for (uint64_t seed : {7u, 59u, 61u}) {
+    AndXorTree tree = RandomDeepTree(seed);
+    std::vector<NodeId> mean = MeanWorldSymDiff(tree);
+    std::vector<NodeId> median = MedianWorldSymDiff(tree);
+    double mean_expected = ExpectedSymDiffDistance(tree, mean);
+    for (int threads : {1, 2, 4, 8}) {
+      EngineOptions opts;
+      opts.num_threads = threads;
+      Engine engine(opts);
+      ASSERT_EQ(engine.MeanWorldSymDiff(tree), mean)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(engine.MedianWorldSymDiff(tree), median);
+      ASSERT_EQ(engine.ExpectedSymDiffDistance(tree, mean), mean_expected);
+      ASSERT_EQ(engine.LeafMarginals(tree), tree.LeafMarginals());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine — consensus batch API
+// ---------------------------------------------------------------------------
+
+// A batch over mixed trees, metrics, answers, and k values must return, in
+// every slot, exactly what the one-at-a-time API returns — bitwise, for
+// every thread count.
+TEST(EngineTest, ConsensusBatchMatchesIndividualQueries) {
+  AndXorTree deep = RandomDeepTree(67);
+  AndXorTree bid = RandomBidTree(71);
+  std::vector<Engine::ConsensusQuery> queries = {
+      {&deep, 2, TopKMetric::kSymDiff, TopKAnswer::kMean},
+      {&deep, 3, TopKMetric::kSymDiff, TopKAnswer::kMedian},
+      {&bid, 3, TopKMetric::kIntersection, TopKAnswer::kMean},
+      {&bid, 2, TopKMetric::kIntersection, TopKAnswer::kMeanApprox},
+      {&deep, 3, TopKMetric::kFootrule, TopKAnswer::kMean},
+      {&bid, 2, TopKMetric::kKendall, TopKAnswer::kMean},
+      {&deep, 1, TopKMetric::kSymDiff, TopKAnswer::kMeanUnrestricted},
+  };
+  for (int threads : {1, 2, 4, 8}) {
+    EngineOptions opts;
+    opts.num_threads = threads;
+    Engine engine(opts);
+    std::vector<Result<TopKResult>> batch =
+        engine.EvaluateConsensusBatch(queries);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto single = engine.ConsensusTopK(*queries[i].tree, queries[i].k,
+                                         queries[i].metric, queries[i].answer);
+      ASSERT_TRUE(batch[i].ok()) << "slot " << i << " threads " << threads;
+      ASSERT_TRUE(single.ok());
+      ASSERT_EQ(batch[i]->keys, single->keys)
+          << "slot " << i << " threads " << threads;
+      ASSERT_EQ(batch[i]->expected_distance, single->expected_distance);
+    }
+  }
+}
+
+// Two identical batch submissions must agree bitwise (seeded
+// reproducibility: nothing in the batch path may depend on scheduling).
+TEST(EngineTest, ConsensusBatchIsReproducible) {
+  AndXorTree tree = RandomDeepTree(73);
+  std::vector<Engine::ConsensusQuery> queries;
+  for (int k = 1; k <= 4; ++k) {
+    queries.push_back({&tree, k, TopKMetric::kSymDiff, TopKAnswer::kMedian});
+    queries.push_back({&tree, k, TopKMetric::kFootrule, TopKAnswer::kMean});
+  }
+  EngineOptions opts;
+  opts.num_threads = 4;
+  Engine engine(opts);
+  auto a = engine.EvaluateConsensusBatch(queries);
+  auto b = engine.EvaluateConsensusBatch(queries);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok());
+    ASSERT_TRUE(b[i].ok());
+    ASSERT_EQ(a[i]->keys, b[i]->keys) << "slot " << i;
+    ASSERT_EQ(a[i]->expected_distance, b[i]->expected_distance);
+  }
+}
+
+// Per-query failures stay in their slot; healthy queries still succeed.
+TEST(EngineTest, ConsensusBatchIsolatesFailures) {
+  AndXorTree tree = RandomDeepTree(79);
+  std::vector<Engine::ConsensusQuery> queries = {
+      {&tree, 2, TopKMetric::kSymDiff, TopKAnswer::kMean},
+      {&tree, 0, TopKMetric::kSymDiff, TopKAnswer::kMean},  // bad k
+      {nullptr, 2, TopKMetric::kSymDiff, TopKAnswer::kMean},  // null tree
+      {&tree, 2, TopKMetric::kFootrule, TopKAnswer::kMedian},  // unsupported
+      {&tree, 2, TopKMetric::kFootrule, TopKAnswer::kMean},
+  };
+  EngineOptions opts;
+  opts.num_threads = 4;
+  Engine engine(opts);
+  auto results = engine.EvaluateConsensusBatch(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_FALSE(results[3].ok());
+  EXPECT_TRUE(results[4].ok());
+  EXPECT_EQ(results[0]->keys,
+            engine.ConsensusTopK(tree, 2, TopKMetric::kSymDiff)->keys);
 }
 
 TEST(EngineTest, ConsensusTopKRejectsBadArguments) {

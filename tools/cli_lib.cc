@@ -3,6 +3,7 @@
 #include "tools/cli_lib.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 
@@ -43,6 +44,21 @@ Engine MakeEngine(const CliOptions& opts) {
   return Engine(eopts);
 }
 
+// Strict base-10 integer parse for --flag values: rejects empty strings,
+// trailing garbage, and out-of-range magnitudes instead of silently taking
+// whatever atoi salvages (a typo'd "--k=1o" must not become k=1).
+Result<long long> ParseIntFlag(const std::string& name,
+                               const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   value + "'");
+  }
+  return parsed;
+}
+
 // Parses "--name=value" flags; positional arguments fill command then input.
 Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
   CliOptions opts;
@@ -63,25 +79,39 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     } else if (name == "answer") {
       opts.answer = value;
     } else if (name == "k") {
-      opts.k = std::atoi(value.c_str());
+      // Out-of-range values error rather than clamp: a clamped k would
+      // silently answer a different query. (Range checks like k >= 1 stay
+      // with the commands, which know their semantics.)
+      CPDB_ASSIGN_OR_RETURN(long long k, ParseIntFlag(name, value));
+      if (k < 0 || k > (1 << 20)) {
+        return Status::InvalidArgument("--k out of range, got '" + value +
+                                       "'");
+      }
+      opts.k = static_cast<int>(k);
     } else if (name == "count") {
-      opts.count = std::atoi(value.c_str());
+      CPDB_ASSIGN_OR_RETURN(long long count, ParseIntFlag(name, value));
+      if (count < 0 || count > (1 << 30)) {
+        return Status::InvalidArgument("--count out of range, got '" + value +
+                                       "'");
+      }
+      opts.count = static_cast<int>(count);
     } else if (name == "max-worlds") {
-      opts.max_worlds = static_cast<size_t>(std::atoll(value.c_str()));
-    } else if (name == "seed") {
-      opts.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
-    } else if (name == "threads") {
-      // Strict parse: a typo'd value must not silently become 0, which is
-      // the valid "all hardware cores" setting.
-      char* end = nullptr;
-      long threads = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || end == nullptr || *end != '\0') {
-        return Status::InvalidArgument("--threads expects an integer, got '" +
+      CPDB_ASSIGN_OR_RETURN(long long max_worlds, ParseIntFlag(name, value));
+      if (max_worlds < 0) {
+        return Status::InvalidArgument("--max-worlds must be >= 0, got '" +
                                        value + "'");
       }
+      opts.max_worlds = static_cast<size_t>(max_worlds);
+    } else if (name == "seed") {
+      CPDB_ASSIGN_OR_RETURN(long long seed, ParseIntFlag(name, value));
+      opts.seed = static_cast<uint64_t>(seed);
+    } else if (name == "threads") {
+      // A typo'd value must not silently become 0, which is the valid
+      // "all hardware cores" setting.
+      CPDB_ASSIGN_OR_RETURN(long long threads, ParseIntFlag(name, value));
       // Clamp before narrowing; the pool caps the count anyway.
       opts.threads = static_cast<int>(
-          std::min<long>(std::max<long>(threads, -1), 1 << 20));
+          std::min<long long>(std::max<long long>(threads, -1), 1 << 20));
     } else {
       return Status::InvalidArgument("unknown flag --" + name);
     }
@@ -190,13 +220,22 @@ int CmdConsensusWorld(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     std::fprintf(err, "%s\n", tree.status().ToString().c_str());
     return 1;
   }
+  if (opts.threads < 0) {
+    std::fprintf(err, "--threads must be >= 0 (0 = all hardware cores)\n");
+    return 1;
+  }
   std::vector<NodeId> world;
   double expected = 0.0;
   if (opts.metric == "symdiff") {
-    // The set-consensus DPs are O(N) and sequential; no engine needed here.
-    world = opts.answer == "median" ? MedianWorldSymDiff(*tree)
-                                    : MeanWorldSymDiff(*tree);
-    expected = ExpectedSymDiffDistance(*tree, world);
+    // Through the engine: the per-leaf marginal folds honor --threads
+    // (results are thread-count independent, like every engine path). One
+    // marginal pass serves both the answer and its expected distance.
+    Engine engine = MakeEngine(opts);
+    std::vector<double> marginal = engine.LeafMarginals(*tree);
+    world = opts.answer == "median"
+                ? MedianWorldSymDiffFromMarginals(*tree, marginal)
+                : MeanWorldSymDiffFromMarginals(*tree, marginal);
+    expected = ExpectedSymDiffDistanceFromMarginals(*tree, marginal, world);
   } else if (opts.metric == "jaccard") {
     Result<std::vector<NodeId>> result =
         opts.answer == "median" && IsBlockIndependent(*tree) &&
@@ -234,6 +273,39 @@ int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   if (opts.threads < 0) {
     std::fprintf(err, "--threads must be >= 0 (0 = all hardware cores)\n");
     return 1;
+  }
+  if (opts.metric == "all") {
+    // All four metrics (mean answers) over the same tree, submitted as one
+    // Engine::EvaluateConsensusBatch call: the rank distribution, strata,
+    // columns, and q-matrix units of all queries share the pool.
+    const struct {
+      TopKMetric metric;
+      const char* name;
+    } kMetrics[] = {
+        {TopKMetric::kSymDiff, "symdiff"},
+        {TopKMetric::kIntersection, "intersection"},
+        {TopKMetric::kFootrule, "footrule"},
+        {TopKMetric::kKendall, "kendall"},
+    };
+    Engine engine = MakeEngine(opts);
+    std::vector<Engine::ConsensusQuery> queries;
+    for (const auto& m : kMetrics) {
+      queries.push_back({&*tree, opts.k, m.metric, TopKAnswer::kMean});
+    }
+    std::vector<Result<TopKResult>> results =
+        engine.EvaluateConsensusBatch(queries);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        std::fprintf(err, "%s: %s\n", kMetrics[i].name,
+                     results[i].status().ToString().c_str());
+        return 1;
+      }
+      std::fprintf(out, "top-%d (%s, mean): [", opts.k, kMetrics[i].name);
+      for (KeyId key : results[i]->keys) std::fprintf(out, " %d", key);
+      std::fprintf(out, " ]  E[distance] = %.6f\n",
+                   results[i]->expected_distance);
+    }
+    return 0;
   }
   TopKMetric metric;
   if (opts.metric == "symdiff") {
@@ -330,6 +402,8 @@ std::string CliUsage() {
       "  sample           draw random worlds (--count, --seed)\n"
       "  consensus-world  --metric=symdiff|jaccard --answer=mean|median\n"
       "  topk             --k=K --metric=symdiff|intersection|footrule|kendall\n"
+      "                   (--metric=all batches every metric's mean answer\n"
+      "                   through the engine in one submission)\n"
       "                   --answer=mean|median|approx|any-size\n"
       "  aggregate        consensus group-by COUNT over the label attribute\n"
       "  help             print this message\n"
@@ -338,9 +412,10 @@ std::string CliUsage() {
       "  --format=tree|bid   input format (default tree: s-expression;\n"
       "                      bid: 'key prob score [label]' lines)\n"
       "  --max-worlds=N      enumeration guard for `worlds` (default 4096)\n"
-      "  --threads=N         evaluation threads for topk queries (default 1;\n"
-      "                      0 = all hardware cores; results are independent\n"
-      "                      of N)\n";
+      "  (integer flags are parsed strictly: '--k=1o' is an error, not 1)\n"
+      "  --threads=N         evaluation threads for topk and consensus-world\n"
+      "                      queries (default 1; 0 = all hardware cores;\n"
+      "                      results are independent of N)\n";
 }
 
 int RunCli(const std::vector<std::string>& args, std::FILE* out,
