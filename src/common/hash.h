@@ -1,0 +1,38 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// A stable 64-bit content hash (FNV-1a). "Stable" means the value is a pure
+// function of the input bytes — independent of platform, pointer layout,
+// process, and library version — so it can serve as a persistent
+// fingerprint: the service layer's TreeCatalog keys trees by
+// Fnv1a64(canonical tree text), and two sessions (or two replicas) agree on
+// every fingerprint. Not a cryptographic hash; collisions are astronomically
+// unlikely for catalog-sized populations but an adversary could forge them.
+
+#ifndef CPDB_COMMON_HASH_H_
+#define CPDB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cpdb {
+
+/// \brief FNV-1a offset basis: the hash of the empty byte string.
+inline constexpr uint64_t kFnv1a64OffsetBasis = 0xcbf29ce484222325ULL;
+
+/// \brief 64-bit FNV-1a over a byte range, starting from `seed` (the offset
+/// basis by default). Passing a previous hash as `seed` chains ranges:
+/// Fnv1a64(b, Fnv1a64(a)) == Fnv1a64(a ++ b).
+uint64_t Fnv1a64(const void* data, size_t len,
+                 uint64_t seed = kFnv1a64OffsetBasis);
+
+/// \brief 64-bit FNV-1a of a string's bytes.
+uint64_t Fnv1a64(const std::string& text);
+
+/// \brief Fixed-width lower-case hex rendering of a 64-bit hash, the form
+/// fingerprints take in protocol lines and logs.
+std::string HashToHex(uint64_t hash);
+
+}  // namespace cpdb
+
+#endif  // CPDB_COMMON_HASH_H_

@@ -24,6 +24,12 @@ struct McEstimate {
   double mean = 0.0;
   double std_error = 0.0;
   int samples = 0;
+  /// The chunk size the producing estimator decomposed the sample stream
+  /// into — the engine's chunked-parallel paths record the value they used
+  /// (fixed or adaptively resolved), so any run is reproducible bitwise by
+  /// pinning EngineOptions::mc_chunk_size to it. 0 for the sequential
+  /// estimators in this header, whose single Rng stream has no chunks.
+  int chunk_size = 0;
 
   double ci95_low() const { return mean - 1.96 * std_error; }
   double ci95_high() const { return mean + 1.96 * std_error; }

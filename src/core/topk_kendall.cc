@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <functional>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "core/topk_footrule.h"
@@ -55,20 +56,25 @@ KendallEvaluator::KendallEvaluator(const AndXorTree& tree, int k)
   }
 }
 
-KendallEvaluator::KendallEvaluator(const AndXorTree& tree, int k,
-                                   std::vector<std::vector<double>> q)
-    : k_(k), keys_(tree.Keys()), q_(std::move(q)) {
-  BuildKeyIndex();
-  // A mis-shaped matrix (built over a different key list) must fail fast:
+Result<KendallEvaluator> KendallEvaluator::Create(
+    const AndXorTree& tree, int k, std::vector<std::vector<double>> q) {
+  std::vector<KeyId> keys = tree.Keys();
+  // A mis-shaped matrix (built over a different key list) must be rejected:
   // padding it out would silently produce wrong Kendall expectations.
-  bool shape_ok = q_.size() == keys_.size();
-  for (const auto& row : q_) shape_ok = shape_ok && row.size() == keys_.size();
+  bool shape_ok = q.size() == keys.size();
+  for (const auto& row : q) shape_ok = shape_ok && row.size() == keys.size();
   if (!shape_ok) {
-    std::fprintf(stderr,
-                 "KendallEvaluator: q matrix shape does not match %zu keys\n",
-                 keys_.size());
-    std::abort();
+    return Status::InvalidArgument(
+        "KendallEvaluator: q matrix shape does not match " +
+        std::to_string(keys.size()) + " keys");
   }
+  return KendallEvaluator(k, std::move(keys), std::move(q));
+}
+
+KendallEvaluator::KendallEvaluator(int k, std::vector<KeyId> keys,
+                                   std::vector<std::vector<double>> q)
+    : k_(k), keys_(std::move(keys)), q_(std::move(q)) {
+  BuildKeyIndex();
   for (size_t i = 0; i < keys_.size(); ++i) q_[i][i] = 0.0;
 }
 

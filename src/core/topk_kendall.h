@@ -42,16 +42,17 @@ class KendallEvaluator {
   /// Precomputation costs O(|keys|^2) generating-function folds.
   KendallEvaluator(const AndXorTree& tree, int k);
 
-  /// \brief Constructs from an externally computed q matrix with
+  /// \brief Builds an evaluator from an externally computed q matrix with
   /// q[i][j] = q(keys[i], keys[j]) over keys = tree.Keys() (diagonal
   /// ignored). Lets callers parallelize the quadratic precompute — the
   /// engine fans one PrInTopKAndBefore fold per ordered pair across its
-  /// thread pool — while this class stays thread-free. Aborts if the
-  /// matrix shape does not match tree.Keys() (a mis-shaped matrix would
-  /// otherwise yield silently wrong expectations). O(|keys|^2) to adopt
-  /// the matrix.
-  KendallEvaluator(const AndXorTree& tree, int k,
-                   std::vector<std::vector<double>> q);
+  /// thread pool — while this class stays thread-free. A matrix whose
+  /// shape does not match tree.Keys() (built over a different key list)
+  /// would yield silently wrong expectations, so it returns
+  /// InvalidArgument instead of an evaluator. O(|keys|^2) to adopt the
+  /// matrix.
+  static Result<KendallEvaluator> Create(const AndXorTree& tree, int k,
+                                         std::vector<std::vector<double>> q);
 
   int k() const { return k_; }
   const std::vector<KeyId>& keys() const { return keys_; }
@@ -64,6 +65,10 @@ class KendallEvaluator {
   double Expected(const std::vector<KeyId>& answer) const;
 
  private:
+  // Adopts a shape-checked matrix; reached only through Create.
+  KendallEvaluator(int k, std::vector<KeyId> keys,
+                   std::vector<std::vector<double>> q);
+
   int k_;
   std::vector<KeyId> keys_;
   std::vector<std::vector<double>> q_;  // q_[u_idx][t_idx]

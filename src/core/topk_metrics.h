@@ -15,8 +15,10 @@
 #ifndef CPDB_CORE_TOPK_METRICS_H_
 #define CPDB_CORE_TOPK_METRICS_H_
 
+#include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "model/types.h"
 
 namespace cpdb {
@@ -25,6 +27,15 @@ namespace cpdb {
 /// distance is a runtime parameter (the generic evaluators, the Monte-Carlo
 /// estimators, the engine's query API, the CLI's --metric flag).
 enum class TopKMetric { kSymDiff, kIntersection, kFootrule, kKendall };
+
+/// \brief The metric's textual name ("symdiff", "intersection", "footrule",
+/// "kendall") — the single vocabulary shared by the CLI's --metric flag and
+/// the serve protocol's metric= field. "?" for unknown enum values.
+const char* TopKMetricName(TopKMetric metric);
+
+/// \brief The inverse of TopKMetricName; InvalidArgument (naming the
+/// accepted values) for anything else. Strict: callers must not default.
+Result<TopKMetric> ParseTopKMetricName(const std::string& name);
 
 /// \brief d(a, b) under `metric` — the single distance dispatch shared by
 /// every metric-parameterized caller (core/evaluation.cc, core/monte_carlo.cc,

@@ -30,6 +30,43 @@ uint64_t ChunkSeed(uint64_t seed, int64_t chunk) {
 
 }  // namespace
 
+const char* TopKAnswerName(TopKAnswer answer) {
+  switch (answer) {
+    case TopKAnswer::kMean:
+      return "mean";
+    case TopKAnswer::kMedian:
+      return "median";
+    case TopKAnswer::kMeanUnrestricted:
+      return "any-size";
+    case TopKAnswer::kMeanApprox:
+      return "approx";
+  }
+  return "?";
+}
+
+Result<TopKAnswer> ParseTopKAnswerName(const std::string& name) {
+  for (TopKAnswer answer : {TopKAnswer::kMean, TopKAnswer::kMedian,
+                            TopKAnswer::kMeanUnrestricted,
+                            TopKAnswer::kMeanApprox}) {
+    if (name == TopKAnswerName(answer)) return answer;
+  }
+  return Status::InvalidArgument(
+      "unknown answer '" + name +
+      "' (expected mean, median, any-size or approx)");
+}
+
+int AdaptiveMcChunkSize(int num_samples, int num_threads) {
+  if (num_samples <= 0) return 32;
+  if (num_threads < 1) num_threads = 1;
+  // Aim for ~4 chunks per thread: enough slack that a slow chunk doesn't
+  // serialize the tail, few enough that per-chunk Rng setup stays noise.
+  int64_t target_chunks = 4 * static_cast<int64_t>(num_threads);
+  int64_t chunk = num_samples / target_chunks;
+  if (chunk < 32) chunk = 32;
+  if (chunk > 4096) chunk = 4096;
+  return static_cast<int>(chunk);
+}
+
 Engine::Engine(const EngineOptions& options)
     : options_(options), pool_(options.num_threads) {}
 
@@ -145,13 +182,38 @@ Status ValidateTopKRequest(TopKMetric metric, TopKAnswer answer) {
 
 }  // namespace
 
+Status Engine::ValidateConsensusRequest(TopKMetric metric, TopKAnswer answer) {
+  return ValidateTopKRequest(metric, answer);
+}
+
 Result<TopKResult> Engine::ConsensusTopK(const AndXorTree& tree, int k,
                                          TopKMetric metric,
                                          TopKAnswer answer) const {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   Status valid = ValidateTopKRequest(metric, answer);
   if (!valid.ok()) return valid;
-  RankDistribution dist = ComputeRankDistribution(tree, k);
+  return ConsensusTopKWithDist(tree, ComputeRankDistribution(tree, k), metric,
+                               answer);
+}
+
+Result<TopKResult> Engine::ConsensusTopKWithDist(const AndXorTree& tree,
+                                                 const RankDistribution& dist,
+                                                 TopKMetric metric,
+                                                 TopKAnswer answer) const {
+  const int k = dist.k();
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  Status valid = ValidateTopKRequest(metric, answer);
+  if (!valid.ok()) return valid;
+  // A distribution computed for a different tree would make the metric
+  // heads optimize over one key set while the tree-folding tails (kendall
+  // q matrix, median strata) use another — a silently wrong answer. The
+  // O(n) key compare is noise next to the O(L^2 k) fold being skipped; it
+  // cannot catch a stale dist from different *content* over the same keys,
+  // which is the caller's contract (see the header).
+  if (dist.keys() != tree.Keys()) {
+    return Status::InvalidArgument(
+        "dist was computed for a different tree (key sets differ)");
+  }
   switch (metric) {
     case TopKMetric::kSymDiff:
       switch (answer) {
@@ -212,7 +274,8 @@ Result<TopKResult> Engine::ConsensusTopK(const AndXorTree& tree, int k,
           PairwiseMatrix(keys.size(), [&](size_t iu, size_t it) {
             return PrInTopKAndBefore(tree, keys[iu], keys[it], k);
           });
-      KendallEvaluator evaluator(tree, k, std::move(q));
+      CPDB_ASSIGN_OR_RETURN(KendallEvaluator evaluator,
+                            KendallEvaluator::Create(tree, k, std::move(q)));
       CPDB_ASSIGN_OR_RETURN(
           TopKResult footrule,
           MeanTopKFootruleFromColumns(dist,
@@ -240,6 +303,20 @@ std::vector<Result<TopKResult>> Engine::EvaluateConsensusBatch(
           Status::InvalidArgument("ConsensusQuery.tree must not be null");
       return;
     }
+    if (q.dist != nullptr) {
+      // Cache-aware slot: the caller supplied the (tree, k) rank
+      // distribution (the serving layer points every query sharing a
+      // fingerprint at one cached instance). A k mismatch would silently
+      // answer a different query, so it fails the slot instead.
+      if (q.dist->k() != q.k) {
+        results[static_cast<size_t>(i)] = Status::InvalidArgument(
+            "ConsensusQuery.dist was computed for a different k");
+        return;
+      }
+      results[static_cast<size_t>(i)] =
+          ConsensusTopKWithDist(*q.tree, *q.dist, q.metric, q.answer);
+      return;
+    }
     results[static_cast<size_t>(i)] =
         ConsensusTopK(*q.tree, q.k, q.metric, q.answer);
   });
@@ -264,7 +341,14 @@ McEstimate Engine::EstimateOverWorlds(
     const AndXorTree& tree, int num_samples, uint64_t seed,
     const std::function<double(const std::vector<NodeId>&)>& f) const {
   if (num_samples <= 0) return McEstimate{};
-  int64_t chunk_size = options_.mc_chunk_size < 1 ? 1 : options_.mc_chunk_size;
+  // 0 = adaptive (resolved from the workload and the thread count); other
+  // non-positive values degrade to 1 as before. Either way the size used is
+  // recorded in the result, so the run can be replayed bitwise by pinning
+  // EngineOptions::mc_chunk_size.
+  int64_t chunk_size =
+      options_.mc_chunk_size == 0
+          ? AdaptiveMcChunkSize(num_samples, num_threads())
+          : (options_.mc_chunk_size < 1 ? 1 : options_.mc_chunk_size);
   int64_t num_chunks = (num_samples + chunk_size - 1) / chunk_size;
   std::vector<Welford> stats(static_cast<size_t>(num_chunks));
   pool_.ParallelFor(num_chunks, [&](int64_t c) {
@@ -278,7 +362,9 @@ McEstimate Engine::EstimateOverWorlds(
   });
   Welford total;
   for (const Welford& chunk : stats) total.Merge(chunk);
-  return FinishEstimate(total);
+  McEstimate estimate = FinishEstimate(total);
+  estimate.chunk_size = static_cast<int>(chunk_size);
+  return estimate;
 }
 
 McEstimate Engine::McExpectedTopKDistance(const AndXorTree& tree,

@@ -61,6 +61,16 @@ enum class TopKAnswer {
   kMeanApprox,         ///< H_k-approximate mean (intersection only)
 };
 
+/// \brief The answer kind's textual name ("mean", "median", "any-size",
+/// "approx") — the single vocabulary shared by the CLI's --answer flag and
+/// the serve protocol's answer= field (the companion of TopKMetricName in
+/// core/topk_metrics.h). "?" for unknown enum values.
+const char* TopKAnswerName(TopKAnswer answer);
+
+/// \brief The inverse of TopKAnswerName; InvalidArgument (naming the
+/// accepted values) for anything else. Strict: callers must not default.
+Result<TopKAnswer> ParseTopKAnswerName(const std::string& name);
+
 /// \brief Construction-time knobs for an Engine.
 struct EngineOptions {
   /// Threads used for query evaluation, counting the calling thread;
@@ -70,13 +80,27 @@ struct EngineOptions {
   /// Samples per Monte-Carlo chunk. Part of the sampling algorithm (it
   /// seeds one Rng per chunk): two engines agree bitwise only if their
   /// chunk sizes agree. The default balances scheduling granularity
-  /// against per-chunk Rng setup.
+  /// against per-chunk Rng setup. 0 selects the chunk size adaptively via
+  /// AdaptiveMcChunkSize(num_samples, num_threads()); the size actually
+  /// used is recorded in McEstimate::chunk_size either way, so any run can
+  /// be reproduced bitwise by pinning that value here.
   int mc_chunk_size = 256;
 
   /// Use the O(n k) block-independent fast path for rank distributions
   /// when the tree qualifies (matches the CLI's historical behavior).
   bool use_fast_bid_path = true;
 };
+
+/// \brief The chunk size EngineOptions::mc_chunk_size = 0 resolves to: a
+/// pure function of the workload size and the thread count that targets a
+/// handful of chunks per thread (enough slack for dynamic load balancing)
+/// while clamping to [32, 4096] so tiny workloads keep per-chunk Rng setup
+/// amortized and huge ones keep the chunk table small. Because the chunk
+/// size defines the sample stream, an adaptive run is reproduced bitwise by
+/// pinning the returned value (reported in McEstimate::chunk_size) — which
+/// is also why the estimate depends on the thread count *only* through this
+/// resolution, never through scheduling.
+int AdaptiveMcChunkSize(int num_samples, int num_threads);
 
 /// \brief Parallel evaluation engine; thread-safe for concurrent queries
 /// against distinct trees (the engine itself holds no per-query state).
@@ -126,14 +150,46 @@ class Engine {
                                    TopKMetric metric,
                                    TopKAnswer answer = TopKAnswer::kMean) const;
 
-  /// \brief One query of a consensus Top-k batch; `tree` must stay alive
-  /// for the duration of the EvaluateConsensusBatch call (several queries
-  /// may share one tree).
+  /// \brief Validates a (metric, answer) combination without running a
+  /// query — the same check ConsensusTopK performs before paying the
+  /// O(L^2 k) precompute (NotImplemented for unsupported pairs,
+  /// InvalidArgument for unknown enum values). Exposed so batching layers
+  /// (the QueryScheduler) can skip cache population for requests that can
+  /// only fail.
+  static Status ValidateConsensusRequest(TopKMetric metric, TopKAnswer answer);
+
+  /// \brief ConsensusTopK with the rank-distribution precompute supplied by
+  /// the caller: the cache-aware entry point. `dist` must be the engine's
+  /// ComputeRankDistribution(tree, dist.k()) — the serving layer's
+  /// RankDistCache memoizes exactly that value by (tree fingerprint, k), so
+  /// repeated queries against one tree skip the O(L^2 k) fold. Because the
+  /// fold is schedule-deterministic, answers are bitwise identical whether
+  /// `dist` was computed fresh or served from a cache. The metric-specific
+  /// tails (strata, columns, q matrix) still run through the pool. The
+  /// guard here is a cheap key-set compare: a `dist` whose key set does not
+  /// match tree.Keys() is InvalidArgument, but a stale distribution from a
+  /// *different tree over the identical key set* (say, re-built with new
+  /// probabilities) passes undetected — content identity is the caller's
+  /// contract, which is why the serving layer keys its RankDistCache by the
+  /// catalog's content fingerprint rather than by name or pointer.
+  Result<TopKResult> ConsensusTopKWithDist(
+      const AndXorTree& tree, const RankDistribution& dist, TopKMetric metric,
+      TopKAnswer answer = TopKAnswer::kMean) const;
+
+  /// \brief One query of a consensus Top-k batch; `tree` (and `dist` when
+  /// set) must stay alive for the duration of the EvaluateConsensusBatch
+  /// call (several queries may share one tree).
   struct ConsensusQuery {
     const AndXorTree* tree = nullptr;
     int k = 1;
     TopKMetric metric = TopKMetric::kSymDiff;
     TopKAnswer answer = TopKAnswer::kMean;
+    /// Optional precomputed rank distribution for (tree, k) — see
+    /// ConsensusTopKWithDist. When set, its k() must equal `k` (the slot
+    /// fails with InvalidArgument otherwise) and the query skips the
+    /// rank-distribution fold; the QueryScheduler points several queries
+    /// sharing (tree fingerprint, k) at one cached instance.
+    const RankDistribution* dist = nullptr;
   };
 
   /// \brief Evaluates many consensus Top-k queries in one submission,
@@ -175,10 +231,16 @@ class Engine {
   // -- Monte-Carlo estimation ---------------------------------------------
 
   /// \brief Chunked-parallel E[f(pw)] estimate: deterministic in `seed` and
-  /// options().mc_chunk_size, independent of the thread count. The sample
-  /// stream differs from the sequential core EstimateOverWorlds (which
-  /// threads one Rng through all samples) but is an equally valid draw.
-  /// `f` may be called concurrently and must be thread-safe.
+  /// the resolved chunk size, which is recorded in the returned
+  /// McEstimate::chunk_size. With an explicit options().mc_chunk_size the
+  /// result is independent of the thread count; with the adaptive setting
+  /// (mc_chunk_size = 0) the chunk size — and hence the sample stream — is
+  /// a pure function of (num_samples, num_threads()), so runs reproduce
+  /// bitwise for a fixed configuration and can be replayed on any
+  /// configuration by pinning the recorded value. The sample stream differs
+  /// from the sequential core EstimateOverWorlds (which threads one Rng
+  /// through all samples) but is an equally valid draw. `f` may be called
+  /// concurrently and must be thread-safe.
   McEstimate EstimateOverWorlds(
       const AndXorTree& tree, int num_samples, uint64_t seed,
       const std::function<double(const std::vector<NodeId>&)>& f) const;

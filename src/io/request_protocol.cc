@@ -1,0 +1,106 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "io/request_protocol.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace cpdb {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+}  // namespace
+
+const std::string* RequestLine::Find(const std::string& name) const {
+  for (const RequestField& f : fields) {
+    if (f.name == name) return &f.value;
+  }
+  return nullptr;
+}
+
+Result<RequestLine> ParseRequestLine(const std::string& line) {
+  RequestLine parsed;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    if (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r') {
+      ++pos;
+      continue;
+    }
+    if (line[pos] == '#' && parsed.fields.empty()) {
+      return parsed;  // comment line
+    }
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+           line[end] != '\r') {
+      ++end;
+    }
+    std::string token = line.substr(pos, end - pos);
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("request field '" + token +
+                                "' is not name=value");
+    }
+    RequestField field{token.substr(0, eq), token.substr(eq + 1)};
+    if (field.name.empty() || !IsNameStart(field.name[0])) {
+      return Status::ParseError("bad field name in '" + token + "'");
+    }
+    for (char c : field.name) {
+      if (!IsNameChar(c)) {
+        return Status::ParseError("bad field name in '" + token + "'");
+      }
+    }
+    if (field.value.empty()) {
+      return Status::ParseError("field '" + field.name + "' has empty value");
+    }
+    if (parsed.Find(field.name) != nullptr) {
+      return Status::ParseError("duplicate field '" + field.name + "'");
+    }
+    parsed.fields.push_back(std::move(field));
+    pos = end;
+  }
+  return parsed;
+}
+
+Result<long long> ParseStrictInt(const std::string& name,
+                                 const std::string& value) {
+  // strtoll itself skips leading whitespace; strict means we don't.
+  bool starts_like_int =
+      !value.empty() && (value[0] == '+' || value[0] == '-' ||
+                         (value[0] >= '0' && value[0] <= '9'));
+  char* end = nullptr;
+  errno = 0;
+  long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (!starts_like_int || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument(name + " expects an integer, got '" +
+                                   value + "'");
+  }
+  return parsed;
+}
+
+std::string FormatResponseLine(const std::vector<RequestField>& fields) {
+  std::string line = "ok";
+  for (const RequestField& f : fields) {
+    line += '\t';
+    line += f.name;
+    line += '=';
+    line += f.value;
+  }
+  line += '\n';
+  return line;
+}
+
+std::string FormatErrorLine(size_t line_number, const Status& status) {
+  return "error\tline=" + std::to_string(line_number) +
+         "\tmsg=" + status.ToString() + "\n";
+}
+
+}  // namespace cpdb

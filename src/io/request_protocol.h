@@ -1,0 +1,81 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// The line-oriented request protocol of the serving layer (`cpdb_cli
+// serve`). One request per line, one response line per request. Grammar:
+//
+//   request := field (WS field)*
+//   field   := NAME "=" VALUE
+//   NAME    := [A-Za-z] [A-Za-z0-9_-]*
+//   VALUE   := one or more non-whitespace characters
+//
+// Blank lines and lines starting with '#' are comments (parsed as a request
+// with no fields; callers skip them). Duplicate field names are an error —
+// a request that says k twice has no single honest answer. Values carry no
+// escaping, so values containing whitespace (e.g. paths with spaces) are
+// not representable; this is a deliberate simplicity trade.
+//
+// Responses are tab-separated `name=value` pairs, led by a literal "ok" or
+// "error" token, e.g.
+//
+//   ok<TAB>op=topk<TAB>tree=movies<TAB>metric=kendall<TAB>k=3<TAB>
+//     keys=2,1,5<TAB>expected=0.123456
+//   error<TAB>line=4<TAB>msg=Invalid argument: unknown op 'topq'
+//
+// This module owns the *grammar* only — tokenization, strict integer
+// syntax, duplicate detection, response assembly. The mapping of fields to
+// typed operations (op/metric/answer enums, catalog lookups) lives in
+// src/service/, which keeps io/ below core/ in the layer diagram.
+
+#ifndef CPDB_IO_REQUEST_PROTOCOL_H_
+#define CPDB_IO_REQUEST_PROTOCOL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cpdb {
+
+/// \brief One `name=value` pair of a request or response line.
+struct RequestField {
+  std::string name;
+  std::string value;
+};
+
+/// \brief A tokenized request line: fields in input order. Empty for blank
+/// and comment lines.
+struct RequestLine {
+  std::vector<RequestField> fields;
+
+  /// \brief The value of field `name`, or nullptr if absent. Linear scan —
+  /// request lines have a handful of fields.
+  const std::string* Find(const std::string& name) const;
+};
+
+/// \brief Tokenizes one request line. Fails (ParseError) on a token without
+/// '=', an empty or malformed field name, an empty value, or a duplicate
+/// field name — garbage never parses to a default. Blank lines and '#'
+/// comments succeed with no fields.
+Result<RequestLine> ParseRequestLine(const std::string& line);
+
+/// \brief Strict base-10 integer parse for a named field or flag: rejects
+/// empty strings, trailing garbage, and out-of-range magnitudes instead of
+/// silently taking whatever atoi salvages (a typo'd "k=1o" must not become
+/// k=1). Shared by the protocol's integer fields and the CLI's --flag
+/// values; `name` only labels the error message.
+Result<long long> ParseStrictInt(const std::string& name,
+                                 const std::string& value);
+
+/// \brief Assembles a success response: "ok" plus tab-separated
+/// `name=value` pairs, newline-terminated. Values must not contain tabs or
+/// newlines.
+std::string FormatResponseLine(const std::vector<RequestField>& fields);
+
+/// \brief Assembles the error response for input line `line_number`
+/// (1-based): "error", the line, and the failure message.
+std::string FormatErrorLine(size_t line_number, const Status& status);
+
+}  // namespace cpdb
+
+#endif  // CPDB_IO_REQUEST_PROTOCOL_H_

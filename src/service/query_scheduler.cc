@@ -1,0 +1,343 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "service/query_scheduler.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/hash.h"
+#include "core/set_consensus.h"
+#include "core/topk_metrics.h"
+#include "io/table_io.h"
+#include "io/tree_text.h"
+#include "model/builders.h"
+#include "model/possible_worlds.h"
+
+namespace cpdb {
+
+namespace {
+
+const char* OpName(ServiceRequest::Op op) {
+  switch (op) {
+    case ServiceRequest::Op::kLoad:
+      return "load";
+    case ServiceRequest::Op::kTopK:
+      return "topk";
+    case ServiceRequest::Op::kWorld:
+      return "world";
+    case ServiceRequest::Op::kStats:
+      return "stats";
+  }
+  return "?";
+}
+
+// Strict field-set check: a request naming a field its op does not take is
+// an error, never ignored (a typo'd "metrc=kendall" must not silently run
+// the default metric).
+Status CheckAllowedFields(const RequestLine& line,
+                          std::initializer_list<const char*> allowed) {
+  for (const RequestField& f : line.fields) {
+    bool known = f.name == "op";
+    for (const char* name : allowed) known = known || f.name == name;
+    if (!known) {
+      return Status::InvalidArgument("unknown field '" + f.name + "' for op=" +
+                                     *line.Find("op"));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> RequiredField(const RequestLine& line,
+                                  const std::string& name) {
+  const std::string* value = line.Find(name);
+  if (value == nullptr) {
+    // The op field may itself be the missing one; never dereference it.
+    const std::string* op = line.Find("op");
+    return Status::InvalidArgument(
+        (op != nullptr ? "op=" + *op + " " : "request ") + "requires field '" +
+        name + "'");
+  }
+  return *value;
+}
+
+std::string FormatDistance(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+std::string KeysCsv(const std::vector<KeyId>& keys) {
+  std::string csv;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) csv += ',';
+    csv += std::to_string(keys[i]);
+  }
+  return csv;
+}
+
+}  // namespace
+
+Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line) {
+  CPDB_ASSIGN_OR_RETURN(std::string op, RequiredField(line, "op"));
+  ServiceRequest request;
+  if (op == "load") {
+    request.op = ServiceRequest::Op::kLoad;
+    Status allowed = CheckAllowedFields(line, {"name", "file", "format"});
+    if (!allowed.ok()) return allowed;
+    CPDB_ASSIGN_OR_RETURN(request.load_name, RequiredField(line, "name"));
+    CPDB_ASSIGN_OR_RETURN(request.load_file, RequiredField(line, "file"));
+    if (const std::string* format = line.Find("format")) {
+      if (*format != "tree" && *format != "bid") {
+        return Status::InvalidArgument("unknown format '" + *format +
+                                       "' (expected tree or bid)");
+      }
+      request.load_format = *format;
+    }
+    return request;
+  }
+  if (op == "topk") {
+    request.op = ServiceRequest::Op::kTopK;
+    Status allowed =
+        CheckAllowedFields(line, {"tree", "k", "metric", "answer"});
+    if (!allowed.ok()) return allowed;
+    CPDB_ASSIGN_OR_RETURN(request.tree_name, RequiredField(line, "tree"));
+    CPDB_ASSIGN_OR_RETURN(std::string k_text, RequiredField(line, "k"));
+    CPDB_ASSIGN_OR_RETURN(long long k, ParseStrictInt("k", k_text));
+    if (k < 1 || k > (1 << 20)) {
+      return Status::InvalidArgument("k out of range, got '" + k_text + "'");
+    }
+    request.k = static_cast<int>(k);
+    if (const std::string* metric = line.Find("metric")) {
+      CPDB_ASSIGN_OR_RETURN(request.metric, ParseTopKMetricName(*metric));
+    }
+    if (const std::string* answer = line.Find("answer")) {
+      CPDB_ASSIGN_OR_RETURN(request.answer, ParseTopKAnswerName(*answer));
+    }
+    return request;
+  }
+  if (op == "world") {
+    request.op = ServiceRequest::Op::kWorld;
+    Status allowed = CheckAllowedFields(line, {"tree", "metric", "answer"});
+    if (!allowed.ok()) return allowed;
+    CPDB_ASSIGN_OR_RETURN(request.tree_name, RequiredField(line, "tree"));
+    if (const std::string* metric = line.Find("metric")) {
+      if (*metric != "symdiff") {
+        return Status::InvalidArgument("op=world supports metric=symdiff, got '" +
+                                       *metric + "'");
+      }
+    }
+    if (const std::string* answer = line.Find("answer")) {
+      if (*answer == "median") {
+        request.median_world = true;
+      } else if (*answer != "mean") {
+        return Status::InvalidArgument("unknown answer '" + *answer +
+                                       "' (expected mean or median)");
+      }
+    }
+    return request;
+  }
+  if (op == "stats") {
+    request.op = ServiceRequest::Op::kStats;
+    Status allowed = CheckAllowedFields(line, {});
+    if (!allowed.ok()) return allowed;
+    return request;
+  }
+  return Status::InvalidArgument("unknown op '" + op +
+                                 "' (expected load, topk, world or stats)");
+}
+
+std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
+  std::vector<RequestField> fields;
+  fields.push_back({"op", OpName(response.op)});
+  switch (response.op) {
+    case ServiceRequest::Op::kLoad:
+      fields.push_back({"name", response.tree_name});
+      fields.push_back({"fingerprint", HashToHex(response.fingerprint)});
+      break;
+    case ServiceRequest::Op::kTopK:
+      fields.push_back({"tree", response.tree_name});
+      fields.push_back({"metric", response.metric});
+      fields.push_back({"answer", response.answer});
+      fields.push_back({"k", std::to_string(response.k)});
+      fields.push_back({"keys", KeysCsv(response.keys)});
+      fields.push_back(
+          {"expected", FormatDistance(response.expected_distance)});
+      break;
+    case ServiceRequest::Op::kWorld:
+      fields.push_back({"tree", response.tree_name});
+      fields.push_back({"metric", response.metric});
+      fields.push_back({"answer", response.answer});
+      fields.push_back({"keys", KeysCsv(response.keys)});
+      fields.push_back(
+          {"expected", FormatDistance(response.expected_distance)});
+      break;
+    case ServiceRequest::Op::kStats:
+      fields.push_back({"hits", std::to_string(response.stats.hits)});
+      fields.push_back({"misses", std::to_string(response.stats.misses)});
+      fields.push_back({"entries", std::to_string(response.stats.entries)});
+      break;
+  }
+  return fields;
+}
+
+QueryScheduler::QueryScheduler(const Engine* engine, TreeCatalog* catalog,
+                               SchedulerOptions options)
+    : engine_(engine), catalog_(catalog), options_(options) {}
+
+namespace {
+
+Result<ServiceResponse> ExecuteLoad(TreeCatalog* catalog,
+                                    const ServiceRequest& request) {
+  CPDB_ASSIGN_OR_RETURN(std::string content,
+                        ReadFileToString(request.load_file));
+  Result<CatalogEntry> entry = Status::Internal("unreachable");
+  if (request.load_format == "tree") {
+    entry = catalog->InsertFromText(request.load_name, content);
+  } else {
+    CPDB_ASSIGN_OR_RETURN(std::vector<Block> blocks, ParseBidTable(content));
+    CPDB_ASSIGN_OR_RETURN(AndXorTree tree, MakeBlockIndependent(blocks));
+    entry = catalog->Insert(request.load_name, std::move(tree));
+  }
+  if (!entry.ok()) return entry.status();
+  ServiceResponse response;
+  response.op = ServiceRequest::Op::kLoad;
+  response.tree_name = entry->name;
+  response.fingerprint = entry->fingerprint;
+  return response;
+}
+
+}  // namespace
+
+std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
+    const std::vector<ServiceRequest>& requests) {
+  std::vector<Result<ServiceResponse>> responses(
+      requests.size(),
+      Result<ServiceResponse>(Status::Internal("request not executed")));
+
+  // Loads first, in request order: a batch is a unit of work, so queries
+  // may reference trees loaded anywhere in the same batch.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].op == ServiceRequest::Op::kLoad) {
+      responses[i] = ExecuteLoad(catalog_, requests[i]);
+    }
+  }
+
+  // Resolve query trees; unknown names fail their slot only.
+  std::vector<size_t> topk_slots;
+  std::vector<CatalogEntry> topk_entries;
+  std::vector<size_t> world_slots;
+  std::vector<CatalogEntry> world_entries;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ServiceRequest& request = requests[i];
+    if (request.op != ServiceRequest::Op::kTopK &&
+        request.op != ServiceRequest::Op::kWorld) {
+      continue;
+    }
+    Result<CatalogEntry> entry = catalog_->Lookup(request.tree_name);
+    if (!entry.ok()) {
+      responses[i] = entry.status();
+      continue;
+    }
+    if (request.op == ServiceRequest::Op::kTopK) {
+      topk_slots.push_back(i);
+      topk_entries.push_back(*std::move(entry));
+    } else {
+      world_slots.push_back(i);
+      world_entries.push_back(*std::move(entry));
+    }
+  }
+
+  // The deduplication step: route every Top-k query's rank-distribution
+  // precompute through the (fingerprint, k) cache, in slot order, so the
+  // first query of each pair computes the fold and the rest hit — within
+  // this batch and across batches alike. The handles keep cached entries
+  // alive for the duration of the engine call even if the cache is Cleared
+  // concurrently.
+  std::vector<std::shared_ptr<const RankDistribution>> dists(
+      topk_slots.size());
+  if (options_.use_cache) {
+    for (size_t j = 0; j < topk_slots.size(); ++j) {
+      const ServiceRequest& request = requests[topk_slots[j]];
+      // A request that can only fail (bad k, unsupported metric/answer
+      // pair) must not populate the cache: the engine rejects such
+      // queries *before* paying the fold, and the scheduler keeps that
+      // property. The engine call below reports the actual error.
+      if (request.k < 1 ||
+          !Engine::ValidateConsensusRequest(request.metric, request.answer)
+               .ok()) {
+        continue;
+      }
+      const CatalogEntry& entry = topk_entries[j];
+      const AndXorTree& tree = *entry.tree;
+      const int k = request.k;
+      dists[j] = cache_.GetOrCompute(entry.fingerprint, k, [&] {
+        return engine_->ComputeRankDistribution(tree, k);
+      });
+    }
+  }
+
+  // One engine submission for all Top-k slots: whole queries fan across
+  // the pool, cached distributions are shared read-only.
+  std::vector<Engine::ConsensusQuery> queries(topk_slots.size());
+  for (size_t j = 0; j < topk_slots.size(); ++j) {
+    const ServiceRequest& request = requests[topk_slots[j]];
+    queries[j] = {topk_entries[j].tree.get(), request.k, request.metric,
+                  request.answer, dists[j].get()};
+  }
+  std::vector<Result<TopKResult>> results =
+      engine_->EvaluateConsensusBatch(queries);
+  for (size_t j = 0; j < topk_slots.size(); ++j) {
+    const size_t slot = topk_slots[j];
+    if (!results[j].ok()) {
+      responses[slot] = results[j].status();
+      continue;
+    }
+    const ServiceRequest& request = requests[slot];
+    ServiceResponse response;
+    response.op = ServiceRequest::Op::kTopK;
+    response.tree_name = request.tree_name;
+    response.k = request.k;
+    response.metric = TopKMetricName(request.metric);
+    response.answer = TopKAnswerName(request.answer);
+    response.keys = results[j]->keys;
+    response.expected_distance = results[j]->expected_distance;
+    responses[slot] = std::move(response);
+  }
+
+  // Set-consensus worlds: one parallel marginal fold serves the answer and
+  // its expected distance, exactly like the CLI's consensus-world path.
+  for (size_t j = 0; j < world_slots.size(); ++j) {
+    const size_t slot = world_slots[j];
+    const ServiceRequest& request = requests[slot];
+    const AndXorTree& tree = *world_entries[j].tree;
+    std::vector<double> marginal = engine_->LeafMarginals(tree);
+    std::vector<NodeId> world =
+        request.median_world ? MedianWorldSymDiffFromMarginals(tree, marginal)
+                             : MeanWorldSymDiffFromMarginals(tree, marginal);
+    ServiceResponse response;
+    response.op = ServiceRequest::Op::kWorld;
+    response.tree_name = request.tree_name;
+    response.metric = "symdiff";
+    response.answer = request.median_world ? "median" : "mean";
+    response.expected_distance =
+        ExpectedSymDiffDistanceFromMarginals(tree, marginal, world);
+    for (const TupleAlternative& tuple : WorldTuples(tree, world)) {
+      response.keys.push_back(tuple.key);
+    }
+    responses[slot] = std::move(response);
+  }
+
+  // Stats last: the counters describe the batch that just ran.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].op == ServiceRequest::Op::kStats) {
+      ServiceResponse response;
+      response.op = ServiceRequest::Op::kStats;
+      response.stats = cache_.stats();
+      responses[i] = std::move(response);
+    }
+  }
+  return responses;
+}
+
+}  // namespace cpdb

@@ -1,0 +1,134 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// QueryScheduler — the batched execution layer between the request
+// protocol and cpdb::Engine. A batch is a vector of heterogeneous typed
+// requests (catalog loads, consensus Top-k under any metric, set-consensus
+// worlds, cache-stats probes), possibly against different catalog trees.
+// The scheduler:
+//
+//   1. applies every `load` to the TreeCatalog (in request order, before
+//      any query — a batch is a unit of work, not a transcript: queries may
+//      reference trees loaded later in the same batch);
+//   2. resolves query trees by name and routes the shared rank-distribution
+//      precompute through a RankDistCache keyed by (tree fingerprint, k),
+//      so queries sharing a fingerprint — within this batch or with any
+//      earlier one — pay the O(L^2 k) fold once;
+//   3. fans the remaining per-query work (strata, Hungarian columns, q
+//      matrices) through Engine::EvaluateConsensusBatch.
+//
+// Answers are bitwise identical to one-at-a-time Engine calls with the
+// cache enabled, disabled, cold, or warm, for any thread count — the cache
+// stores a value the engine computes deterministically, so memoization is
+// invisible except in the CacheStats counters and the latency.
+//
+// This is the chassis for sharding: a front-end that partitions batches
+// across processes needs exactly this interface (catalog handles + a batch
+// call with per-slot Results) on each shard.
+
+#ifndef CPDB_SERVICE_QUERY_SCHEDULER_H_
+#define CPDB_SERVICE_QUERY_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+#include "io/request_protocol.h"
+#include "service/rank_dist_cache.h"
+#include "service/tree_catalog.h"
+
+namespace cpdb {
+
+/// \brief One typed request of a service batch.
+struct ServiceRequest {
+  enum class Op {
+    kLoad,   ///< register a tree file with the catalog
+    kTopK,   ///< consensus Top-k against a catalog tree
+    kWorld,  ///< set-consensus world against a catalog tree
+    kStats,  ///< report the scheduler's cache counters
+  };
+
+  Op op = Op::kTopK;
+
+  // kLoad
+  std::string load_name;
+  std::string load_file;
+  std::string load_format = "tree";  // tree | bid
+
+  // kTopK / kWorld
+  std::string tree_name;
+  int k = 1;                                  // kTopK
+  TopKMetric metric = TopKMetric::kSymDiff;   // kTopK
+  TopKAnswer answer = TopKAnswer::kMean;      // kTopK
+  bool median_world = false;                  // kWorld: median vs mean
+};
+
+/// \brief Maps a tokenized protocol line to a typed request — the semantic
+/// half of parsing (the grammar half is io/request_protocol.h). Strict
+/// throughout, per the CLI convention: unknown op, unknown field for the
+/// op, unknown metric/answer/format value, or an out-of-range k are errors,
+/// never defaults. `line` must be non-empty (callers skip comment lines).
+Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line);
+
+/// \brief One request's answer; which members are meaningful depends on op.
+struct ServiceResponse {
+  ServiceRequest::Op op = ServiceRequest::Op::kTopK;
+  std::string tree_name;     // kTopK/kWorld echo; kLoad: the bound name
+  uint64_t fingerprint = 0;  // kLoad
+  int k = 0;                 // kTopK echo
+  std::string metric;        // kTopK/kWorld echo (textual)
+  std::string answer;        // kTopK/kWorld echo (textual)
+  std::vector<KeyId> keys;   // kTopK: answer keys; kWorld: world keys
+  double expected_distance = 0.0;  // kTopK/kWorld
+  CacheStats stats;                // kStats
+};
+
+/// \brief Renders a response as protocol fields, ready for
+/// FormatResponseLine. The inverse direction of ServiceRequestFromLine.
+std::vector<RequestField> ResponseToFields(const ServiceResponse& response);
+
+/// \brief Scheduler knobs.
+struct SchedulerOptions {
+  /// Disables the rank-distribution cache: every query recomputes its
+  /// fold through the engine. Exists for the parity tests and the
+  /// cache-speedup benchmarks; production serving keeps it on.
+  bool use_cache = true;
+};
+
+/// \brief Executes request batches against one engine and one catalog.
+///
+/// The scheduler owns the RankDistCache (the only mutable state in the
+/// serving layer besides the catalog maps) and is thread-compatible:
+/// concurrent ExecuteBatch calls are safe — catalog and cache are
+/// internally locked; the engine is stateless per query — but batches
+/// racing on `load` of conflicting content may observe AlreadyExists.
+class QueryScheduler {
+ public:
+  /// \brief Neither pointer is owned; both must outlive the scheduler.
+  QueryScheduler(const Engine* engine, TreeCatalog* catalog,
+                 SchedulerOptions options = SchedulerOptions());
+
+  /// \brief Executes a batch; results[i] answers requests[i]. Per-request
+  /// failures (unknown tree, unreadable file, unsupported metric/answer
+  /// combination) land in their slot without affecting other slots.
+  /// kStats slots report the counters *after* the batch's query work, in
+  /// keeping with loads-before-queries batch semantics.
+  std::vector<Result<ServiceResponse>> ExecuteBatch(
+      const std::vector<ServiceRequest>& requests);
+
+  /// \brief Counter snapshot of the owned rank-distribution cache.
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  const Engine* engine_;
+  TreeCatalog* catalog_;
+  SchedulerOptions options_;
+  RankDistCache cache_;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_SERVICE_QUERY_SCHEDULER_H_

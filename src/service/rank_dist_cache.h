@@ -1,0 +1,71 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// RankDistCache — memoizes the rank-distribution fold, the shared O(L^2 k)
+// precompute behind every consensus Top-k metric, across queries that hit
+// the same tree. Keys are (tree fingerprint, k): the fingerprint comes from
+// the TreeCatalog's stable content hash, so cache identity follows tree
+// *content*, never names or pointers. Because the engine's fold is
+// schedule-deterministic, a cached distribution is bit-for-bit the one a
+// fresh computation would produce — serving from the cache can change
+// latency only, never answers (tests/service_test.cc pins this for all
+// four metrics).
+
+#ifndef CPDB_SERVICE_RANK_DIST_CACHE_H_
+#define CPDB_SERVICE_RANK_DIST_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/rank_distribution.h"
+
+namespace cpdb {
+
+/// \brief Counters describing cache behavior since construction (or the
+/// last Clear). hits + misses equals the number of GetOrCompute calls.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t entries = 0;
+};
+
+/// \brief Thread-safe (fingerprint, k) -> RankDistribution memo.
+///
+/// Concurrency: GetOrCompute may race; `compute` runs outside the lock (it
+/// typically fans a ParallelFor across the engine's pool), so two threads
+/// missing the same key may both compute. The first insert wins and both
+/// callers observe identical bits — compute is deterministic — so the race
+/// costs duplicated work at worst, never divergent answers.
+class RankDistCache {
+ public:
+  /// \brief The distribution for (fingerprint, k), invoking `compute` on a
+  /// miss and retaining the result. The returned handle stays valid after
+  /// Clear (shared ownership).
+  std::shared_ptr<const RankDistribution> GetOrCompute(
+      uint64_t fingerprint, int k,
+      const std::function<RankDistribution()>& compute);
+
+  /// \brief The cached entry, or nullptr without computing. Does not count
+  /// toward hit/miss stats (it is a probe, not a query).
+  std::shared_ptr<const RankDistribution> Peek(uint64_t fingerprint,
+                                               int k) const;
+
+  /// \brief Counter snapshot.
+  CacheStats stats() const;
+
+  /// \brief Drops all entries and resets the counters.
+  void Clear();
+
+ private:
+  using Key = std::pair<uint64_t, int>;
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const RankDistribution>> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_SERVICE_RANK_DIST_CACHE_H_

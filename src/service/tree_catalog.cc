@@ -1,0 +1,78 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "service/tree_catalog.h"
+
+#include <utility>
+
+#include "common/hash.h"
+#include "io/tree_text.h"
+
+namespace cpdb {
+
+uint64_t TreeCatalog::FingerprintTree(const AndXorTree& tree) {
+  // The canonical single-line serialization, not the user's input text:
+  // formatting differences must not split identical trees into distinct
+  // fingerprints.
+  return Fnv1a64(FormatTree(tree, /*indent=*/false));
+}
+
+Result<CatalogEntry> TreeCatalog::Insert(const std::string& name,
+                                         AndXorTree tree) {
+  if (name.empty()) {
+    return Status::InvalidArgument("catalog name must not be empty");
+  }
+  std::string canonical = FormatTree(tree, /*indent=*/false);
+  uint64_t fingerprint = Fnv1a64(canonical);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Whenever a fingerprint matches existing content, confirm the bytes
+  // match too: the hash is 64-bit and non-cryptographic, and both the
+  // dedup below and the (fingerprint, k) caches keyed on it would silently
+  // serve the wrong tree's answers on a collision. The compare runs only
+  // on the fingerprint-equal path, so honest traffic pays one
+  // serialization per load.
+  auto named = by_name_.find(name);
+  if (named != by_name_.end()) {
+    if (named->second.fingerprint == fingerprint &&
+        FormatTree(*named->second.tree, /*indent=*/false) == canonical) {
+      return named->second;  // idempotent re-load of identical content
+    }
+    return Status::AlreadyExists("catalog name '" + name +
+                                 "' is bound to different content");
+  }
+  std::shared_ptr<const AndXorTree>& shared = by_fingerprint_[fingerprint];
+  if (shared != nullptr &&
+      FormatTree(*shared, /*indent=*/false) != canonical) {
+    return Status::Internal("fingerprint collision: '" + name +
+                            "' hashes like existing content it does not "
+                            "equal; rename is no workaround — the content "
+                            "cannot be cached safely");
+  }
+  if (shared == nullptr) {
+    shared = std::make_shared<const AndXorTree>(std::move(tree));
+  }
+  CatalogEntry entry{name, fingerprint, shared};
+  by_name_.emplace(name, entry);
+  return entry;
+}
+
+Result<CatalogEntry> TreeCatalog::InsertFromText(const std::string& name,
+                                                 const std::string& text) {
+  CPDB_ASSIGN_OR_RETURN(AndXorTree tree, ParseTree(text));
+  return Insert(name, std::move(tree));
+}
+
+Result<CatalogEntry> TreeCatalog::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no catalog tree named '" + name + "'");
+  }
+  return it->second;
+}
+
+size_t TreeCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_name_.size();
+}
+
+}  // namespace cpdb

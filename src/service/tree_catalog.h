@@ -1,0 +1,84 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// TreeCatalog — the serving layer's store of loaded trees. Each tree is
+// parsed and validated once, fingerprinted by a stable 64-bit content hash
+// over its *canonical* serialization (FormatTree of the parsed tree, so two
+// inputs that differ only in whitespace or formatting collide on purpose),
+// and handed out as a shared immutable handle. Queries address trees by
+// name; caches key derived work by fingerprint, so renaming or re-loading
+// identical content never duplicates cached state. Modeled on fingerprinted
+// structure stores in production database systems: the catalog is the only
+// service component that owns tree lifetime.
+
+#ifndef CPDB_SERVICE_TREE_CATALOG_H_
+#define CPDB_SERVICE_TREE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "model/and_xor_tree.h"
+
+namespace cpdb {
+
+/// \brief An immutable catalog entry: the shared tree plus its identity.
+/// Handles remain valid after the catalog drops or replaces the name —
+/// in-flight queries keep the tree alive through the shared_ptr.
+struct CatalogEntry {
+  std::string name;
+  /// Fnv1a64 over FormatTree(tree): stable across processes, load order,
+  /// and input formatting. Two entries share a fingerprint iff their
+  /// canonical serializations are byte-identical.
+  uint64_t fingerprint = 0;
+  std::shared_ptr<const AndXorTree> tree;
+};
+
+/// \brief Thread-safe name -> tree store with content-hash deduplication.
+///
+/// Concurrency: all members may be called from any thread. Lookups return
+/// shared immutable state; the internal mutex only guards the maps (no
+/// user code runs under it).
+class TreeCatalog {
+ public:
+  /// \brief The fingerprint `tree` would be stored under: the stable hash
+  /// of its canonical serialization. Exposed so callers can compute cache
+  /// keys for trees that never enter a catalog.
+  static uint64_t FingerprintTree(const AndXorTree& tree);
+
+  /// \brief Registers `tree` under `name` and returns its entry.
+  /// Idempotent for identical content: inserting the same name again
+  /// succeeds iff the content matches (returning the existing entry); a
+  /// different tree under an existing name is AlreadyExists — replacing a
+  /// served tree in place would silently change answers mid-stream.
+  /// Content already present under another name shares the same
+  /// shared_ptr<const AndXorTree>, so equal trees are stored once. Equal
+  /// fingerprints are confirmed by byte comparison of the canonical
+  /// serializations, so a 64-bit hash collision surfaces as an Internal
+  /// error instead of silently serving another tree's answers.
+  Result<CatalogEntry> Insert(const std::string& name, AndXorTree tree);
+
+  /// \brief Parses `text` (the s-expression tree format) and inserts it.
+  Result<CatalogEntry> InsertFromText(const std::string& name,
+                                      const std::string& text);
+
+  /// \brief The entry registered under `name`, or NotFound.
+  Result<CatalogEntry> Lookup(const std::string& name) const;
+
+  /// \brief Number of registered names.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, CatalogEntry> by_name_;
+  // fingerprint -> the shared tree, so identical content under several
+  // names is stored once. weak_ptr would allow eviction; entries are
+  // currently immortal, matching a serving process's lifetime.
+  std::map<uint64_t, std::shared_ptr<const AndXorTree>> by_fingerprint_;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_SERVICE_TREE_CATALOG_H_

@@ -210,6 +210,108 @@ TEST_F(CliTest, IntegerFlagsParseStrictly) {
   EXPECT_EQ(RunCliArgs({"worlds", tree_path_, "--max-worlds=100"}).code, 0);
 }
 
+// End-to-end serve mode: a batch mixing loads (both formats), all four
+// Top-k metrics against one (tree, k) — whose answers must match the
+// single-query topk command — a world query, a stats probe showing the
+// cache sharing, and in-band per-request errors.
+TEST_F(CliTest, ServeAnswersBatchedRequests) {
+  std::string requests_path = ::testing::TempDir() + "/cli_serve_req.txt";
+  ASSERT_TRUE(WriteStringToFile(
+                  requests_path,
+                  "# serve batch\n"
+                  "op=load name=t file=" + tree_path_ + "\n"
+                  "op=load name=b file=" + bid_path_ + " format=bid\n"
+                  "\n"
+                  "op=topk tree=t k=2 metric=symdiff\n"
+                  "op=topk tree=t k=2 metric=intersection\n"
+                  "op=topk tree=t k=2 metric=footrule\n"
+                  "op=topk tree=t k=2 metric=kendall\n"
+                  "op=world tree=b answer=median\n"
+                  "op=stats\n")
+                  .ok());
+  CliResult r = RunCliArgs({"serve", requests_path, "--threads=2"});
+  EXPECT_EQ(r.code, 0) << r.err << r.out;
+
+  // Each metric's response line must carry the same keys and expected
+  // distance the one-shot topk command prints for the same tree and k.
+  for (const char* metric :
+       {"symdiff", "intersection", "footrule", "kendall"}) {
+    CliResult single = RunCliArgs(
+        {"topk", tree_path_, "--k=2", std::string("--metric=") + metric});
+    ASSERT_EQ(single.code, 0);
+    // single prints "top-2 (metric, mean): [ 2 1 ]  E[distance] = 0.nnnnnn";
+    // extract the keys and the distance and find them in the serve line.
+    std::string line = single.out.substr(0, single.out.find('\n'));
+    std::string keys;
+    size_t open = line.find('[');
+    size_t close = line.find(']');
+    for (size_t i = open + 1; i < close; ++i) {
+      if (line[i] == ' ') {
+        if (!keys.empty() && keys.back() != ',') keys += ',';
+      } else {
+        keys += line[i];
+      }
+    }
+    if (!keys.empty() && keys.back() == ',') keys.pop_back();
+    std::string distance = line.substr(line.rfind(' ') + 1);
+    std::string expected_response = std::string("ok\top=topk\ttree=t\tmetric=") +
+                                    metric + "\tanswer=mean\tk=2\tkeys=" +
+                                    keys + "\texpected=" + distance;
+    EXPECT_NE(r.out.find(expected_response), std::string::npos)
+        << "missing '" << expected_response << "' in:\n"
+        << r.out;
+  }
+  // Four queries shared one (tree, k): one fold, three cache hits.
+  EXPECT_NE(r.out.find("ok\top=stats\thits=3\tmisses=1\tentries=1"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("ok\top=world\ttree=b\tmetric=symdiff\tanswer=median"),
+            std::string::npos);
+
+  // The cache must be invisible in the answers: --cache=off yields the
+  // same response lines except for the stats counters.
+  CliResult uncached =
+      RunCliArgs({"serve", requests_path, "--threads=2", "--cache=off"});
+  EXPECT_EQ(uncached.code, 0) << uncached.err;
+  std::string cached_lines = r.out.substr(0, r.out.find("ok\top=stats"));
+  std::string uncached_lines =
+      uncached.out.substr(0, uncached.out.find("ok\top=stats"));
+  EXPECT_EQ(cached_lines, uncached_lines);
+  EXPECT_NE(uncached.out.find("ok\top=stats\thits=0\tmisses=0\tentries=0"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ServeReportsRequestErrorsInBand) {
+  std::string requests_path = ::testing::TempDir() + "/cli_serve_err.txt";
+  ASSERT_TRUE(WriteStringToFile(
+                  requests_path,
+                  "op=load name=t file=" + tree_path_ + "\n"
+                  "op=topk tree=t k=1o metric=symdiff\n"   // garbage int
+                  "op=topk tree=nope k=2\n"                // unknown tree
+                  "op=topk tree=t k=2 metric=symdiff\n"    // still served
+                  "not_a_field\n")                         // grammar error
+                  .ok());
+  CliResult r = RunCliArgs({"serve", requests_path});
+  EXPECT_EQ(r.code, 1);  // some requests failed (reported in-band)
+  EXPECT_NE(r.out.find("error\tline=2\tmsg="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("expects an integer"), std::string::npos);
+  EXPECT_NE(r.out.find("error\tline=3\tmsg="), std::string::npos);
+  EXPECT_NE(r.out.find("no catalog tree named 'nope'"), std::string::npos);
+  EXPECT_NE(r.out.find("error\tline=5\tmsg="), std::string::npos);
+  // The healthy request between the failures was answered.
+  EXPECT_NE(r.out.find("ok\top=topk\ttree=t"), std::string::npos);
+  // Flag-level garbage is a usage error (exit 2), before any serving.
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--cache=maybe"}).code, 2);
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--threads=two"}).code, 2);
+  // --cache belongs to serve; other commands reject it rather than
+  // silently ignoring it.
+  CliResult scoped = RunCliArgs({"topk", tree_path_, "--k=2", "--cache=off"});
+  EXPECT_EQ(scoped.code, 2);
+  EXPECT_NE(scoped.err.find("applies only to serve"), std::string::npos);
+  // A missing requests file is an I/O error, not a silent empty batch.
+  EXPECT_EQ(RunCliArgs({"serve", "/does/not/exist.req"}).code, 1);
+}
+
 TEST_F(CliTest, AggregateUsesLabels) {
   CliResult r = RunCliArgs({"aggregate", bid_path_, "--format=bid"});
   EXPECT_EQ(r.code, 0) << r.err;

@@ -383,6 +383,74 @@ TEST(EngineTest, ConsensusBatchIsolatesFailures) {
             engine.ConsensusTopK(tree, 2, TopKMetric::kSymDiff)->keys);
 }
 
+// The cache-aware entry point: supplying the precomputed rank distribution
+// must change nothing about the answer — bitwise — for every metric. This
+// is the engine-level half of the serving layer's cache-parity guarantee.
+TEST(EngineTest, ConsensusTopKWithDistMatchesFreshComputation) {
+  const int k = 3;
+  AndXorTree tree = RandomDeepTree(83);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.use_fast_bid_path = false;
+  Engine engine(opts);
+  RankDistribution dist = engine.ComputeRankDistribution(tree, k);
+  for (TopKMetric metric :
+       {TopKMetric::kSymDiff, TopKMetric::kIntersection, TopKMetric::kFootrule,
+        TopKMetric::kKendall}) {
+    auto fresh = engine.ConsensusTopK(tree, k, metric);
+    auto cached = engine.ConsensusTopKWithDist(tree, dist, metric);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(cached.ok());
+    EXPECT_EQ(cached->keys, fresh->keys);
+    EXPECT_EQ(cached->expected_distance, fresh->expected_distance);
+  }
+}
+
+// Batch slots carrying a shared precomputed distribution must agree with
+// dist-free slots bitwise; a k mismatch fails its slot, never reinterprets.
+TEST(EngineTest, ConsensusBatchHonorsSuppliedDistributions) {
+  const int k = 3;
+  AndXorTree tree = RandomDeepTree(89);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.use_fast_bid_path = false;
+  Engine engine(opts);
+  RankDistribution dist = engine.ComputeRankDistribution(tree, k);
+  std::vector<Engine::ConsensusQuery> queries = {
+      {&tree, k, TopKMetric::kSymDiff, TopKAnswer::kMean, &dist},
+      {&tree, k, TopKMetric::kSymDiff, TopKAnswer::kMean, nullptr},
+      {&tree, k, TopKMetric::kFootrule, TopKAnswer::kMean, &dist},
+      {&tree, k + 1, TopKMetric::kSymDiff, TopKAnswer::kMean,
+       &dist},  // k mismatch
+  };
+  auto results = engine.EvaluateConsensusBatch(queries);
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_EQ(results[0]->keys, results[1]->keys);
+  EXPECT_EQ(results[0]->expected_distance, results[1]->expected_distance);
+  ASSERT_FALSE(results[3].ok());
+  EXPECT_NE(results[3].status().ToString().find("different k"),
+            std::string::npos);
+}
+
+// A distribution computed for one tree must never be silently applied to
+// another: the key sets differ, and the call fails instead of optimizing
+// over the wrong statistics.
+TEST(EngineTest, ConsensusTopKWithDistRejectsForeignDistribution) {
+  AndXorTree tree = RandomDeepTree(91, 8);
+  AndXorTree other = RandomDeepTree(93, 5);  // different key count
+  EngineOptions opts;
+  opts.use_fast_bid_path = false;
+  Engine engine(opts);
+  RankDistribution foreign = engine.ComputeRankDistribution(other, 3);
+  auto result =
+      engine.ConsensusTopKWithDist(tree, foreign, TopKMetric::kSymDiff);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("different tree"),
+            std::string::npos);
+}
+
 TEST(EngineTest, ConsensusTopKRejectsBadArguments) {
   AndXorTree tree = RandomDeepTree(17);
   Engine engine;
@@ -466,6 +534,60 @@ TEST(EngineTest, MonteCarloTopKDistanceCoversEnumeratedTruth) {
   EXPECT_TRUE(est.Covers(*exact, 4.0))
       << "exact " << *exact << " vs [" << est.ci95_low() << ", "
       << est.ci95_high() << "]";
+}
+
+// The adaptive chunk size (mc_chunk_size = 0) must resolve to the
+// documented pure function of (samples, threads), be recorded in the
+// result, and reproduce bitwise when the recorded value is pinned — that
+// recording is what keeps adaptive runs replayable.
+TEST(EngineTest, AdaptiveMonteCarloChunkIsRecordedAndReplayable) {
+  AndXorTree tree = RandomDeepTree(97);
+  auto size_of = [](const std::vector<NodeId>& world) {
+    return static_cast<double>(world.size());
+  };
+  const int samples = 5000;
+  for (int threads : {1, 4}) {
+    EngineOptions adaptive_opts;
+    adaptive_opts.num_threads = threads;
+    adaptive_opts.mc_chunk_size = 0;  // adaptive
+    Engine adaptive(adaptive_opts);
+    McEstimate a = adaptive.EstimateOverWorlds(tree, samples, 11, size_of);
+    EXPECT_EQ(a.chunk_size,
+              AdaptiveMcChunkSize(samples, adaptive.num_threads()));
+    EXPECT_GT(a.chunk_size, 0);
+    // Same configuration, same seed: bitwise reproducible.
+    McEstimate b = adaptive.EstimateOverWorlds(tree, samples, 11, size_of);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.std_error, b.std_error);
+    // Pinning the recorded chunk size replays the run exactly, on any
+    // thread count.
+    EngineOptions pinned_opts;
+    pinned_opts.num_threads = 8;
+    pinned_opts.mc_chunk_size = a.chunk_size;
+    Engine pinned(pinned_opts);
+    McEstimate replay = pinned.EstimateOverWorlds(tree, samples, 11, size_of);
+    EXPECT_EQ(replay.mean, a.mean);
+    EXPECT_EQ(replay.std_error, a.std_error);
+    EXPECT_EQ(replay.chunk_size, a.chunk_size);
+  }
+  // The fixed default keeps recording its value too.
+  Engine fixed;
+  McEstimate fixed_estimate =
+      fixed.EstimateOverWorlds(tree, samples, 11, size_of);
+  EXPECT_EQ(fixed_estimate.chunk_size, fixed.options().mc_chunk_size);
+}
+
+TEST(EngineTest, AdaptiveChunkSizeIsClampedAndMonotoneInWorkload) {
+  // Small workloads floor at 32; huge ones cap at 4096; in between the
+  // chunk grows with the workload and shrinks with the thread count.
+  EXPECT_EQ(AdaptiveMcChunkSize(1, 1), 32);
+  EXPECT_EQ(AdaptiveMcChunkSize(100, 8), 32);
+  EXPECT_EQ(AdaptiveMcChunkSize(10000000, 1), 4096);
+  EXPECT_GE(AdaptiveMcChunkSize(100000, 2), AdaptiveMcChunkSize(100000, 8));
+  EXPECT_GE(AdaptiveMcChunkSize(200000, 4), AdaptiveMcChunkSize(50000, 4));
+  // Degenerate arguments stay sane.
+  EXPECT_EQ(AdaptiveMcChunkSize(0, 4), 32);
+  EXPECT_EQ(AdaptiveMcChunkSize(1000, 0), AdaptiveMcChunkSize(1000, 1));
 }
 
 TEST(EngineTest, MonteCarloHandlesDegenerateSampleCounts) {

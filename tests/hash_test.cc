@@ -1,0 +1,42 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// The FNV-1a fingerprint hash must match the published reference vectors —
+// catalog fingerprints are meant to be stable across processes, platforms,
+// and library versions, so these are exact pinned values, not properties.
+
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cpdb {
+namespace {
+
+TEST(HashTest, MatchesPublishedFnv1aVectors) {
+  // Reference values from the FNV specification test suite.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, ChainingEqualsConcatenation) {
+  const std::string a = "(and (xor 0.3";
+  const std::string b = " (leaf key=1 score=8)))";
+  EXPECT_EQ(Fnv1a64(b.data(), b.size(), Fnv1a64(a)), Fnv1a64(a + b));
+}
+
+TEST(HashTest, SensitiveToEveryByte) {
+  EXPECT_NE(Fnv1a64("tree-a"), Fnv1a64("tree-b"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+  EXPECT_NE(Fnv1a64(std::string("a\0b", 3)), Fnv1a64(std::string("ab", 2)));
+}
+
+TEST(HashTest, HexRenderingIsFixedWidthLowerCase) {
+  EXPECT_EQ(HashToHex(0), "0000000000000000");
+  EXPECT_EQ(HashToHex(0xcbf29ce484222325ULL), "cbf29ce484222325");
+  EXPECT_EQ(HashToHex(0xFFFFFFFFFFFFFFFFULL), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace cpdb

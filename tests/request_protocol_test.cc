@@ -1,0 +1,87 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Grammar-level tests of the serving protocol: tokenization, comments,
+// strict integer syntax, duplicate rejection, and response assembly. The
+// semantic mapping of fields to typed requests is covered in
+// tests/service_test.cc.
+
+#include "io/request_protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace cpdb {
+namespace {
+
+TEST(RequestProtocolTest, ParsesFieldsInOrder) {
+  auto line = ParseRequestLine("op=topk tree=movies metric=kendall k=3");
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  ASSERT_EQ(line->fields.size(), 4u);
+  EXPECT_EQ(line->fields[0].name, "op");
+  EXPECT_EQ(line->fields[0].value, "topk");
+  EXPECT_EQ(line->fields[3].name, "k");
+  EXPECT_EQ(line->fields[3].value, "3");
+  ASSERT_NE(line->Find("tree"), nullptr);
+  EXPECT_EQ(*line->Find("tree"), "movies");
+  EXPECT_EQ(line->Find("absent"), nullptr);
+}
+
+TEST(RequestProtocolTest, ToleratesExtraWhitespaceAndCr) {
+  auto line = ParseRequestLine("  op=stats\t \r");
+  ASSERT_TRUE(line.ok());
+  ASSERT_EQ(line->fields.size(), 1u);
+  EXPECT_EQ(line->fields[0].name, "op");
+}
+
+TEST(RequestProtocolTest, BlankAndCommentLinesParseToNoFields) {
+  for (const char* text : {"", "   ", "\t", "# op=topk tree=t k=1", "  # x"}) {
+    auto line = ParseRequestLine(text);
+    ASSERT_TRUE(line.ok()) << "'" << text << "'";
+    EXPECT_TRUE(line->fields.empty()) << "'" << text << "'";
+  }
+}
+
+TEST(RequestProtocolTest, RejectsMalformedTokens) {
+  // A token without '=', an empty value, a bad name, a duplicate: each is
+  // an error, never a silently dropped or defaulted field.
+  EXPECT_FALSE(ParseRequestLine("op=topk badtoken").ok());
+  EXPECT_FALSE(ParseRequestLine("op=topk k=").ok());
+  EXPECT_FALSE(ParseRequestLine("=value").ok());
+  EXPECT_FALSE(ParseRequestLine("9k=3").ok());
+  EXPECT_FALSE(ParseRequestLine("na me=x").ok());  // splits to bad tokens
+  EXPECT_FALSE(ParseRequestLine("op=topk op=world").ok());
+  // '#' only comments a whole line, not a trailing token.
+  EXPECT_FALSE(ParseRequestLine("op=stats #trailing").ok());
+}
+
+TEST(RequestProtocolTest, StrictIntAcceptsPlainDecimals) {
+  for (const char* good : {"0", "42", "-7", "+9", "007"}) {
+    auto parsed = ParseStrictInt("k", good);
+    ASSERT_TRUE(parsed.ok()) << good;
+  }
+  EXPECT_EQ(*ParseStrictInt("k", "-7"), -7);
+  EXPECT_EQ(*ParseStrictInt("k", "007"), 7);
+}
+
+TEST(RequestProtocolTest, StrictIntRejectsGarbage) {
+  for (const char* bad :
+       {"", "1o", "abc", "12.5", "0x9", " 3", "3 ", "9999999999999999999999"}) {
+    auto parsed = ParseStrictInt("k", bad);
+    EXPECT_FALSE(parsed.ok()) << "'" << bad << "' was accepted";
+    EXPECT_NE(parsed.status().ToString().find("expects an integer"),
+              std::string::npos);
+  }
+}
+
+TEST(RequestProtocolTest, FormatsResponseAndErrorLines) {
+  EXPECT_EQ(FormatResponseLine({{"op", "stats"}, {"hits", "3"}}),
+            "ok\top=stats\thits=3\n");
+  EXPECT_EQ(FormatResponseLine({}), "ok\n");
+  std::string error =
+      FormatErrorLine(7, Status::InvalidArgument("unknown op 'bogus'"));
+  EXPECT_EQ(error.find("error\tline=7\tmsg="), 0u);
+  EXPECT_NE(error.find("unknown op 'bogus'"), std::string::npos);
+  EXPECT_EQ(error.back(), '\n');
+}
+
+}  // namespace
+}  // namespace cpdb

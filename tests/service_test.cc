@@ -1,0 +1,577 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Tests for the serving layer: TreeCatalog fingerprint stability and
+// content deduplication, RankDistCache hit/miss accounting, and — the load-
+// bearing property — bitwise parity between cached and uncached consensus
+// answers for all four Top-k metrics, across cold/warm caches and thread
+// counts. The cache stores a value the engine computes deterministically,
+// so memoization must be observable only in the CacheStats counters.
+
+#include "service/query_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "core/set_consensus.h"
+#include "io/table_io.h"
+#include "io/tree_text.h"
+#include "model/possible_worlds.h"
+#include "service/rank_dist_cache.h"
+#include "service/tree_catalog.h"
+#include "workload/generators.h"
+
+namespace cpdb {
+namespace {
+
+constexpr char kTreeText[] =
+    "(and (xor 0.6 (leaf key=1 score=8) 0.3 (leaf key=1 score=5))"
+    " (xor 0.7 (leaf key=2 score=9))"
+    " (xor 0.5 (leaf key=3 score=7) 0.5 (leaf key=3 score=6)))";
+
+// The same tree with different whitespace: canonical fingerprints must
+// collide on purpose.
+constexpr char kTreeTextReformatted[] =
+    "(and\n  (xor 0.6 (leaf key=1 score=8)\n       0.3 (leaf key=1 score=5))\n"
+    "  (xor 0.7 (leaf key=2 score=9))\n"
+    "  (xor 0.5 (leaf key=3 score=7) 0.5 (leaf key=3 score=6)))\n";
+
+constexpr char kOtherTreeText[] =
+    "(and (xor 0.5 (leaf key=4 score=3)) (xor 0.25 (leaf key=5 score=1)))";
+
+AndXorTree RandomDeepTree(uint64_t seed, int num_keys = 8) {
+  Rng rng(seed);
+  RandomTreeOptions opts;
+  opts.num_keys = num_keys;
+  opts.max_depth = 3;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  EXPECT_TRUE(tree.ok());
+  return *std::move(tree);
+}
+
+// ---------------------------------------------------------------------------
+// TreeCatalog
+// ---------------------------------------------------------------------------
+
+TEST(TreeCatalogTest, FingerprintIsStableAcrossLoadOrderAndFormatting) {
+  TreeCatalog forward;
+  ASSERT_TRUE(forward.InsertFromText("a", kTreeText).ok());
+  ASSERT_TRUE(forward.InsertFromText("b", kOtherTreeText).ok());
+
+  TreeCatalog backward;
+  ASSERT_TRUE(backward.InsertFromText("b", kOtherTreeText).ok());
+  ASSERT_TRUE(backward.InsertFromText("a", kTreeTextReformatted).ok());
+
+  // Same content, regardless of insertion order or input formatting.
+  EXPECT_EQ(forward.Lookup("a")->fingerprint, backward.Lookup("a")->fingerprint);
+  EXPECT_EQ(forward.Lookup("b")->fingerprint, backward.Lookup("b")->fingerprint);
+  EXPECT_NE(forward.Lookup("a")->fingerprint, forward.Lookup("b")->fingerprint);
+}
+
+TEST(TreeCatalogTest, IdenticalContentUnderTwoNamesSharesOneTree) {
+  TreeCatalog catalog;
+  auto first = catalog.InsertFromText("original", kTreeText);
+  auto alias = catalog.InsertFromText("alias", kTreeTextReformatted);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(first->fingerprint, alias->fingerprint);
+  // Shared immutable handle: the same allocation, not an equal copy.
+  EXPECT_EQ(first->tree.get(), alias->tree.get());
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+TEST(TreeCatalogTest, ReinsertIsIdempotentButConflictErrors) {
+  TreeCatalog catalog;
+  ASSERT_TRUE(catalog.InsertFromText("t", kTreeText).ok());
+  // Identical content again: fine (idempotent re-load).
+  EXPECT_TRUE(catalog.InsertFromText("t", kTreeTextReformatted).ok());
+  // Different content under a served name: rejected, not replaced.
+  auto conflict = catalog.InsertFromText("t", kOtherTreeText);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(TreeCatalogTest, LookupAndValidationErrors) {
+  TreeCatalog catalog;
+  auto missing = catalog.Lookup("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(catalog.InsertFromText("", kTreeText).ok());
+  EXPECT_FALSE(catalog.InsertFromText("bad", "(xor 2.0 (leaf key=1))").ok());
+}
+
+// The catalog's thread-safety contract, exercised with real threads (this
+// is what the TSan CI job watches): concurrent inserts racing on a shared
+// name, private names with identical content, and lookups, all interleaved.
+TEST(TreeCatalogTest, ConcurrentInsertsAndLookupsShareOneTree) {
+  TreeCatalog catalog;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&catalog, t] {
+      // Everyone races to bind the shared name; first insert wins and the
+      // rest are idempotent re-loads of identical content.
+      auto shared = catalog.InsertFromText("shared", kTreeText);
+      EXPECT_TRUE(shared.ok());
+      auto mine = catalog.InsertFromText("worker" + std::to_string(t),
+                                         kTreeTextReformatted);
+      EXPECT_TRUE(mine.ok());
+      if (shared.ok() && mine.ok()) {
+        EXPECT_EQ(mine->fingerprint, shared->fingerprint);
+      }
+      EXPECT_TRUE(catalog.Lookup("shared").ok());
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(catalog.size(), static_cast<size_t>(kThreads) + 1);
+  // One content fingerprint -> one shared allocation across every name.
+  const AndXorTree* tree = catalog.Lookup("shared")->tree.get();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(catalog.Lookup("worker" + std::to_string(t))->tree.get(), tree);
+  }
+}
+
+TEST(TreeCatalogTest, FingerprintTreeMatchesCanonicalHash) {
+  auto tree = ParseTree(kTreeText);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(TreeCatalog::FingerprintTree(*tree),
+            Fnv1a64(FormatTree(*tree, /*indent=*/false)));
+}
+
+// ---------------------------------------------------------------------------
+// RankDistCache
+// ---------------------------------------------------------------------------
+
+TEST(RankDistCacheTest, CountsHitsAndMissesPerKey) {
+  AndXorTree tree = *ParseTree(kTreeText);
+  RankDistCache cache;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return ComputeRankDistribution(tree, 2);
+  };
+  auto a = cache.GetOrCompute(1, 2, compute);
+  auto b = cache.GetOrCompute(1, 2, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(a.get(), b.get());  // shared handle, not a copy
+  // Different k and different fingerprint are distinct entries.
+  cache.GetOrCompute(1, 3, [&] { return ComputeRankDistribution(tree, 3); });
+  cache.GetOrCompute(2, 2, compute);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.entries, 3);
+}
+
+TEST(RankDistCacheTest, PeekDoesNotCountAndClearResets) {
+  AndXorTree tree = *ParseTree(kTreeText);
+  RankDistCache cache;
+  EXPECT_EQ(cache.Peek(1, 2), nullptr);
+  auto handle =
+      cache.GetOrCompute(1, 2, [&] { return ComputeRankDistribution(tree, 2); });
+  EXPECT_EQ(cache.Peek(1, 2).get(), handle.get());
+  CacheStats before = cache.stats();
+  EXPECT_EQ(before.hits, 0);
+  EXPECT_EQ(before.misses, 1);
+  cache.Clear();
+  CacheStats after = cache.stats();
+  EXPECT_EQ(after.misses, 0);
+  EXPECT_EQ(after.entries, 0);
+  EXPECT_EQ(cache.Peek(1, 2), nullptr);
+  // Handles outlive Clear (shared ownership).
+  EXPECT_EQ(handle->k(), 2);
+}
+
+// The documented GetOrCompute race — several threads missing one key may
+// all compute, the first insert wins, and every caller shares that one
+// allocation — run for real so TSan sees the lock hand-offs.
+TEST(RankDistCacheTest, ConcurrentGetOrComputeSharesOneEntryPerKey) {
+  AndXorTree tree = *ParseTree(kTreeText);
+  RankDistCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const RankDistribution>> handles(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &tree, &handles, t] {
+      handles[t] = cache.GetOrCompute(
+          7, 2, [&] { return ComputeRankDistribution(tree, 2); });
+      cache.Peek(7, 2);
+      cache.stats();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(handles[t].get(), handles[0].get()) << "thread " << t;
+  }
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1);
+  // Each call counts exactly once; the hit/miss split depends on the race.
+  EXPECT_EQ(stats.hits + stats.misses, kThreads);
+  EXPECT_GE(stats.misses, 1);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceRequestFromLine — the strict semantic mapping
+// ---------------------------------------------------------------------------
+
+Result<ServiceRequest> MapLine(const std::string& text) {
+  auto line = ParseRequestLine(text);
+  if (!line.ok()) return line.status();
+  return ServiceRequestFromLine(*line);
+}
+
+TEST(ServiceRequestTest, MapsEveryOp) {
+  auto load = MapLine("op=load name=t file=/tmp/x.sexp format=bid");
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->op, ServiceRequest::Op::kLoad);
+  EXPECT_EQ(load->load_name, "t");
+  EXPECT_EQ(load->load_format, "bid");
+
+  auto topk = MapLine("op=topk tree=t k=3 metric=kendall answer=mean");
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(topk->op, ServiceRequest::Op::kTopK);
+  EXPECT_EQ(topk->k, 3);
+  EXPECT_EQ(topk->metric, TopKMetric::kKendall);
+  EXPECT_EQ(topk->answer, TopKAnswer::kMean);
+
+  auto world = MapLine("op=world tree=t answer=median");
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->op, ServiceRequest::Op::kWorld);
+  EXPECT_TRUE(world->median_world);
+
+  auto stats = MapLine("op=stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->op, ServiceRequest::Op::kStats);
+}
+
+TEST(ServiceRequestTest, GarbageNeverBecomesADefault) {
+  // Strictness matches the PR 2 CLI convention: every one of these is an
+  // error, not a silently defaulted request.
+  for (const char* bad : {
+           "tree=t k=2",                       // missing op
+           "op=bogus",                         // unknown op
+           "op=topk tree=t",                   // missing k
+           "op=topk k=2",                      // missing tree
+           "op=topk tree=t k=1o",              // garbage int
+           "op=topk tree=t k=0",               // out of range
+           "op=topk tree=t k=-3",              // out of range
+           "op=topk tree=t k=9999999",         // out of range
+           "op=topk tree=t k=2 metric=nope",   // unknown metric
+           "op=topk tree=t k=2 answer=nope",   // unknown answer
+           "op=topk tree=t k=2 metrc=kendall", // typo'd field name
+           "op=world tree=t metric=jaccard",   // unsupported metric
+           "op=world tree=t answer=approx",    // unknown answer for world
+           "op=load name=t file=f format=xml", // unknown format
+           "op=load name=t",                   // missing file
+           "op=stats tree=t",                  // field stats does not take
+       }) {
+    EXPECT_FALSE(MapLine(bad).ok()) << "'" << bad << "' was accepted";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QueryScheduler — parity and dedup
+// ---------------------------------------------------------------------------
+
+class QuerySchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.InsertFromText("t", kTreeText).ok());
+    deep_ = RandomDeepTree(101);
+    ASSERT_TRUE(catalog_.Insert("deep", deep_).ok());
+  }
+
+  static ServiceRequest TopKRequest(const std::string& tree, int k,
+                                    TopKMetric metric,
+                                    TopKAnswer answer = TopKAnswer::kMean) {
+    ServiceRequest request;
+    request.op = ServiceRequest::Op::kTopK;
+    request.tree_name = tree;
+    request.k = k;
+    request.metric = metric;
+    request.answer = answer;
+    return request;
+  }
+
+  TreeCatalog catalog_;
+  AndXorTree deep_;
+};
+
+// The acceptance-criteria test: for all four metrics on one catalog tree,
+// answers must be bitwise identical with the cache cold, warm, and
+// disabled — and equal to direct one-at-a-time engine calls.
+TEST_F(QuerySchedulerTest, CachedAndUncachedAnswersAreBitwiseIdentical) {
+  const int k = 3;
+  const TopKMetric kMetrics[] = {TopKMetric::kSymDiff,
+                                 TopKMetric::kIntersection,
+                                 TopKMetric::kFootrule, TopKMetric::kKendall};
+  std::vector<ServiceRequest> batch;
+  for (TopKMetric metric : kMetrics) {
+    batch.push_back(TopKRequest("deep", k, metric));
+  }
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  engine_options.use_fast_bid_path = false;
+  Engine engine(engine_options);
+
+  QueryScheduler cached(&engine, &catalog_);
+  SchedulerOptions no_cache;
+  no_cache.use_cache = false;
+  QueryScheduler uncached(&engine, &catalog_, no_cache);
+
+  auto cold = cached.ExecuteBatch(batch);   // cache cold: all misses
+  auto warm = cached.ExecuteBatch(batch);   // cache warm: all hits
+  auto direct = uncached.ExecuteBatch(batch);
+  ASSERT_EQ(cold.size(), batch.size());
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(cold[i].ok()) << "slot " << i << ": "
+                              << cold[i].status().ToString();
+    ASSERT_TRUE(warm[i].ok());
+    ASSERT_TRUE(direct[i].ok());
+    auto engine_answer =
+        engine.ConsensusTopK(deep_, k, batch[i].metric, batch[i].answer);
+    ASSERT_TRUE(engine_answer.ok());
+    // Bitwise: same keys, and EXPECT_EQ (not NEAR) on the distance.
+    EXPECT_EQ(cold[i]->keys, engine_answer->keys) << "slot " << i;
+    EXPECT_EQ(cold[i]->expected_distance, engine_answer->expected_distance);
+    EXPECT_EQ(warm[i]->keys, cold[i]->keys);
+    EXPECT_EQ(warm[i]->expected_distance, cold[i]->expected_distance);
+    EXPECT_EQ(direct[i]->keys, cold[i]->keys);
+    EXPECT_EQ(direct[i]->expected_distance, cold[i]->expected_distance);
+  }
+
+  // The counters tell the sharing story: 4 queries on one (tree, k) cost
+  // one fold cold (1 miss + 3 hits), zero folds warm (4 more hits).
+  CacheStats stats = cached.cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 7);
+  EXPECT_EQ(stats.entries, 1);
+  CacheStats untouched = uncached.cache_stats();
+  EXPECT_EQ(untouched.hits + untouched.misses, 0);
+}
+
+// A heterogeneous batch (two trees, mixed k / metric / answer, an unknown
+// tree, a bad k) must return per-slot exactly what one-at-a-time engine
+// calls return, failures isolated to their slot.
+TEST_F(QuerySchedulerTest, BatchMatchesOneAtATimeEngineAnswers) {
+  std::vector<ServiceRequest> batch = {
+      TopKRequest("t", 2, TopKMetric::kSymDiff),
+      TopKRequest("deep", 3, TopKMetric::kSymDiff, TopKAnswer::kMedian),
+      TopKRequest("deep", 2, TopKMetric::kIntersection,
+                  TopKAnswer::kMeanApprox),
+      TopKRequest("missing", 2, TopKMetric::kSymDiff),  // unknown tree
+      TopKRequest("t", 1, TopKMetric::kKendall),
+      TopKRequest("deep", 2, TopKMetric::kFootrule, TopKAnswer::kMedian),
+      TopKRequest("deep", 4, TopKMetric::kFootrule),
+  };
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  engine_options.use_fast_bid_path = false;
+  Engine engine(engine_options);
+  QueryScheduler scheduler(&engine, &catalog_);
+  auto results = scheduler.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto entry = catalog_.Lookup(batch[i].tree_name);
+    if (!entry.ok()) {
+      EXPECT_FALSE(results[i].ok()) << "slot " << i;
+      continue;
+    }
+    auto expected = engine.ConsensusTopK(*entry->tree, batch[i].k,
+                                         batch[i].metric, batch[i].answer);
+    if (!expected.ok()) {
+      EXPECT_FALSE(results[i].ok()) << "slot " << i;
+      continue;
+    }
+    ASSERT_TRUE(results[i].ok())
+        << "slot " << i << ": " << results[i].status().ToString();
+    EXPECT_EQ(results[i]->keys, expected->keys) << "slot " << i;
+    EXPECT_EQ(results[i]->expected_distance, expected->expected_distance);
+  }
+}
+
+TEST_F(QuerySchedulerTest, WorldRequestsMatchEngineSetConsensus) {
+  ServiceRequest mean;
+  mean.op = ServiceRequest::Op::kWorld;
+  mean.tree_name = "deep";
+  ServiceRequest median = mean;
+  median.median_world = true;
+  Engine engine;
+  QueryScheduler scheduler(&engine, &catalog_);
+  auto results = scheduler.ExecuteBatch({mean, median});
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+
+  std::vector<double> marginal = engine.LeafMarginals(deep_);
+  std::vector<NodeId> mean_world = engine.MeanWorldSymDiff(deep_);
+  std::vector<KeyId> mean_keys;
+  for (const TupleAlternative& t : WorldTuples(deep_, mean_world)) {
+    mean_keys.push_back(t.key);
+  }
+  EXPECT_EQ(results[0]->keys, mean_keys);
+  EXPECT_EQ(results[0]->expected_distance,
+            ExpectedSymDiffDistanceFromMarginals(deep_, marginal, mean_world));
+  std::vector<NodeId> median_world = engine.MedianWorldSymDiff(deep_);
+  std::vector<KeyId> median_keys;
+  for (const TupleAlternative& t : WorldTuples(deep_, median_world)) {
+    median_keys.push_back(t.key);
+  }
+  EXPECT_EQ(results[1]->keys, median_keys);
+}
+
+// Scheduler answers must be bitwise identical for any engine thread count —
+// the serving layer adds no scheduling dependence of its own.
+TEST_F(QuerySchedulerTest, AnswersBitwiseIdenticalAcrossThreadCounts) {
+  std::vector<ServiceRequest> batch = {
+      TopKRequest("deep", 3, TopKMetric::kSymDiff),
+      TopKRequest("deep", 3, TopKMetric::kKendall),
+      TopKRequest("deep", 3, TopKMetric::kFootrule),
+      TopKRequest("deep", 3, TopKMetric::kIntersection),
+      TopKRequest("deep", 3, TopKMetric::kSymDiff, TopKAnswer::kMedian),
+  };
+  std::vector<Result<ServiceResponse>> reference;
+  for (int threads : {1, 2, 4, 8}) {
+    EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    engine_options.use_fast_bid_path = false;
+    Engine engine(engine_options);
+    QueryScheduler scheduler(&engine, &catalog_);
+    auto results = scheduler.ExecuteBatch(batch);
+    if (threads == 1) {
+      reference = std::move(results);
+      continue;
+    }
+    ASSERT_EQ(results.size(), reference.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok());
+      ASSERT_EQ(results[i]->keys, reference[i]->keys)
+          << "slot " << i << " threads " << threads;
+      ASSERT_EQ(results[i]->expected_distance,
+                reference[i]->expected_distance);
+    }
+  }
+}
+
+// The scheduler's own concurrency claim — "concurrent ExecuteBatch calls
+// are safe" — run for real: several threads fire batches through one
+// scheduler (one shared engine, catalog, and cache) interleaved with
+// idempotent catalog re-inserts and stats probes. Every answer must equal
+// the single-threaded reference; TSan watches the lock discipline.
+TEST_F(QuerySchedulerTest, ConcurrentExecuteBatchCallsAgreeWithReference) {
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.use_fast_bid_path = false;
+  Engine engine(engine_options);
+  QueryScheduler scheduler(&engine, &catalog_);
+  const std::vector<ServiceRequest> batch = {
+      TopKRequest("deep", 3, TopKMetric::kSymDiff),
+      TopKRequest("deep", 3, TopKMetric::kKendall),
+      TopKRequest("t", 2, TopKMetric::kFootrule),
+  };
+  auto reference = scheduler.ExecuteBatch(batch);
+  for (const auto& slot : reference) ASSERT_TRUE(slot.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::vector<Result<ServiceResponse>>> observed(
+      kThreads * kRounds,
+      std::vector<Result<ServiceResponse>>());
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([this, &scheduler, &batch, &observed, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        EXPECT_TRUE(catalog_.InsertFromText("t", kTreeText).ok());
+        scheduler.cache_stats();
+        observed[t * kRounds + round] = scheduler.ExecuteBatch(batch);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const auto& results : observed) {
+    ASSERT_EQ(results.size(), reference.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+      EXPECT_EQ(results[i]->keys, reference[i]->keys) << "slot " << i;
+      EXPECT_EQ(results[i]->expected_distance,
+                reference[i]->expected_distance);
+    }
+  }
+  // All traffic shared the two (tree, k) folds: 2 misses, total accounted.
+  CacheStats stats = scheduler.cache_stats();
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_EQ(stats.hits + stats.misses, 3 * (kThreads * kRounds + 1));
+}
+
+// Loads apply before queries in the same batch, both input formats work,
+// and a load failure stays in its slot.
+TEST_F(QuerySchedulerTest, LoadsApplyBeforeQueriesInTheSameBatch) {
+  std::string tree_path = ::testing::TempDir() + "/service_load.sexp";
+  std::string bid_path = ::testing::TempDir() + "/service_load.bid";
+  ASSERT_TRUE(WriteStringToFile(tree_path, kOtherTreeText).ok());
+  ASSERT_TRUE(WriteStringToFile(bid_path,
+                                "1 0.6 8\n1 0.3 5\n2 0.7 9\n")
+                  .ok());
+  ServiceRequest query = TopKRequest("late", 1, TopKMetric::kSymDiff);
+  ServiceRequest load;
+  load.op = ServiceRequest::Op::kLoad;
+  load.load_name = "late";
+  load.load_file = tree_path;
+  ServiceRequest load_bid = load;
+  load_bid.load_name = "late_bid";
+  load_bid.load_file = bid_path;
+  load_bid.load_format = "bid";
+  ServiceRequest load_missing = load;
+  load_missing.load_name = "missing_file";
+  load_missing.load_file = ::testing::TempDir() + "/does_not_exist.sexp";
+
+  Engine engine;
+  QueryScheduler scheduler(&engine, &catalog_);
+  // The query references a tree loaded *later* in the batch.
+  auto results =
+      scheduler.ExecuteBatch({query, load, load_bid, load_missing});
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_NE(results[1]->fingerprint, 0u);
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_FALSE(results[3].ok());
+  EXPECT_EQ(catalog_.size(), 4u);  // t, deep, late, late_bid
+}
+
+TEST_F(QuerySchedulerTest, StatsRequestReportsCacheCounters) {
+  Engine engine;
+  QueryScheduler scheduler(&engine, &catalog_);
+  ServiceRequest stats;
+  stats.op = ServiceRequest::Op::kStats;
+  // Stats report the post-batch state even when the line precedes queries.
+  auto results = scheduler.ExecuteBatch(
+      {stats, TopKRequest("t", 2, TopKMetric::kSymDiff),
+       TopKRequest("t", 2, TopKMetric::kFootrule)});
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0]->stats.misses, 1);
+  EXPECT_EQ(results[0]->stats.hits, 1);
+}
+
+// ResponseToFields renders every op into protocol fields.
+TEST_F(QuerySchedulerTest, ResponsesRenderToProtocolFields) {
+  Engine engine;
+  QueryScheduler scheduler(&engine, &catalog_);
+  auto results =
+      scheduler.ExecuteBatch({TopKRequest("t", 2, TopKMetric::kSymDiff)});
+  ASSERT_TRUE(results[0].ok());
+  std::string line = FormatResponseLine(ResponseToFields(*results[0]));
+  EXPECT_EQ(line.find("ok\top=topk\ttree=t\tmetric=symdiff"), 0u);
+  EXPECT_NE(line.find("keys="), std::string::npos);
+  EXPECT_NE(line.find("expected="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpdb

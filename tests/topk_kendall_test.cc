@@ -165,6 +165,46 @@ TEST(TopKKendallTest, ExactRefusesLargeCandidateSets) {
             StatusCode::kResourceExhausted);
 }
 
+// The Create factory adopts a well-shaped external q matrix bitwise and
+// rejects a mis-shaped one with a Status instead of aborting the process
+// (the PR 1 review item).
+TEST(TopKKendallTest, CreateValidatesExternalMatrixShape) {
+  Rng rng(11);
+  RandomTreeOptions opts;
+  opts.num_keys = 4;
+  opts.max_depth = 3;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  KendallEvaluator computed(*tree, kK);
+  const std::vector<KeyId>& keys = computed.keys();
+
+  std::vector<std::vector<double>> q(keys.size(),
+                                     std::vector<double>(keys.size(), 0.0));
+  for (size_t iu = 0; iu < keys.size(); ++iu) {
+    for (size_t it = 0; it < keys.size(); ++it) {
+      q[iu][it] = computed.Q(keys[iu], keys[it]);
+    }
+  }
+  auto adopted = KendallEvaluator::Create(*tree, kK, q);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  for (KeyId u : keys) {
+    for (KeyId t : keys) {
+      EXPECT_EQ(adopted->Q(u, t), computed.Q(u, t));
+    }
+  }
+
+  // Too few rows, and a ragged row: both are InvalidArgument, not abort.
+  std::vector<std::vector<double>> short_q(keys.size() - 1,
+                                           std::vector<double>(keys.size()));
+  EXPECT_EQ(KendallEvaluator::Create(*tree, kK, short_q).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<std::vector<double>> ragged_q = q;
+  ragged_q.back().pop_back();
+  EXPECT_EQ(KendallEvaluator::Create(*tree, kK, ragged_q).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(TopKKendallTest, CertainDatabaseExactIsTrueTopK) {
   std::vector<IndependentTuple> tuples;
   for (int i = 0; i < 5; ++i) {

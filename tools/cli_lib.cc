@@ -3,7 +3,6 @@
 #include "tools/cli_lib.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdlib>
 #include <map>
 
@@ -11,12 +10,16 @@
 #include "core/aggregates.h"
 #include "core/jaccard.h"
 #include "core/set_consensus.h"
+#include "core/topk_metrics.h"
 #include "core/topk_symdiff.h"
 #include "engine/engine.h"
+#include "io/request_protocol.h"
 #include "io/table_io.h"
 #include "io/tree_text.h"
 #include "model/builders.h"
 #include "model/possible_worlds.h"
+#include "service/query_scheduler.h"
+#include "service/tree_catalog.h"
 
 namespace cpdb {
 
@@ -33,6 +36,8 @@ struct CliOptions {
   size_t max_worlds = 4096;
   uint64_t seed = 1;
   int threads = 1;
+  bool cache = true;      // serve: rank-distribution cache on/off
+  bool cache_set = false;  // --cache given (only serve accepts it)
 };
 
 // The evaluation engine configured by --threads. Results are independent of
@@ -44,19 +49,14 @@ Engine MakeEngine(const CliOptions& opts) {
   return Engine(eopts);
 }
 
-// Strict base-10 integer parse for --flag values: rejects empty strings,
-// trailing garbage, and out-of-range magnitudes instead of silently taking
-// whatever atoi salvages (a typo'd "--k=1o" must not become k=1).
+// Strict base-10 integer parse for --flag values; shares the single strict
+// parser with the serve protocol's integer fields (io/request_protocol.h):
+// rejects empty strings, trailing garbage, and out-of-range magnitudes
+// instead of silently taking whatever atoi salvages (a typo'd "--k=1o"
+// must not become k=1).
 Result<long long> ParseIntFlag(const std::string& name,
                                const std::string& value) {
-  char* end = nullptr;
-  errno = 0;
-  long long parsed = std::strtoll(value.c_str(), &end, 10);
-  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
-    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
-                                   value + "'");
-  }
-  return parsed;
+  return ParseStrictInt("--" + name, value);
 }
 
 // Parses "--name=value" flags; positional arguments fill command then input.
@@ -112,6 +112,18 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       // Clamp before narrowing; the pool caps the count anyway.
       opts.threads = static_cast<int>(
           std::min<long long>(std::max<long long>(threads, -1), 1 << 20));
+    } else if (name == "cache") {
+      // Strict enum parse, like the integer flags: a typo'd value must not
+      // silently leave the cache in its default state.
+      if (value == "on") {
+        opts.cache = true;
+      } else if (value == "off") {
+        opts.cache = false;
+      } else {
+        return Status::InvalidArgument("--cache expects on or off, got '" +
+                                       value + "'");
+      }
+      opts.cache_set = true;
     } else {
       return Status::InvalidArgument("unknown flag --" + name);
     }
@@ -120,6 +132,12 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     return Status::InvalidArgument("missing command");
   }
   opts.command = positional[0];
+  // --cache configures the serve scheduler and nothing else; accepting it
+  // elsewhere would be the silently-ignored-flag failure mode the strict
+  // value parses exist to prevent.
+  if (opts.cache_set && opts.command != "serve") {
+    return Status::InvalidArgument("--cache applies only to serve");
+  }
   if (positional.size() > 1) opts.input_path = positional[1];
   if (positional.size() > 2) {
     return Status::InvalidArgument("unexpected argument: " + positional[2]);
@@ -278,45 +296,35 @@ int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     // All four metrics (mean answers) over the same tree, submitted as one
     // Engine::EvaluateConsensusBatch call: the rank distribution, strata,
     // columns, and q-matrix units of all queries share the pool.
-    const struct {
-      TopKMetric metric;
-      const char* name;
-    } kMetrics[] = {
-        {TopKMetric::kSymDiff, "symdiff"},
-        {TopKMetric::kIntersection, "intersection"},
-        {TopKMetric::kFootrule, "footrule"},
-        {TopKMetric::kKendall, "kendall"},
+    const TopKMetric kMetrics[] = {
+        TopKMetric::kSymDiff,
+        TopKMetric::kIntersection,
+        TopKMetric::kFootrule,
+        TopKMetric::kKendall,
     };
     Engine engine = MakeEngine(opts);
     std::vector<Engine::ConsensusQuery> queries;
-    for (const auto& m : kMetrics) {
-      queries.push_back({&*tree, opts.k, m.metric, TopKAnswer::kMean});
+    for (TopKMetric m : kMetrics) {
+      queries.push_back({&*tree, opts.k, m, TopKAnswer::kMean});
     }
     std::vector<Result<TopKResult>> results =
         engine.EvaluateConsensusBatch(queries);
     for (size_t i = 0; i < results.size(); ++i) {
       if (!results[i].ok()) {
-        std::fprintf(err, "%s: %s\n", kMetrics[i].name,
+        std::fprintf(err, "%s: %s\n", TopKMetricName(kMetrics[i]),
                      results[i].status().ToString().c_str());
         return 1;
       }
-      std::fprintf(out, "top-%d (%s, mean): [", opts.k, kMetrics[i].name);
+      std::fprintf(out, "top-%d (%s, mean): [", opts.k,
+                   TopKMetricName(kMetrics[i]));
       for (KeyId key : results[i]->keys) std::fprintf(out, " %d", key);
       std::fprintf(out, " ]  E[distance] = %.6f\n",
                    results[i]->expected_distance);
     }
     return 0;
   }
-  TopKMetric metric;
-  if (opts.metric == "symdiff") {
-    metric = TopKMetric::kSymDiff;
-  } else if (opts.metric == "intersection") {
-    metric = TopKMetric::kIntersection;
-  } else if (opts.metric == "footrule") {
-    metric = TopKMetric::kFootrule;
-  } else if (opts.metric == "kendall") {
-    metric = TopKMetric::kKendall;
-  } else {
+  Result<TopKMetric> metric = ParseTopKMetricName(opts.metric);
+  if (!metric.ok()) {
     std::fprintf(err,
                  "unknown --metric=%s (expected symdiff, intersection, "
                  "footrule or kendall)\n",
@@ -334,7 +342,7 @@ int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     answer = TopKAnswer::kMeanApprox;
   }
   Engine engine = MakeEngine(opts);
-  Result<TopKResult> result = engine.ConsensusTopK(*tree, opts.k, metric,
+  Result<TopKResult> result = engine.ConsensusTopK(*tree, opts.k, *metric,
                                                    answer);
   if (!result.ok()) {
     std::fprintf(err, "%s\n", result.status().ToString().c_str());
@@ -345,6 +353,86 @@ int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   for (KeyId key : result->keys) std::fprintf(out, " %d", key);
   std::fprintf(out, " ]  E[distance] = %.6f\n", result->expected_distance);
   return 0;
+}
+
+// The serve command: reads one request per line (the protocol of
+// io/request_protocol.h), executes the whole input as one batch through a
+// QueryScheduler — catalog loads first, then queries with shared
+// rank-distribution work deduplicated through the (fingerprint, k) cache —
+// and writes one response line per request, in input order. Request-level
+// garbage produces an in-band error line for that request only; the command
+// keeps serving the rest.
+int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  if (opts.threads < 0) {
+    std::fprintf(err, "--threads must be >= 0 (0 = all hardware cores)\n");
+    return 1;
+  }
+  std::string input;
+  if (opts.input_path.empty() || opts.input_path == "-") {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+      input.append(buf, n);
+    }
+  } else {
+    Result<std::string> content = ReadFileToString(opts.input_path);
+    if (!content.ok()) {
+      std::fprintf(err, "%s\n", content.status().ToString().c_str());
+      return 1;
+    }
+    input = *std::move(content);
+  }
+
+  // Tokenize and type every line up front; comment lines produce no
+  // response. Slots keep their input line number for error reporting.
+  std::vector<size_t> line_numbers;
+  std::vector<Result<ServiceRequest>> parsed;
+  size_t pos = 0;
+  for (size_t line_number = 1; pos <= input.size(); ++line_number) {
+    size_t end = input.find('\n', pos);
+    if (end == std::string::npos) end = input.size();
+    std::string text = input.substr(pos, end - pos);
+    pos = end + 1;
+    Result<RequestLine> line = ParseRequestLine(text);
+    if (line.ok() && line->fields.empty()) continue;
+    line_numbers.push_back(line_number);
+    parsed.push_back(line.ok() ? ServiceRequestFromLine(*line)
+                               : Result<ServiceRequest>(line.status()));
+  }
+
+  Engine engine = MakeEngine(opts);
+  TreeCatalog catalog;
+  SchedulerOptions scheduler_options;
+  scheduler_options.use_cache = opts.cache;
+  QueryScheduler scheduler(&engine, &catalog, scheduler_options);
+
+  std::vector<ServiceRequest> batch;
+  for (const Result<ServiceRequest>& request : parsed) {
+    if (request.ok()) batch.push_back(*request);
+  }
+  std::vector<Result<ServiceResponse>> results =
+      scheduler.ExecuteBatch(batch);
+
+  int failed = 0;
+  size_t cursor = 0;
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    if (!parsed[i].ok()) {
+      std::fprintf(out, "%s",
+                   FormatErrorLine(line_numbers[i], parsed[i].status()).c_str());
+      ++failed;
+      continue;
+    }
+    const Result<ServiceResponse>& result = results[cursor++];
+    if (!result.ok()) {
+      std::fprintf(out, "%s",
+                   FormatErrorLine(line_numbers[i], result.status()).c_str());
+      ++failed;
+      continue;
+    }
+    std::fprintf(out, "%s",
+                 FormatResponseLine(ResponseToFields(*result)).c_str());
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 int CmdAggregate(const CliOptions& opts, std::FILE* out, std::FILE* err) {
@@ -406,6 +494,18 @@ std::string CliUsage() {
       "                   through the engine in one submission)\n"
       "                   --answer=mean|median|approx|any-size\n"
       "  aggregate        consensus group-by COUNT over the label attribute\n"
+      "  serve            answer a batch of requests read from the input\n"
+      "                   file (or stdin when omitted or '-'), one request\n"
+      "                   per line:\n"
+      "                     op=load name=T file=PATH [format=tree|bid]\n"
+      "                     op=topk tree=T k=K [metric=...] [answer=...]\n"
+      "                     op=world tree=T [answer=mean|median]\n"
+      "                     op=stats\n"
+      "                   one tab-separated response line per request;\n"
+      "                   rank distributions are cached by (tree\n"
+      "                   fingerprint, k) across the batch. Exits 0 when\n"
+      "                   every request succeeded, 1 otherwise (failures\n"
+      "                   are reported in-band as error lines).\n"
       "  help             print this message\n"
       "\n"
       "flags:\n"
@@ -413,9 +513,12 @@ std::string CliUsage() {
       "                      bid: 'key prob score [label]' lines)\n"
       "  --max-worlds=N      enumeration guard for `worlds` (default 4096)\n"
       "  (integer flags are parsed strictly: '--k=1o' is an error, not 1)\n"
-      "  --threads=N         evaluation threads for topk and consensus-world\n"
-      "                      queries (default 1; 0 = all hardware cores;\n"
-      "                      results are independent of N)\n";
+      "  --threads=N         evaluation threads for topk, consensus-world\n"
+      "                      and serve (default 1; 0 = all hardware cores;\n"
+      "                      results are independent of N)\n"
+      "  --cache=on|off      serve only: the rank-distribution cache\n"
+      "                      (default on; answers are bitwise identical\n"
+      "                      either way — off exists for benchmarking)\n";
 }
 
 int RunCli(const std::vector<std::string>& args, std::FILE* out,
@@ -437,6 +540,7 @@ int RunCli(const std::vector<std::string>& args, std::FILE* out,
   if (cmd == "sample") return CmdSample(*opts, out, err);
   if (cmd == "consensus-world") return CmdConsensusWorld(*opts, out, err);
   if (cmd == "topk") return CmdTopK(*opts, out, err);
+  if (cmd == "serve") return CmdServe(*opts, out, err);
   if (cmd == "aggregate") return CmdAggregate(*opts, out, err);
   std::fprintf(err, "unknown command '%s'\n%s", cmd.c_str(),
                CliUsage().c_str());
