@@ -24,6 +24,19 @@ double RankDistribution::PrRankLe(KeyId key, int i) const {
   return pr_le_[static_cast<size_t>(it->second)][static_cast<size_t>(clamped)];
 }
 
+int64_t RankDistribution::ApproxBytes() const {
+  // Per-key: one KeyId, one rb-tree node (pair + ~3 pointers + color,
+  // estimated flat), and two rows of k+1 doubles with their vector headers.
+  constexpr int64_t kMapNodeBytes = 64;
+  const int64_t per_row = static_cast<int64_t>(sizeof(std::vector<double>)) +
+                          static_cast<int64_t>(k_ + 1) *
+                              static_cast<int64_t>(sizeof(double));
+  const int64_t n = static_cast<int64_t>(keys_.size());
+  return static_cast<int64_t>(sizeof(RankDistribution)) +
+         n * static_cast<int64_t>(sizeof(KeyId)) + n * kMapNodeBytes +
+         2 * n * per_row;
+}
+
 void RankDistributionBuilder::EnsureKey(KeyId key) {
   auto [it, inserted] =
       dist_.key_index_.insert({key, static_cast<int>(dist_.keys_.size())});

@@ -49,6 +49,15 @@ class RankDistribution {
   /// (absent tuples have rank infinity). O(log n) per call.
   double PrBeyondK(KeyId key) const { return 1.0 - PrTopK(key); }
 
+  /// \brief Approximate heap footprint in bytes — the eviction cost the
+  /// serving layer's byte-budgeted caches charge for retaining this
+  /// distribution. Computed from element *counts* (sizes, not allocator
+  /// capacities) plus a fixed per-map-node estimate, so the figure is a
+  /// deterministic function of (keys, k): budget-driven eviction decisions
+  /// replay identically across runs and platforms. O(1): n·k dominates and
+  /// both factors are stored.
+  int64_t ApproxBytes() const;
+
  private:
   friend RankDistribution ComputeRankDistribution(const AndXorTree& tree,
                                                   int k);

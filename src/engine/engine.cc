@@ -337,6 +337,24 @@ double Engine::ExpectedSymDiffDistance(
                                               world);
 }
 
+Result<Engine::WorldResult> Engine::ConsensusWorldWithMarginals(
+    const AndXorTree& tree, const std::vector<double>& marginals,
+    bool median) const {
+  // A marginal vector folded from another tree would silently pick a world
+  // by the wrong probabilities; the size compare catches shape mismatches
+  // for free (content identity stays the caller's contract, see header).
+  if (marginals.size() != static_cast<size_t>(tree.NumNodes())) {
+    return Status::InvalidArgument(
+        "marginals were computed for a different tree (node counts differ)");
+  }
+  WorldResult result;
+  result.leaf_ids = median ? MedianWorldSymDiffFromMarginals(tree, marginals)
+                           : MeanWorldSymDiffFromMarginals(tree, marginals);
+  result.expected_distance =
+      ExpectedSymDiffDistanceFromMarginals(tree, marginals, result.leaf_ids);
+  return result;
+}
+
 McEstimate Engine::EstimateOverWorlds(
     const AndXorTree& tree, int num_samples, uint64_t seed,
     const std::function<double(const std::vector<NodeId>&)>& f) const {

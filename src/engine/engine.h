@@ -228,6 +228,31 @@ class Engine {
   /// core *FromMarginals functions, paying the fold a single time.
   std::vector<double> LeafMarginals(const AndXorTree& tree) const;
 
+  /// \brief A set-consensus world answer: the chosen world's leaves and its
+  /// expected symmetric-difference distance.
+  struct WorldResult {
+    std::vector<NodeId> leaf_ids;
+    double expected_distance = 0.0;
+  };
+
+  /// \brief The mean (or median) world under symmetric difference with the
+  /// per-leaf marginal fold supplied by the caller — the set-consensus
+  /// sibling of ConsensusTopKWithDist, and the entry point the serving
+  /// layer's MarginalsCache feeds. `marginals` must be this engine's
+  /// LeafMarginals(tree) (equivalently tree.LeafMarginals(): they agree
+  /// bitwise); the guard here is a cheap size compare against the tree's
+  /// node count, so a stale vector from a *different tree with the same
+  /// node count* passes undetected — content identity is the caller's
+  /// contract, which is why the serving layer keys its MarginalsCache by
+  /// the catalog's content fingerprint. Everything downstream of the fold
+  /// (filter, min-cost DP, distance sum) is sequential O(N), so the result
+  /// is bitwise identical to MeanWorldSymDiff / MedianWorldSymDiff plus
+  /// ExpectedSymDiffDistance, whether `marginals` was computed fresh or
+  /// served from a cache.
+  Result<WorldResult> ConsensusWorldWithMarginals(
+      const AndXorTree& tree, const std::vector<double>& marginals,
+      bool median) const;
+
   // -- Monte-Carlo estimation ---------------------------------------------
 
   /// \brief Chunked-parallel E[f(pw)] estimate: deterministic in `seed` and

@@ -1,0 +1,37 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "service/marginals_cache.h"
+
+namespace cpdb {
+
+namespace {
+
+// Size-based like RankDistribution::ApproxBytes: deterministic in the
+// element count, so eviction decisions replay identically across runs.
+int64_t MarginalVectorBytes(const std::vector<double>& marginals) {
+  return static_cast<int64_t>(sizeof(std::vector<double>)) +
+         static_cast<int64_t>(marginals.size()) *
+             static_cast<int64_t>(sizeof(double));
+}
+
+}  // namespace
+
+MarginalsCache::MarginalsCache(int64_t byte_budget)
+    : cache_(byte_budget, MarginalVectorBytes) {}
+
+std::shared_ptr<const std::vector<double>> MarginalsCache::GetOrCompute(
+    uint64_t fingerprint,
+    const std::function<std::vector<double>()>& compute) {
+  return cache_.GetOrCompute(fingerprint, compute);
+}
+
+std::shared_ptr<const std::vector<double>> MarginalsCache::Peek(
+    uint64_t fingerprint) const {
+  return cache_.Peek(fingerprint);
+}
+
+CacheStats MarginalsCache::stats() const { return cache_.stats(); }
+
+void MarginalsCache::Clear() { cache_.Clear(); }
+
+}  // namespace cpdb

@@ -1,0 +1,63 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// MarginalsCache — the sibling of RankDistCache for set-consensus traffic:
+// memoizes Engine::LeafMarginals, the one tree fold every `world` query
+// begins with, keyed by tree fingerprint alone (marginals do not depend on
+// k). Before this cache the scheduler re-folded the marginals per request;
+// with it, every mean/median world and expected-distance computation
+// against one tree shares a single fold, exactly as Top-k queries share
+// their rank distribution.
+//
+// Same contract as RankDistCache (both wrap CostLruCache): single-flight
+// computation, byte-budgeted LRU eviction (a marginal vector is charged
+// its size-based footprint), handles that survive eviction, and values the
+// engine computes deterministically — so caching is observable only in the
+// CacheStats counters, never in answers.
+
+#ifndef CPDB_SERVICE_MARGINALS_CACHE_H_
+#define CPDB_SERVICE_MARGINALS_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "service/lru_cache.h"
+
+namespace cpdb {
+
+/// \brief Thread-safe fingerprint -> leaf-marginal-vector memo with
+/// single-flight computation and byte-budgeted LRU eviction. The cached
+/// vector is indexed by NodeId, as produced by Engine::LeafMarginals /
+/// AndXorTree::LeafMarginals.
+class MarginalsCache {
+ public:
+  explicit MarginalsCache(int64_t byte_budget = kUnboundedCacheBytes);
+
+  /// \brief The marginal vector for `fingerprint`, invoking `compute` on a
+  /// miss — at most once across concurrent callers — and retaining the
+  /// result under the budget. The handle stays valid after eviction or
+  /// Clear (shared ownership).
+  std::shared_ptr<const std::vector<double>> GetOrCompute(
+      uint64_t fingerprint,
+      const std::function<std::vector<double>()>& compute);
+
+  /// \brief The retained entry, or nullptr without computing; no stats or
+  /// LRU effect.
+  std::shared_ptr<const std::vector<double>> Peek(uint64_t fingerprint) const;
+
+  /// \brief Counter snapshot; bytes <= byte_budget() in every snapshot.
+  CacheStats stats() const;
+
+  int64_t byte_budget() const { return cache_.byte_budget(); }
+
+  /// \brief Drops all retained entries and resets the counters.
+  void Clear();
+
+ private:
+  CostLruCache<uint64_t, std::vector<double>> cache_;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_SERVICE_MARGINALS_CACHE_H_

@@ -2,7 +2,7 @@
 
 #include "service/query_scheduler.h"
 
-#include <cstdio>
+#include <charconv>
 #include <memory>
 #include <utility>
 
@@ -61,10 +61,15 @@ Result<std::string> RequiredField(const RequestLine& line,
   return *value;
 }
 
+// Shortest round-trip formatting: the engine guarantees served distances
+// bitwise, and the wire must not be the layer that loses that ("%.6f"
+// silently truncated every answer). std::to_chars with no precision emits
+// the minimal digit string that strtod parses back to the identical
+// double; tests/cli_test.cc pins serve output == engine bits.
 std::string FormatDistance(double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6f", value);
-  return buf;
+  char buf[32];
+  std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, r.ptr);
 }
 
 std::string KeysCsv(const std::vector<KeyId>& keys) {
@@ -74,6 +79,19 @@ std::string KeysCsv(const std::vector<KeyId>& keys) {
     csv += std::to_string(keys[i]);
   }
   return csv;
+}
+
+void AppendCacheFields(const CacheStats& stats, const char* prefix,
+                       std::vector<RequestField>* fields) {
+  auto add = [&](const char* name, int64_t value) {
+    fields->push_back({std::string(prefix) + name, std::to_string(value)});
+  };
+  add("hits", stats.hits);
+  add("misses", stats.misses);
+  add("coalesced", stats.coalesced);
+  add("entries", stats.entries);
+  add("evictions", stats.evictions);
+  add("bytes", stats.bytes);
 }
 
 }  // namespace
@@ -173,9 +191,8 @@ std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
           {"expected", FormatDistance(response.expected_distance)});
       break;
     case ServiceRequest::Op::kStats:
-      fields.push_back({"hits", std::to_string(response.stats.hits)});
-      fields.push_back({"misses", std::to_string(response.stats.misses)});
-      fields.push_back({"entries", std::to_string(response.stats.entries)});
+      AppendCacheFields(response.stats, "", &fields);
+      AppendCacheFields(response.marginals_stats, "marg_", &fields);
       break;
   }
   return fields;
@@ -183,7 +200,11 @@ std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
 
 QueryScheduler::QueryScheduler(const Engine* engine, TreeCatalog* catalog,
                                SchedulerOptions options)
-    : engine_(engine), catalog_(catalog), options_(options) {}
+    : engine_(engine),
+      catalog_(catalog),
+      options_(options),
+      cache_(options.cache_budget_bytes),
+      marginals_cache_(options.cache_budget_bytes) {}
 
 namespace {
 
@@ -208,6 +229,66 @@ Result<ServiceResponse> ExecuteLoad(TreeCatalog* catalog,
 }
 
 }  // namespace
+
+std::shared_ptr<const RankDistribution> QueryScheduler::DistFor(
+    const CatalogEntry& entry, const ServiceRequest& request) {
+  // A request that can only fail (bad k, unsupported metric/answer pair)
+  // must not populate the cache: the engine rejects such queries *before*
+  // paying the fold, and the scheduler keeps that property. The engine
+  // call downstream reports the actual error.
+  if (!options_.use_cache || request.k < 1 ||
+      !Engine::ValidateConsensusRequest(request.metric, request.answer).ok()) {
+    return nullptr;
+  }
+  const AndXorTree& tree = *entry.tree;
+  const int k = request.k;
+  return cache_.GetOrCompute(entry.fingerprint, k, [this, &tree, k] {
+    return engine_->ComputeRankDistribution(tree, k);
+  });
+}
+
+std::shared_ptr<const std::vector<double>> QueryScheduler::MarginalsFor(
+    const CatalogEntry& entry) {
+  const AndXorTree& tree = *entry.tree;
+  if (!options_.use_cache) {
+    return std::make_shared<const std::vector<double>>(
+        engine_->LeafMarginals(tree));
+  }
+  return marginals_cache_.GetOrCompute(entry.fingerprint, [this, &tree] {
+    return engine_->LeafMarginals(tree);
+  });
+}
+
+Result<ServiceResponse> QueryScheduler::ExecuteWorld(
+    const CatalogEntry& entry, const ServiceRequest& request) {
+  const AndXorTree& tree = *entry.tree;
+  // One marginal fold — shared through the cache with every other world
+  // query against this content — serves the answer and its expected
+  // distance via the engine's marginals-reuse entry point.
+  std::shared_ptr<const std::vector<double>> marginals = MarginalsFor(entry);
+  CPDB_ASSIGN_OR_RETURN(
+      Engine::WorldResult world,
+      engine_->ConsensusWorldWithMarginals(tree, *marginals,
+                                           request.median_world));
+  ServiceResponse response;
+  response.op = ServiceRequest::Op::kWorld;
+  response.tree_name = request.tree_name;
+  response.metric = "symdiff";
+  response.answer = request.median_world ? "median" : "mean";
+  response.expected_distance = world.expected_distance;
+  for (const TupleAlternative& tuple : WorldTuples(tree, world.leaf_ids)) {
+    response.keys.push_back(tuple.key);
+  }
+  return response;
+}
+
+ServiceResponse QueryScheduler::StatsResponse() const {
+  ServiceResponse response;
+  response.op = ServiceRequest::Op::kStats;
+  response.stats = cache_.stats();
+  response.marginals_stats = marginals_cache_.stats();
+  return response;
+}
 
 std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
     const std::vector<ServiceRequest>& requests) {
@@ -252,29 +333,12 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
   // precompute through the (fingerprint, k) cache, in slot order, so the
   // first query of each pair computes the fold and the rest hit — within
   // this batch and across batches alike. The handles keep cached entries
-  // alive for the duration of the engine call even if the cache is Cleared
-  // concurrently.
+  // alive for the duration of the engine call even if entries are evicted
+  // or the cache is Cleared concurrently.
   std::vector<std::shared_ptr<const RankDistribution>> dists(
       topk_slots.size());
-  if (options_.use_cache) {
-    for (size_t j = 0; j < topk_slots.size(); ++j) {
-      const ServiceRequest& request = requests[topk_slots[j]];
-      // A request that can only fail (bad k, unsupported metric/answer
-      // pair) must not populate the cache: the engine rejects such
-      // queries *before* paying the fold, and the scheduler keeps that
-      // property. The engine call below reports the actual error.
-      if (request.k < 1 ||
-          !Engine::ValidateConsensusRequest(request.metric, request.answer)
-               .ok()) {
-        continue;
-      }
-      const CatalogEntry& entry = topk_entries[j];
-      const AndXorTree& tree = *entry.tree;
-      const int k = request.k;
-      dists[j] = cache_.GetOrCompute(entry.fingerprint, k, [&] {
-        return engine_->ComputeRankDistribution(tree, k);
-      });
-    }
+  for (size_t j = 0; j < topk_slots.size(); ++j) {
+    dists[j] = DistFor(topk_entries[j], requests[topk_slots[j]]);
   }
 
   // One engine submission for all Top-k slots: whole queries fan across
@@ -305,39 +369,73 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
     responses[slot] = std::move(response);
   }
 
-  // Set-consensus worlds: one parallel marginal fold serves the answer and
-  // its expected distance, exactly like the CLI's consensus-world path.
+  // Set-consensus worlds: one shared marginal fold per content fingerprint
+  // serves every world query's answer and expected distance.
   for (size_t j = 0; j < world_slots.size(); ++j) {
     const size_t slot = world_slots[j];
-    const ServiceRequest& request = requests[slot];
-    const AndXorTree& tree = *world_entries[j].tree;
-    std::vector<double> marginal = engine_->LeafMarginals(tree);
-    std::vector<NodeId> world =
-        request.median_world ? MedianWorldSymDiffFromMarginals(tree, marginal)
-                             : MeanWorldSymDiffFromMarginals(tree, marginal);
-    ServiceResponse response;
-    response.op = ServiceRequest::Op::kWorld;
-    response.tree_name = request.tree_name;
-    response.metric = "symdiff";
-    response.answer = request.median_world ? "median" : "mean";
-    response.expected_distance =
-        ExpectedSymDiffDistanceFromMarginals(tree, marginal, world);
-    for (const TupleAlternative& tuple : WorldTuples(tree, world)) {
-      response.keys.push_back(tuple.key);
-    }
-    responses[slot] = std::move(response);
+    responses[slot] = ExecuteWorld(world_entries[j], requests[slot]);
   }
 
   // Stats last: the counters describe the batch that just ran.
   for (size_t i = 0; i < requests.size(); ++i) {
     if (requests[i].op == ServiceRequest::Op::kStats) {
-      ServiceResponse response;
-      response.op = ServiceRequest::Op::kStats;
-      response.stats = cache_.stats();
-      responses[i] = std::move(response);
+      responses[i] = StatsResponse();
     }
   }
   return responses;
+}
+
+Result<ServiceResponse> QueryScheduler::ExecuteOne(
+    const ServiceRequest& request) {
+  switch (request.op) {
+    case ServiceRequest::Op::kLoad:
+      return ExecuteLoad(catalog_, request);
+    case ServiceRequest::Op::kStats:
+      return StatsResponse();
+    case ServiceRequest::Op::kTopK: {
+      CPDB_ASSIGN_OR_RETURN(CatalogEntry entry,
+                            catalog_->Lookup(request.tree_name));
+      std::shared_ptr<const RankDistribution> dist = DistFor(entry, request);
+      // With a cached (or freshly computed and now shared) distribution the
+      // engine runs only the metric tail; without one it runs the full
+      // query. Both paths are the bitwise-identical code ExecuteBatch
+      // submits per slot.
+      Result<TopKResult> result =
+          dist != nullptr
+              ? engine_->ConsensusTopKWithDist(*entry.tree, *dist,
+                                               request.metric, request.answer)
+              : engine_->ConsensusTopK(*entry.tree, request.k, request.metric,
+                                       request.answer);
+      if (!result.ok()) return result.status();
+      ServiceResponse response;
+      response.op = ServiceRequest::Op::kTopK;
+      response.tree_name = request.tree_name;
+      response.k = request.k;
+      response.metric = TopKMetricName(request.metric);
+      response.answer = TopKAnswerName(request.answer);
+      response.keys = result->keys;
+      response.expected_distance = result->expected_distance;
+      return response;
+    }
+    case ServiceRequest::Op::kWorld: {
+      CPDB_ASSIGN_OR_RETURN(CatalogEntry entry,
+                            catalog_->Lookup(request.tree_name));
+      return ExecuteWorld(entry, request);
+    }
+  }
+  return Status::Internal("unknown request op");
+}
+
+void QueryScheduler::ExecuteStreaming(
+    const std::function<bool(ServiceRequest*)>& next,
+    const std::function<void(const Result<ServiceResponse>&)>& emit) {
+  ServiceRequest request;
+  // The contract is the loop shape itself: each response is emitted before
+  // the next request is pulled, so a client driving `next` from a pipe has
+  // answer N in hand while composing request N+1.
+  while (next(&request)) {
+    emit(ExecuteOne(request));
+  }
 }
 
 }  // namespace cpdb

@@ -9,17 +9,30 @@
 //   1. applies every `load` to the TreeCatalog (in request order, before
 //      any query — a batch is a unit of work, not a transcript: queries may
 //      reference trees loaded later in the same batch);
-//   2. resolves query trees by name and routes the shared rank-distribution
-//      precompute through a RankDistCache keyed by (tree fingerprint, k),
-//      so queries sharing a fingerprint — within this batch or with any
-//      earlier one — pay the O(L^2 k) fold once;
+//   2. resolves query trees by name and routes the shared precomputes
+//      through the two owned caches — rank distributions by (tree
+//      fingerprint, k) for Top-k queries, leaf marginals by fingerprint for
+//      world queries — so queries sharing a fingerprint, within this batch
+//      or with any earlier one, pay the fold once;
 //   3. fans the remaining per-query work (strata, Hungarian columns, q
-//      matrices) through Engine::EvaluateConsensusBatch.
+//      matrices) through Engine::EvaluateConsensusBatch, and answers world
+//      queries through Engine::ConsensusWorldWithMarginals.
 //
-// Answers are bitwise identical to one-at-a-time Engine calls with the
-// cache enabled, disabled, cold, or warm, for any thread count — the cache
-// stores a value the engine computes deterministically, so memoization is
-// invisible except in the CacheStats counters and the latency.
+// Both caches are single-flight, LRU-evicting under the configured byte
+// budget (SchedulerOptions::cache_budget_bytes) — a long-lived server
+// under key churn holds bounded memory. Answers are bitwise identical to
+// one-at-a-time Engine calls with the caches enabled, disabled, cold,
+// warm, or evicting, for any thread count — the caches store values the
+// engine computes deterministically, so memoization is invisible except in
+// the CacheStats counters and the latency.
+//
+// Besides ExecuteBatch there is a streaming path: ExecuteStreaming pulls
+// requests one at a time and emits each response before reading the next
+// request — the serve --stream mode, where a client on a pipe sees answer
+// N before writing request N+1. Streaming trades the batch conveniences
+// for incrementality: requests execute strictly in input order (a query
+// may only reference trees loaded *earlier*), and `stats` reports the
+// counters at its point in the stream rather than post-batch.
 //
 // This is the chassis for sharding: a front-end that partitions batches
 // across processes needs exactly this interface (catalog handles + a batch
@@ -29,12 +42,15 @@
 #define CPDB_SERVICE_QUERY_SCHEDULER_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/engine.h"
 #include "io/request_protocol.h"
+#include "service/marginals_cache.h"
 #include "service/rank_dist_cache.h"
 #include "service/tree_catalog.h"
 
@@ -81,7 +97,8 @@ struct ServiceResponse {
   std::string answer;        // kTopK/kWorld echo (textual)
   std::vector<KeyId> keys;   // kTopK: answer keys; kWorld: world keys
   double expected_distance = 0.0;  // kTopK/kWorld
-  CacheStats stats;                // kStats
+  CacheStats stats;                // kStats: rank-distribution cache
+  CacheStats marginals_stats;      // kStats: marginals cache
 };
 
 /// \brief Renders a response as protocol fields, ready for
@@ -90,19 +107,29 @@ std::vector<RequestField> ResponseToFields(const ServiceResponse& response);
 
 /// \brief Scheduler knobs.
 struct SchedulerOptions {
-  /// Disables the rank-distribution cache: every query recomputes its
-  /// fold through the engine. Exists for the parity tests and the
-  /// cache-speedup benchmarks; production serving keeps it on.
+  /// Disables both memo caches: every query recomputes its folds through
+  /// the engine. Exists for the parity tests and the cache-speedup
+  /// benchmarks; production serving keeps it on.
   bool use_cache = true;
+
+  /// Byte budget applied to *each* owned cache (the CLI's --cache-budget):
+  /// retained entries are charged their size-based footprint and evicted
+  /// LRU-first when the charge would exceed the budget.
+  /// kUnboundedCacheBytes (the default) never evicts; 0 retains nothing
+  /// while still coalescing concurrent computes. Answers are bitwise
+  /// independent of the budget — eviction costs recomputation, never
+  /// correctness.
+  int64_t cache_budget_bytes = kUnboundedCacheBytes;
 };
 
 /// \brief Executes request batches against one engine and one catalog.
 ///
-/// The scheduler owns the RankDistCache (the only mutable state in the
-/// serving layer besides the catalog maps) and is thread-compatible:
-/// concurrent ExecuteBatch calls are safe — catalog and cache are
-/// internally locked; the engine is stateless per query — but batches
-/// racing on `load` of conflicting content may observe AlreadyExists.
+/// The scheduler owns the RankDistCache and MarginalsCache (the only
+/// mutable state in the serving layer besides the catalog maps) and is
+/// thread-compatible: concurrent ExecuteBatch / ExecuteOne calls are safe —
+/// catalog and caches are internally locked; the engine is stateless per
+/// query — but batches racing on `load` of conflicting content may observe
+/// AlreadyExists.
 class QueryScheduler {
  public:
   /// \brief Neither pointer is owned; both must outlive the scheduler.
@@ -117,16 +144,56 @@ class QueryScheduler {
   std::vector<Result<ServiceResponse>> ExecuteBatch(
       const std::vector<ServiceRequest>& requests);
 
+  /// \brief Executes one request immediately — the unit of the streaming
+  /// path. Same cache routing and bitwise-identical answers as a
+  /// single-request ExecuteBatch, with the two order-sensitive
+  /// differences streaming implies: a kTopK/kWorld request sees only trees
+  /// loaded before this call, and kStats reports the counters as of now.
+  Result<ServiceResponse> ExecuteOne(const ServiceRequest& request);
+
+  /// \brief The incremental serve loop: repeatedly pulls a request from
+  /// `next` (which returns false when the input is exhausted) and passes
+  /// its response to `emit` — always emitting request N's response
+  /// *before* pulling request N+1, so a streaming client observes answers
+  /// as it writes. Equivalent to calling ExecuteOne in a loop; exists so
+  /// the interleaving contract lives (and is tested) in the scheduler
+  /// rather than in every transport.
+  void ExecuteStreaming(
+      const std::function<bool(ServiceRequest*)>& next,
+      const std::function<void(const Result<ServiceResponse>&)>& emit);
+
   /// \brief Counter snapshot of the owned rank-distribution cache.
   CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// \brief Counter snapshot of the owned marginals cache.
+  CacheStats marginals_stats() const { return marginals_cache_.stats(); }
 
   const SchedulerOptions& options() const { return options_; }
 
  private:
+  /// The rank distribution for one valid Top-k request: through the cache
+  /// when enabled (single-flight, charged against the budget), nullptr
+  /// when disabled or when the request can only fail — the engine rejects
+  /// such queries before paying the fold, and the scheduler must not
+  /// populate the cache for them.
+  std::shared_ptr<const RankDistribution> DistFor(const CatalogEntry& entry,
+                                                  const ServiceRequest& request);
+
+  /// The leaf marginals for a world request's tree: through the marginals
+  /// cache when enabled, computed fresh otherwise.
+  std::shared_ptr<const std::vector<double>> MarginalsFor(
+      const CatalogEntry& entry);
+
+  Result<ServiceResponse> ExecuteWorld(const CatalogEntry& entry,
+                                       const ServiceRequest& request);
+
+  ServiceResponse StatsResponse() const;
+
   const Engine* engine_;
   TreeCatalog* catalog_;
   SchedulerOptions options_;
   RankDistCache cache_;
+  MarginalsCache marginals_cache_;
 };
 
 }  // namespace cpdb

@@ -4,46 +4,23 @@
 
 namespace cpdb {
 
+RankDistCache::RankDistCache(int64_t byte_budget)
+    : cache_(byte_budget,
+             [](const RankDistribution& dist) { return dist.ApproxBytes(); }) {}
+
 std::shared_ptr<const RankDistribution> RankDistCache::GetOrCompute(
     uint64_t fingerprint, int k,
     const std::function<RankDistribution()>& compute) {
-  const Key key(fingerprint, k);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++stats_.hits;
-      return it->second;
-    }
-    ++stats_.misses;
-  }
-  // Compute outside the lock: the fold may fan across a thread pool and
-  // must not serialize unrelated cache traffic behind it.
-  auto computed = std::make_shared<const RankDistribution>(compute());
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = entries_.emplace(key, computed);
-  if (inserted) stats_.entries = static_cast<int64_t>(entries_.size());
-  // If a racing thread inserted first, serve its (bitwise identical) copy
-  // so every caller shares one allocation.
-  return it->second;
+  return cache_.GetOrCompute(Key(fingerprint, k), compute);
 }
 
 std::shared_ptr<const RankDistribution> RankDistCache::Peek(
     uint64_t fingerprint, int k) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(Key(fingerprint, k));
-  return it == entries_.end() ? nullptr : it->second;
+  return cache_.Peek(Key(fingerprint, k));
 }
 
-CacheStats RankDistCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
+CacheStats RankDistCache::stats() const { return cache_.stats(); }
 
-void RankDistCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  stats_ = CacheStats();
-}
+void RankDistCache::Clear() { cache_.Clear(); }
 
 }  // namespace cpdb

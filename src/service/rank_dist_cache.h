@@ -8,62 +8,63 @@
 // schedule-deterministic, a cached distribution is bit-for-bit the one a
 // fresh computation would produce — serving from the cache can change
 // latency only, never answers (tests/service_test.cc pins this for all
-// four metrics).
+// four metrics; tests/cache_eviction_test.cc pins it across evictions).
+//
+// A thin typed wrapper over CostLruCache (service/lru_cache.h), which
+// supplies the three properties a long-lived serving process needs:
+// single-flight computation (concurrent misses for one key fold once),
+// cost-aware LRU eviction under a byte budget (entries are charged
+// RankDistribution::ApproxBytes(), so a server under key churn holds
+// bounded memory), and shared immutable handles that survive eviction.
 
 #ifndef CPDB_SERVICE_RANK_DIST_CACHE_H_
 #define CPDB_SERVICE_RANK_DIST_CACHE_H_
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "core/rank_distribution.h"
+#include "service/lru_cache.h"
 
 namespace cpdb {
 
-/// \brief Counters describing cache behavior since construction (or the
-/// last Clear). hits + misses equals the number of GetOrCompute calls.
-struct CacheStats {
-  int64_t hits = 0;
-  int64_t misses = 0;
-  int64_t entries = 0;
-};
-
-/// \brief Thread-safe (fingerprint, k) -> RankDistribution memo.
-///
-/// Concurrency: GetOrCompute may race; `compute` runs outside the lock (it
-/// typically fans a ParallelFor across the engine's pool), so two threads
-/// missing the same key may both compute. The first insert wins and both
-/// callers observe identical bits — compute is deterministic — so the race
-/// costs duplicated work at worst, never divergent answers.
+/// \brief Thread-safe (fingerprint, k) -> RankDistribution memo with
+/// single-flight computation and byte-budgeted LRU eviction.
 class RankDistCache {
  public:
+  /// \brief `byte_budget` caps the charged bytes of retained entries
+  /// (RankDistribution::ApproxBytes() each); kUnboundedCacheBytes (the
+  /// default) never evicts, 0 retains nothing but still coalesces
+  /// concurrent computes.
+  explicit RankDistCache(int64_t byte_budget = kUnboundedCacheBytes);
+
   /// \brief The distribution for (fingerprint, k), invoking `compute` on a
-  /// miss and retaining the result. The returned handle stays valid after
-  /// Clear (shared ownership).
+  /// miss — at most once across concurrent callers for one key — and
+  /// retaining the result under the budget. The returned handle stays
+  /// valid after eviction or Clear (shared ownership).
   std::shared_ptr<const RankDistribution> GetOrCompute(
       uint64_t fingerprint, int k,
       const std::function<RankDistribution()>& compute);
 
-  /// \brief The cached entry, or nullptr without computing. Does not count
-  /// toward hit/miss stats (it is a probe, not a query).
+  /// \brief The retained entry, or nullptr without computing. Does not
+  /// count toward the stats and does not touch the LRU order (a probe, not
+  /// a query).
   std::shared_ptr<const RankDistribution> Peek(uint64_t fingerprint,
                                                int k) const;
 
-  /// \brief Counter snapshot.
+  /// \brief Counter snapshot; bytes <= byte_budget() in every snapshot.
   CacheStats stats() const;
 
-  /// \brief Drops all entries and resets the counters.
+  int64_t byte_budget() const { return cache_.byte_budget(); }
+
+  /// \brief Drops all retained entries and resets the counters.
   void Clear();
 
  private:
   using Key = std::pair<uint64_t, int>;
-  mutable std::mutex mu_;
-  std::map<Key, std::shared_ptr<const RankDistribution>> entries_;
-  CacheStats stats_;
+  CostLruCache<Key, RankDistribution> cache_;
 };
 
 }  // namespace cpdb

@@ -8,9 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "engine/engine.h"
+#include "io/request_protocol.h"
 #include "io/table_io.h"
+#include "io/tree_text.h"
 
 namespace cpdb {
 namespace {
@@ -210,9 +215,42 @@ TEST_F(CliTest, IntegerFlagsParseStrictly) {
   EXPECT_EQ(RunCliArgs({"worlds", tree_path_, "--max-worlds=100"}).code, 0);
 }
 
+// Splits CLI output into lines (without trailing newlines).
+std::vector<std::string> OutputLines(const std::string& out) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t end = out.find('\n', pos);
+    if (end == std::string::npos) end = out.size();
+    lines.push_back(out.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+// The serve response line whose fields include name=value for every given
+// pair, parsed through the protocol's own reader.
+ResponseLine FindResponse(const std::string& out,
+                          const std::vector<RequestField>& matching) {
+  for (const std::string& text : OutputLines(out)) {
+    auto line = ParseResponseLine(text);
+    if (!line.ok()) continue;
+    bool all = true;
+    for (const RequestField& want : matching) {
+      const std::string* got = line->Find(want.name);
+      all = all && got != nullptr && *got == want.value;
+    }
+    if (all) return *line;
+  }
+  ADD_FAILURE() << "no response line matching in:\n" << out;
+  return ResponseLine{};
+}
+
 // End-to-end serve mode: a batch mixing loads (both formats), all four
-// Top-k metrics against one (tree, k) — whose answers must match the
-// single-query topk command — a world query, a stats probe showing the
+// Top-k metrics against one (tree, k) — whose answers must be *bitwise*
+// the engine's (the satellite fix: distances are emitted as shortest
+// round-trip doubles, so parsing the wire value back reproduces the exact
+// bits "%.6f" used to truncate) — a world query, a stats probe showing the
 // cache sharing, and in-band per-request errors.
 TEST_F(CliTest, ServeAnswersBatchedRequests) {
   std::string requests_path = ::testing::TempDir() + "/cli_serve_req.txt";
@@ -227,48 +265,52 @@ TEST_F(CliTest, ServeAnswersBatchedRequests) {
                   "op=topk tree=t k=2 metric=footrule\n"
                   "op=topk tree=t k=2 metric=kendall\n"
                   "op=world tree=b answer=median\n"
-                  "op=stats\n")
+                  "op=stats # trailing comments are legal anywhere\n")
                   .ok());
   CliResult r = RunCliArgs({"serve", requests_path, "--threads=2"});
   EXPECT_EQ(r.code, 0) << r.err << r.out;
 
-  // Each metric's response line must carry the same keys and expected
-  // distance the one-shot topk command prints for the same tree and k.
+  // Cross-check each metric's response against a direct engine call: same
+  // keys, and the wire distance must strtod back to the identical double.
+  auto tree = ParseTree(*ReadFileToString(tree_path_));
+  ASSERT_TRUE(tree.ok());
+  Engine engine;  // thread count is irrelevant: answers are invariant
   for (const char* metric :
        {"symdiff", "intersection", "footrule", "kendall"}) {
-    CliResult single = RunCliArgs(
-        {"topk", tree_path_, "--k=2", std::string("--metric=") + metric});
-    ASSERT_EQ(single.code, 0);
-    // single prints "top-2 (metric, mean): [ 2 1 ]  E[distance] = 0.nnnnnn";
-    // extract the keys and the distance and find them in the serve line.
-    std::string line = single.out.substr(0, single.out.find('\n'));
+    auto direct = engine.ConsensusTopK(*tree, 2,
+                                       *ParseTopKMetricName(metric));
+    ASSERT_TRUE(direct.ok());
     std::string keys;
-    size_t open = line.find('[');
-    size_t close = line.find(']');
-    for (size_t i = open + 1; i < close; ++i) {
-      if (line[i] == ' ') {
-        if (!keys.empty() && keys.back() != ',') keys += ',';
-      } else {
-        keys += line[i];
-      }
+    for (KeyId key : direct->keys) {
+      if (!keys.empty()) keys += ',';
+      keys += std::to_string(key);
     }
-    if (!keys.empty() && keys.back() == ',') keys.pop_back();
-    std::string distance = line.substr(line.rfind(' ') + 1);
-    std::string expected_response = std::string("ok\top=topk\ttree=t\tmetric=") +
-                                    metric + "\tanswer=mean\tk=2\tkeys=" +
-                                    keys + "\texpected=" + distance;
-    EXPECT_NE(r.out.find(expected_response), std::string::npos)
-        << "missing '" << expected_response << "' in:\n"
-        << r.out;
+    ResponseLine response = FindResponse(
+        r.out, {{"op", "topk"}, {"tree", "t"}, {"metric", metric}});
+    ASSERT_NE(response.Find("keys"), nullptr);
+    EXPECT_EQ(*response.Find("keys"), keys) << metric;
+    ASSERT_NE(response.Find("expected"), nullptr);
+    EXPECT_EQ(std::strtod(response.Find("expected")->c_str(), nullptr),
+              direct->expected_distance)
+        << metric << ": wire value '" << *response.Find("expected")
+        << "' does not round-trip the engine's bits";
   }
-  // Four queries shared one (tree, k): one fold, three cache hits.
-  EXPECT_NE(r.out.find("ok\top=stats\thits=3\tmisses=1\tentries=1"),
-            std::string::npos)
-      << r.out;
+
+  // Four queries shared one (tree, k): one fold, three cache hits; the
+  // world query paid the single marginal fold.
+  ResponseLine stats = FindResponse(r.out, {{"op", "stats"}});
+  EXPECT_EQ(*stats.Find("hits"), "3");
+  EXPECT_EQ(*stats.Find("misses"), "1");
+  EXPECT_EQ(*stats.Find("coalesced"), "0");
+  EXPECT_EQ(*stats.Find("entries"), "1");
+  EXPECT_EQ(*stats.Find("evictions"), "0");
+  EXPECT_NE(std::stoll(*stats.Find("bytes")), 0);
+  EXPECT_EQ(*stats.Find("marg_misses"), "1");
+  EXPECT_EQ(*stats.Find("marg_entries"), "1");
   EXPECT_NE(r.out.find("ok\top=world\ttree=b\tmetric=symdiff\tanswer=median"),
             std::string::npos);
 
-  // The cache must be invisible in the answers: --cache=off yields the
+  // The caches must be invisible in the answers: --cache=off yields the
   // same response lines except for the stats counters.
   CliResult uncached =
       RunCliArgs({"serve", requests_path, "--threads=2", "--cache=off"});
@@ -277,8 +319,74 @@ TEST_F(CliTest, ServeAnswersBatchedRequests) {
   std::string uncached_lines =
       uncached.out.substr(0, uncached.out.find("ok\top=stats"));
   EXPECT_EQ(cached_lines, uncached_lines);
-  EXPECT_NE(uncached.out.find("ok\top=stats\thits=0\tmisses=0\tentries=0"),
-            std::string::npos);
+  ResponseLine off = FindResponse(uncached.out, {{"op", "stats"}});
+  EXPECT_EQ(*off.Find("hits"), "0");
+  EXPECT_EQ(*off.Find("misses"), "0");
+  EXPECT_EQ(*off.Find("marg_misses"), "0");
+
+  // So must the byte budget: a budget too small to retain anything changes
+  // counters (everything misses, nothing is kept), never answers.
+  CliResult squeezed = RunCliArgs(
+      {"serve", requests_path, "--threads=2", "--cache-budget=1"});
+  EXPECT_EQ(squeezed.code, 0) << squeezed.err;
+  std::string squeezed_lines =
+      squeezed.out.substr(0, squeezed.out.find("ok\top=stats"));
+  EXPECT_EQ(cached_lines, squeezed_lines);
+  ResponseLine tiny = FindResponse(squeezed.out, {{"op", "stats"}});
+  EXPECT_EQ(*tiny.Find("entries"), "0");
+  EXPECT_EQ(*tiny.Find("bytes"), "0");
+  EXPECT_EQ(*tiny.Find("misses"), "4");
+}
+
+// Streaming serve: identical answers to batch mode for an in-order input,
+// with the two order sensitivities streaming implies — a query sees only
+// trees loaded earlier (batch mode resolves loads first), and op=stats
+// reports its point in the stream rather than the post-input state.
+TEST_F(CliTest, ServeStreamingAnswersInInputOrder) {
+  std::string ordered_path = ::testing::TempDir() + "/cli_stream_ok.txt";
+  ASSERT_TRUE(WriteStringToFile(
+                  ordered_path,
+                  "op=load name=t file=" + tree_path_ + "\n"
+                  "op=topk tree=t k=2 metric=symdiff\n"
+                  "op=topk tree=t k=2 metric=kendall\n"
+                  "op=world tree=t\n"
+                  "op=stats\n")
+                  .ok());
+  CliResult batch = RunCliArgs({"serve", ordered_path});
+  CliResult stream = RunCliArgs({"serve", ordered_path, "--stream"});
+  EXPECT_EQ(batch.code, 0) << batch.err;
+  EXPECT_EQ(stream.code, 0) << stream.err;
+  // For an input whose loads precede its queries, streaming emits the
+  // byte-identical transcript (stats included: by the time the trailing
+  // stats line executes, the same work has happened).
+  EXPECT_EQ(stream.out, batch.out);
+
+  std::string disordered_path = ::testing::TempDir() + "/cli_stream_bad.txt";
+  ASSERT_TRUE(WriteStringToFile(
+                  disordered_path,
+                  "op=stats\n"
+                  "op=topk tree=late k=2 metric=symdiff\n"
+                  "op=load name=late file=" + tree_path_ + "\n"
+                  "op=topk tree=late k=2 metric=symdiff\n")
+                  .ok());
+  // Batch mode: the load applies first, both queries answer.
+  CliResult batch2 = RunCliArgs({"serve", disordered_path});
+  EXPECT_EQ(batch2.code, 0) << batch2.out;
+  // Streaming: the leading stats line reports pristine counters, the query
+  // preceding its load fails in-band, the one after it succeeds.
+  CliResult stream2 = RunCliArgs({"serve", disordered_path, "--stream"});
+  EXPECT_EQ(stream2.code, 1);
+  std::vector<std::string> lines = OutputLines(stream2.out);
+  ASSERT_EQ(lines.size(), 4u);
+  ResponseLine pristine = *ParseResponseLine(lines[0]);
+  EXPECT_EQ(*pristine.Find("misses"), "0");
+  EXPECT_NE(lines[1].find("error\tline=2"), std::string::npos) << stream2.out;
+  EXPECT_NE(lines[1].find("no catalog tree named 'late'"), std::string::npos);
+  EXPECT_NE(lines[2].find("ok\top=load"), std::string::npos);
+  EXPECT_NE(lines[3].find("ok\top=topk\ttree=late"), std::string::npos);
+  // The answered slot agrees with batch mode bitwise (same response line).
+  std::vector<std::string> batch_lines = OutputLines(batch2.out);
+  EXPECT_EQ(lines[3], batch_lines[3]);
 }
 
 TEST_F(CliTest, ServeReportsRequestErrorsInBand) {
@@ -303,13 +411,23 @@ TEST_F(CliTest, ServeReportsRequestErrorsInBand) {
   // Flag-level garbage is a usage error (exit 2), before any serving.
   EXPECT_EQ(RunCliArgs({"serve", requests_path, "--cache=maybe"}).code, 2);
   EXPECT_EQ(RunCliArgs({"serve", requests_path, "--threads=two"}).code, 2);
-  // --cache belongs to serve; other commands reject it rather than
-  // silently ignoring it.
-  CliResult scoped = RunCliArgs({"topk", tree_path_, "--k=2", "--cache=off"});
-  EXPECT_EQ(scoped.code, 2);
-  EXPECT_NE(scoped.err.find("applies only to serve"), std::string::npos);
-  // A missing requests file is an I/O error, not a silent empty batch.
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--cache-budget=1x"}).code, 2);
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--cache-budget=-5"}).code, 2);
+  CliResult valued = RunCliArgs({"serve", requests_path, "--stream=on"});
+  EXPECT_EQ(valued.code, 2);
+  EXPECT_NE(valued.err.find("takes no value"), std::string::npos);
+  // The serve-only flags belong to serve; other commands reject them
+  // rather than silently ignoring them.
+  for (const char* flag : {"--cache=off", "--cache-budget=9", "--stream"}) {
+    CliResult scoped = RunCliArgs({"topk", tree_path_, "--k=2", flag});
+    EXPECT_EQ(scoped.code, 2) << flag;
+    EXPECT_NE(scoped.err.find("applies only to serve"), std::string::npos)
+        << flag;
+  }
+  // A missing requests file is an I/O error, not a silent empty batch —
+  // in both execution modes.
   EXPECT_EQ(RunCliArgs({"serve", "/does/not/exist.req"}).code, 1);
+  EXPECT_EQ(RunCliArgs({"serve", "/does/not/exist.req", "--stream"}).code, 1);
 }
 
 TEST_F(CliTest, AggregateUsesLabels) {

@@ -1,13 +1,17 @@
 // Copyright 2026 The ConsensusDB Authors
 //
-// Grammar-level tests of the serving protocol: tokenization, comments,
-// strict integer syntax, duplicate rejection, and response assembly. The
+// Grammar-level tests of the serving protocol: tokenization, comments
+// (line-initial and trailing), strict integer syntax, duplicate rejection,
+// response assembly, and the escape/unescape round trip that keeps one
+// request one response *line* no matter what bytes the values carry. The
 // semantic mapping of fields to typed requests is covered in
 // tests/service_test.cc.
 
 #include "io/request_protocol.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 namespace cpdb {
 namespace {
@@ -33,11 +37,46 @@ TEST(RequestProtocolTest, ToleratesExtraWhitespaceAndCr) {
 }
 
 TEST(RequestProtocolTest, BlankAndCommentLinesParseToNoFields) {
-  for (const char* text : {"", "   ", "\t", "# op=topk tree=t k=1", "  # x"}) {
+  for (const char* text : {"", "   ", "\t", "# op=topk tree=t k=1", "  # x",
+                           "#no-space", "  #"}) {
     auto line = ParseRequestLine(text);
     ASSERT_TRUE(line.ok()) << "'" << text << "'";
     EXPECT_TRUE(line->fields.empty()) << "'" << text << "'";
   }
+}
+
+TEST(RequestProtocolTest, TrailingCommentsEndTheLineAnywhere) {
+  // A token-initial '#' is a comment wherever it appears — "op=stats # note"
+  // must parse as a one-field request, not fail with "'#' is not
+  // name=value".
+  for (const char* text :
+       {"op=stats # note", "op=stats #note", "op=stats\t# tab-separated",
+        "op=stats # k=nonsense op=garbage"}) {
+    auto line = ParseRequestLine(text);
+    ASSERT_TRUE(line.ok()) << "'" << text << "': "
+                           << line.status().ToString();
+    ASSERT_EQ(line->fields.size(), 1u) << "'" << text << "'";
+    EXPECT_EQ(line->fields[0].name, "op");
+    EXPECT_EQ(line->fields[0].value, "stats");
+  }
+  // Fields before the comment all survive; garbage after '#' is ignored.
+  auto line = ParseRequestLine("op=topk tree=t k=2 # metric=typo'd");
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->fields.size(), 3u);
+}
+
+TEST(RequestProtocolTest, HashInsideValuesStaysLiteral) {
+  // Comments exist only at token boundaries: '#' after '=' (or anywhere
+  // inside a token) is an ordinary value character, so paths with fragments
+  // keep working.
+  auto line = ParseRequestLine("op=load name=t file=/tmp/a#b.sexp");
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  ASSERT_NE(line->Find("file"), nullptr);
+  EXPECT_EQ(*line->Find("file"), "/tmp/a#b.sexp");
+  // A value that is just "#..." after '=' is a value, not a comment.
+  auto hash_value = ParseRequestLine("op=load name=t file=#tag");
+  ASSERT_TRUE(hash_value.ok());
+  EXPECT_EQ(*hash_value->Find("file"), "#tag");
 }
 
 TEST(RequestProtocolTest, RejectsMalformedTokens) {
@@ -49,8 +88,8 @@ TEST(RequestProtocolTest, RejectsMalformedTokens) {
   EXPECT_FALSE(ParseRequestLine("9k=3").ok());
   EXPECT_FALSE(ParseRequestLine("na me=x").ok());  // splits to bad tokens
   EXPECT_FALSE(ParseRequestLine("op=topk op=world").ok());
-  // '#' only comments a whole line, not a trailing token.
-  EXPECT_FALSE(ParseRequestLine("op=stats #trailing").ok());
+  // A comment cannot rescue garbage *before* it.
+  EXPECT_FALSE(ParseRequestLine("badtoken # comment").ok());
 }
 
 TEST(RequestProtocolTest, StrictIntAcceptsPlainDecimals) {
@@ -81,6 +120,95 @@ TEST(RequestProtocolTest, FormatsResponseAndErrorLines) {
   EXPECT_EQ(error.find("error\tline=7\tmsg="), 0u);
   EXPECT_NE(error.find("unknown op 'bogus'"), std::string::npos);
   EXPECT_EQ(error.back(), '\n');
+}
+
+TEST(RequestProtocolTest, EscapeRoundTripsEveryByteClass) {
+  // Built by concatenation so the \x escapes cannot munch the following
+  // letters as hex digits.
+  const std::string hostile =
+      std::string("tab\there\nnewline\rcr\\backslash") + '\x01' + "ctl" +
+      '\x7F';
+  std::string escaped = EscapeFieldValue(hostile);
+  // No raw control characters survive escaping: the framing is safe.
+  for (char c : escaped) {
+    unsigned char u = static_cast<unsigned char>(c);
+    EXPECT_FALSE(u < 0x20 || u == 0x7F) << "raw control byte in escaped form";
+  }
+  auto raw = UnescapeFieldValue(escaped);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(*raw, hostile);
+  // The identity on clean values — escaping costs nothing on honest
+  // traffic.
+  EXPECT_EQ(EscapeFieldValue("plain value, spaces ok"),
+            "plain value, spaces ok");
+  EXPECT_EQ(*UnescapeFieldValue("plain"), "plain");
+}
+
+TEST(RequestProtocolTest, UnescapeRejectsMalformedEscapes) {
+  for (const char* bad : {"dangling\\", "unknown\\q", "short\\x1",
+                          "bad\\xZZ"}) {
+    auto raw = UnescapeFieldValue(bad);
+    EXPECT_FALSE(raw.ok()) << "'" << bad << "' was accepted";
+  }
+}
+
+TEST(RequestProtocolTest, ResponseLinesStayOneLinePerRequest) {
+  // The satellite bug: a value carrying a tab or newline (e.g. a Status
+  // message echoing hostile user input) must not corrupt the tab-separated
+  // framing — one request, one '\n', tabs only between fields.
+  std::string line = FormatResponseLine(
+      {{"op", "topk"}, {"tree", "evil\tname\nwith\rctl"}});
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // exactly one, terminal
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+  // Exactly the two field separators, none smuggled in by the value.
+  int tabs = 0;
+  for (char c : line) tabs += c == '\t';
+  EXPECT_EQ(tabs, 2);
+
+  std::string error = FormatErrorLine(
+      3, Status::InvalidArgument("unknown op 'evil\top=stats'"));
+  EXPECT_EQ(error.find('\n'), error.size() - 1);
+  tabs = 0;
+  for (char c : error) tabs += c == '\t';
+  EXPECT_EQ(tabs, 2);  // line= and msg= separators only
+}
+
+TEST(RequestProtocolTest, ParseResponseLineRoundTripsFormat) {
+  const std::vector<RequestField> fields = {
+      {"op", "topk"},
+      {"tree", "movies"},
+      {"msg", "hostile\tvalue\nacross lines\\with\x02junk"},
+      {"expected", "0.29749999999999999"},
+  };
+  auto parsed = ParseResponseLine(FormatResponseLine(fields));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->ok);
+  ASSERT_EQ(parsed->fields.size(), fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    EXPECT_EQ(parsed->fields[i].name, fields[i].name) << i;
+    EXPECT_EQ(parsed->fields[i].value, fields[i].value) << i;
+  }
+
+  auto error = ParseResponseLine(
+      FormatErrorLine(12, Status::InvalidArgument("bad\tfield")));
+  ASSERT_TRUE(error.ok());
+  EXPECT_FALSE(error->ok);
+  ASSERT_NE(error->Find("line"), nullptr);
+  EXPECT_EQ(*error->Find("line"), "12");
+  ASSERT_NE(error->Find("msg"), nullptr);
+  EXPECT_NE(error->Find("msg")->find("bad\tfield"), std::string::npos);
+}
+
+TEST(RequestProtocolTest, ParseResponseLineRejectsGarbage) {
+  EXPECT_FALSE(ParseResponseLine("maybe\top=topk").ok());
+  EXPECT_FALSE(ParseResponseLine("").ok());
+  EXPECT_FALSE(ParseResponseLine("ok\tnovalue").ok());
+  EXPECT_FALSE(ParseResponseLine("ok\t=v").ok());
+  EXPECT_FALSE(ParseResponseLine("ok\ta=1\ta=2").ok());     // duplicate
+  EXPECT_FALSE(ParseResponseLine("ok\ta=bad\\escape").ok());
+  // The bare tokens round-trip.
+  EXPECT_TRUE(ParseResponseLine("ok\n").ok());
+  EXPECT_TRUE(ParseResponseLine("ok").ok());
 }
 
 }  // namespace

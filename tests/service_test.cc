@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -166,7 +168,14 @@ TEST(RankDistCacheTest, CountsHitsAndMissesPerKey) {
   CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1);
   EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.coalesced, 0);
   EXPECT_EQ(stats.entries, 3);
+  // Unbounded by default: entries are charged but never evicted.
+  EXPECT_EQ(cache.byte_budget(), kUnboundedCacheBytes);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.bytes, a->ApproxBytes() +
+                             cache.Peek(1, 3)->ApproxBytes() +
+                             cache.Peek(2, 2)->ApproxBytes());
 }
 
 TEST(RankDistCacheTest, PeekDoesNotCountAndClearResets) {
@@ -188,32 +197,42 @@ TEST(RankDistCacheTest, PeekDoesNotCountAndClearResets) {
   EXPECT_EQ(handle->k(), 2);
 }
 
-// The documented GetOrCompute race — several threads missing one key may
-// all compute, the first insert wins, and every caller shares that one
-// allocation — run for real so TSan sees the lock hand-offs.
-TEST(RankDistCacheTest, ConcurrentGetOrComputeSharesOneEntryPerKey) {
+// The single-flight contract: several threads missing one key fold ONCE —
+// the first caller computes, the rest block on the in-flight computation
+// and share its allocation. Run with real threads so TSan sees the lock
+// hand-offs; the compute counter is atomic so the "exactly once" claim is
+// itself race-free.
+TEST(RankDistCacheTest, ConcurrentGetOrComputeFoldsOncePerKey) {
   AndXorTree tree = *ParseTree(kTreeText);
   RankDistCache cache;
   constexpr int kThreads = 8;
+  std::atomic<int> computes{0};
   std::vector<std::shared_ptr<const RankDistribution>> handles(kThreads);
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&cache, &tree, &handles, t] {
-      handles[t] = cache.GetOrCompute(
-          7, 2, [&] { return ComputeRankDistribution(tree, 2); });
+    workers.emplace_back([&cache, &tree, &handles, &computes, t] {
+      handles[t] = cache.GetOrCompute(7, 2, [&] {
+        ++computes;
+        // Widen the race window so coalescing actually happens under TSan.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return ComputeRankDistribution(tree, 2);
+      });
       cache.Peek(7, 2);
       cache.stats();
     });
   }
   for (std::thread& w : workers) w.join();
+  EXPECT_EQ(computes.load(), 1);  // single-flight: one fold, ever
   for (int t = 1; t < kThreads; ++t) {
     EXPECT_EQ(handles[t].get(), handles[0].get()) << "thread " << t;
   }
   CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 1);
-  // Each call counts exactly once; the hit/miss split depends on the race.
-  EXPECT_EQ(stats.hits + stats.misses, kThreads);
-  EXPECT_GE(stats.misses, 1);
+  // Each call counts exactly once: one miss (the computing caller), and
+  // every other caller either coalesced on the flight or hit the retained
+  // entry, depending on arrival time.
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -505,10 +524,14 @@ TEST_F(QuerySchedulerTest, ConcurrentExecuteBatchCallsAgreeWithReference) {
                 reference[i]->expected_distance);
     }
   }
-  // All traffic shared the two (tree, k) folds: 2 misses, total accounted.
+  // All traffic shared the two (tree, k) folds: exactly 2 misses (single-
+  // flight makes that deterministic even under the race), every other call
+  // a hit or a coalesced wait, total accounted.
   CacheStats stats = scheduler.cache_stats();
   EXPECT_EQ(stats.entries, 2);
-  EXPECT_EQ(stats.hits + stats.misses, 3 * (kThreads * kRounds + 1));
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced,
+            3 * (kThreads * kRounds + 1));
 }
 
 // Loads apply before queries in the same batch, both input formats work,
@@ -551,13 +574,198 @@ TEST_F(QuerySchedulerTest, StatsRequestReportsCacheCounters) {
   QueryScheduler scheduler(&engine, &catalog_);
   ServiceRequest stats;
   stats.op = ServiceRequest::Op::kStats;
+  ServiceRequest world;
+  world.op = ServiceRequest::Op::kWorld;
+  world.tree_name = "t";
   // Stats report the post-batch state even when the line precedes queries.
   auto results = scheduler.ExecuteBatch(
       {stats, TopKRequest("t", 2, TopKMetric::kSymDiff),
-       TopKRequest("t", 2, TopKMetric::kFootrule)});
+       TopKRequest("t", 2, TopKMetric::kFootrule), world, world});
   ASSERT_TRUE(results[0].ok());
   EXPECT_EQ(results[0]->stats.misses, 1);
   EXPECT_EQ(results[0]->stats.hits, 1);
+  // The sibling cache: two world queries on one fingerprint, one marginal
+  // fold.
+  EXPECT_EQ(results[0]->marginals_stats.misses, 1);
+  EXPECT_EQ(results[0]->marginals_stats.hits, 1);
+  EXPECT_EQ(results[0]->marginals_stats.entries, 1);
+  EXPECT_GT(results[0]->marginals_stats.bytes, 0);
+}
+
+// World queries share one marginal fold per content fingerprint — across
+// batches, across mean/median, and in agreement with uncached execution.
+TEST_F(QuerySchedulerTest, MarginalsCacheDeduplicatesWorldFolds) {
+  ServiceRequest mean;
+  mean.op = ServiceRequest::Op::kWorld;
+  mean.tree_name = "deep";
+  ServiceRequest median = mean;
+  median.median_world = true;
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  Engine engine(engine_options);
+  QueryScheduler cached(&engine, &catalog_);
+  SchedulerOptions no_cache;
+  no_cache.use_cache = false;
+  QueryScheduler uncached(&engine, &catalog_, no_cache);
+
+  auto first = cached.ExecuteBatch({mean, median});
+  auto second = cached.ExecuteBatch({median, mean});
+  auto direct = uncached.ExecuteBatch({mean, median});
+  for (auto* results : {&first, &second, &direct}) {
+    for (auto& slot : *results) ASSERT_TRUE(slot.ok());
+  }
+  // Bitwise parity cached/warm/uncached, mean and median alike.
+  EXPECT_EQ(first[0]->keys, direct[0]->keys);
+  EXPECT_EQ(first[0]->expected_distance, direct[0]->expected_distance);
+  EXPECT_EQ(first[1]->keys, direct[1]->keys);
+  EXPECT_EQ(first[1]->expected_distance, direct[1]->expected_distance);
+  EXPECT_EQ(second[1]->keys, first[0]->keys);
+  EXPECT_EQ(second[1]->expected_distance, first[0]->expected_distance);
+  // Four world queries, one fingerprint, one fold.
+  CacheStats stats = cached.marginals_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.entries, 1);
+  CacheStats untouched = uncached.marginals_stats();
+  EXPECT_EQ(untouched.hits + untouched.misses, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming execution
+// ---------------------------------------------------------------------------
+
+// The streaming contract itself: response N is emitted before request N+1
+// is pulled — the property that lets a client on a pipe see answers while
+// composing the next request ("the first response before the last request
+// is read").
+TEST_F(QuerySchedulerTest, StreamingEmitsEachResponseBeforeReadingNext) {
+  Engine engine;
+  QueryScheduler scheduler(&engine, &catalog_);
+  std::vector<ServiceRequest> requests = {
+      TopKRequest("t", 2, TopKMetric::kSymDiff),
+      TopKRequest("t", 2, TopKMetric::kFootrule),
+      TopKRequest("t", 3, TopKMetric::kSymDiff),
+  };
+  std::vector<std::string> events;
+  size_t cursor = 0;
+  scheduler.ExecuteStreaming(
+      [&](ServiceRequest* out) {
+        if (cursor == requests.size()) return false;
+        events.push_back("read" + std::to_string(cursor));
+        *out = requests[cursor++];
+        return true;
+      },
+      [&](const Result<ServiceResponse>& response) {
+        ASSERT_TRUE(response.ok());
+        events.push_back("emit" + std::to_string(cursor - 1));
+      });
+  EXPECT_EQ(events, (std::vector<std::string>{"read0", "emit0", "read1",
+                                              "emit1", "read2", "emit2"}));
+}
+
+// Streamed answers are bitwise the batch answers, and the folds still share
+// the caches (the second symdiff k=2 request hits the entry the first one
+// computed).
+TEST_F(QuerySchedulerTest, StreamingAnswersMatchBatchBitwise) {
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.use_fast_bid_path = false;
+  Engine engine(engine_options);
+  ServiceRequest world;
+  world.op = ServiceRequest::Op::kWorld;
+  world.tree_name = "deep";
+  std::vector<ServiceRequest> requests = {
+      TopKRequest("deep", 3, TopKMetric::kSymDiff),
+      TopKRequest("deep", 3, TopKMetric::kKendall),
+      TopKRequest("deep", 3, TopKMetric::kSymDiff),
+      world,
+      world,
+  };
+  QueryScheduler batch_scheduler(&engine, &catalog_);
+  auto batch = batch_scheduler.ExecuteBatch(requests);
+
+  QueryScheduler stream_scheduler(&engine, &catalog_);
+  std::vector<Result<ServiceResponse>> streamed;
+  size_t cursor = 0;
+  stream_scheduler.ExecuteStreaming(
+      [&](ServiceRequest* out) {
+        if (cursor == requests.size()) return false;
+        *out = requests[cursor++];
+        return true;
+      },
+      [&](const Result<ServiceResponse>& response) {
+        streamed.push_back(response);
+      });
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok());
+    ASSERT_TRUE(streamed[i].ok()) << streamed[i].status().ToString();
+    EXPECT_EQ(streamed[i]->keys, batch[i]->keys) << "slot " << i;
+    EXPECT_EQ(streamed[i]->expected_distance, batch[i]->expected_distance);
+  }
+  // Fold sharing carried over: one rank-distribution fold (two k=3 symdiff
+  // queries share it; kendall reuses the same (fingerprint, k) entry), one
+  // marginal fold for the two world queries.
+  CacheStats stats = stream_scheduler.cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 2);
+  CacheStats marginals = stream_scheduler.marginals_stats();
+  EXPECT_EQ(marginals.misses, 1);
+  EXPECT_EQ(marginals.hits, 1);
+}
+
+// Streaming executes strictly in input order: unlike a batch, a query may
+// not reference a tree loaded later in the stream, and stats report their
+// point in the stream, not the post-input state.
+TEST_F(QuerySchedulerTest, StreamingIsOrderSensitiveWhereBatchIsNot) {
+  std::string tree_path = ::testing::TempDir() + "/stream_late.sexp";
+  ASSERT_TRUE(WriteStringToFile(tree_path, kOtherTreeText).ok());
+  ServiceRequest query = TopKRequest("stream_late", 1, TopKMetric::kSymDiff);
+  ServiceRequest load;
+  load.op = ServiceRequest::Op::kLoad;
+  load.load_name = "stream_late";
+  load.load_file = tree_path;
+  ServiceRequest stats;
+  stats.op = ServiceRequest::Op::kStats;
+  std::vector<ServiceRequest> requests = {stats, query, load, query};
+
+  Engine engine;
+  // Private catalogs: the point is what each mode does with a name bound
+  // mid-input, so the name must not leak from one scheduler to the other.
+  TreeCatalog batch_catalog;
+  TreeCatalog stream_catalog;
+  // The same input as a batch: the load applies first, both queries answer,
+  // and the leading stats line reports the post-batch counters.
+  QueryScheduler batch_scheduler(&engine, &batch_catalog);
+  auto batch = batch_scheduler.ExecuteBatch(requests);
+  EXPECT_TRUE(batch[1].ok());
+  EXPECT_TRUE(batch[3].ok());
+  EXPECT_EQ(batch[0]->stats.misses, 1);
+
+  QueryScheduler stream_scheduler(&engine, &stream_catalog);
+  std::vector<Result<ServiceResponse>> streamed;
+  size_t cursor = 0;
+  stream_scheduler.ExecuteStreaming(
+      [&](ServiceRequest* out) {
+        if (cursor == requests.size()) return false;
+        *out = requests[cursor++];
+        return true;
+      },
+      [&](const Result<ServiceResponse>& response) {
+        streamed.push_back(response);
+      });
+  ASSERT_EQ(streamed.size(), 4u);
+  // Point-in-time stats: nothing had executed yet.
+  ASSERT_TRUE(streamed[0].ok());
+  EXPECT_EQ(streamed[0]->stats.misses, 0);
+  // The query preceding its load fails; the one after it succeeds, with
+  // answers equal to the batch's.
+  EXPECT_FALSE(streamed[1].ok());
+  EXPECT_EQ(streamed[1].status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(streamed[3].ok());
+  EXPECT_EQ(streamed[3]->keys, batch[3]->keys);
+  EXPECT_EQ(streamed[3]->expected_distance, batch[3]->expected_distance);
 }
 
 // ResponseToFields renders every op into protocol fields.

@@ -36,8 +36,11 @@ struct CliOptions {
   size_t max_worlds = 4096;
   uint64_t seed = 1;
   int threads = 1;
-  bool cache = true;      // serve: rank-distribution cache on/off
+  bool cache = true;       // serve: memo caches on/off
   bool cache_set = false;  // --cache given (only serve accepts it)
+  int64_t cache_budget = kUnboundedCacheBytes;  // serve: cache byte budget
+  bool cache_budget_set = false;  // --cache-budget given (serve only)
+  bool stream = false;     // serve: flush one response per request
 };
 
 // The evaluation engine configured by --threads. Results are independent of
@@ -124,6 +127,22 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
                                        value + "'");
       }
       opts.cache_set = true;
+    } else if (name == "cache-budget") {
+      CPDB_ASSIGN_OR_RETURN(long long budget, ParseIntFlag(name, value));
+      if (budget < 0) {
+        return Status::InvalidArgument(
+            "--cache-budget must be >= 0 bytes, got '" + value + "'");
+      }
+      opts.cache_budget = budget;
+      opts.cache_budget_set = true;
+    } else if (name == "stream") {
+      // A boolean presence flag: "--stream=off" would invite the
+      // silently-misread failure mode the strict parses exist to prevent.
+      if (eq != std::string::npos) {
+        return Status::InvalidArgument("--stream takes no value, got '" +
+                                       value + "'");
+      }
+      opts.stream = true;
     } else {
       return Status::InvalidArgument("unknown flag --" + name);
     }
@@ -132,11 +151,17 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     return Status::InvalidArgument("missing command");
   }
   opts.command = positional[0];
-  // --cache configures the serve scheduler and nothing else; accepting it
-  // elsewhere would be the silently-ignored-flag failure mode the strict
-  // value parses exist to prevent.
+  // The serve-only flags configure the serve scheduler and nothing else;
+  // accepting them elsewhere would be the silently-ignored-flag failure
+  // mode the strict value parses exist to prevent.
   if (opts.cache_set && opts.command != "serve") {
     return Status::InvalidArgument("--cache applies only to serve");
+  }
+  if (opts.cache_budget_set && opts.command != "serve") {
+    return Status::InvalidArgument("--cache-budget applies only to serve");
+  }
+  if (opts.stream && opts.command != "serve") {
+    return Status::InvalidArgument("--stream applies only to serve");
   }
   if (positional.size() > 1) opts.input_path = positional[1];
   if (positional.size() > 2) {
@@ -355,83 +380,144 @@ int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   return 0;
 }
 
+// Reads one input line (up to '\n' or EOF, newline not included). Returns
+// false at end of input. Incremental on purpose: the streaming serve mode
+// must not read request N+1 before answering request N.
+bool ReadLine(std::FILE* in, std::string* line) {
+  line->clear();
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') return true;
+    line->push_back(static_cast<char>(c));
+  }
+  return !line->empty();
+}
+
 // The serve command: reads one request per line (the protocol of
-// io/request_protocol.h), executes the whole input as one batch through a
-// QueryScheduler — catalog loads first, then queries with shared
-// rank-distribution work deduplicated through the (fingerprint, k) cache —
-// and writes one response line per request, in input order. Request-level
-// garbage produces an in-band error line for that request only; the command
-// keeps serving the rest.
+// io/request_protocol.h) and answers through a QueryScheduler. Two
+// execution modes:
+//
+//   batch (default)  — the whole input is one scheduler batch: catalog
+//       loads apply first (queries may reference trees loaded later in the
+//       input), shared folds are deduplicated through the caches, and one
+//       response line per request is written at the end, in input order.
+//   --stream         — each request executes as it is read and its
+//       response line is flushed before the next line is read, so a client
+//       on a pipe sees answer N while composing request N+1. Requests
+//       execute strictly in input order: a query may only reference trees
+//       loaded earlier, and op=stats reports counters as of its line.
+//
+// In both modes request-level garbage produces an in-band error line for
+// that request only; the command keeps serving the rest.
 int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   if (opts.threads < 0) {
     std::fprintf(err, "--threads must be >= 0 (0 = all hardware cores)\n");
     return 1;
   }
-  std::string input;
-  if (opts.input_path.empty() || opts.input_path == "-") {
-    char buf[4096];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
-      input.append(buf, n);
-    }
-  } else {
-    Result<std::string> content = ReadFileToString(opts.input_path);
-    if (!content.ok()) {
-      std::fprintf(err, "%s\n", content.status().ToString().c_str());
+  std::FILE* in = stdin;
+  std::FILE* owned_in = nullptr;
+  if (!opts.input_path.empty() && opts.input_path != "-") {
+    owned_in = std::fopen(opts.input_path.c_str(), "r");
+    if (owned_in == nullptr) {
+      std::fprintf(err, "IO error: cannot open '%s'\n",
+                   opts.input_path.c_str());
       return 1;
     }
-    input = *std::move(content);
-  }
-
-  // Tokenize and type every line up front; comment lines produce no
-  // response. Slots keep their input line number for error reporting.
-  std::vector<size_t> line_numbers;
-  std::vector<Result<ServiceRequest>> parsed;
-  size_t pos = 0;
-  for (size_t line_number = 1; pos <= input.size(); ++line_number) {
-    size_t end = input.find('\n', pos);
-    if (end == std::string::npos) end = input.size();
-    std::string text = input.substr(pos, end - pos);
-    pos = end + 1;
-    Result<RequestLine> line = ParseRequestLine(text);
-    if (line.ok() && line->fields.empty()) continue;
-    line_numbers.push_back(line_number);
-    parsed.push_back(line.ok() ? ServiceRequestFromLine(*line)
-                               : Result<ServiceRequest>(line.status()));
+    in = owned_in;
   }
 
   Engine engine = MakeEngine(opts);
   TreeCatalog catalog;
   SchedulerOptions scheduler_options;
   scheduler_options.use_cache = opts.cache;
+  scheduler_options.cache_budget_bytes = opts.cache_budget;
   QueryScheduler scheduler(&engine, &catalog, scheduler_options);
 
-  std::vector<ServiceRequest> batch;
-  for (const Result<ServiceRequest>& request : parsed) {
-    if (request.ok()) batch.push_back(*request);
-  }
-  std::vector<Result<ServiceResponse>> results =
-      scheduler.ExecuteBatch(batch);
-
   int failed = 0;
-  size_t cursor = 0;
-  for (size_t i = 0; i < parsed.size(); ++i) {
-    if (!parsed[i].ok()) {
-      std::fprintf(out, "%s",
-                   FormatErrorLine(line_numbers[i], parsed[i].status()).c_str());
-      ++failed;
-      continue;
+  size_t line_number = 0;
+  if (opts.stream) {
+    // Streaming: the scheduler pulls requests through `next` — which
+    // parses lines, reporting garbage in-band without surfacing a request
+    // — and every response is written and flushed by `emit` before the
+    // next line is read. `line_number` always names the line of the
+    // request currently in flight, so emit's error lines attribute
+    // correctly.
+    auto next = [&](ServiceRequest* request) -> bool {
+      std::string text;
+      while (ReadLine(in, &text)) {
+        ++line_number;
+        Result<RequestLine> line = ParseRequestLine(text);
+        if (line.ok() && line->fields.empty()) continue;
+        Result<ServiceRequest> mapped =
+            line.ok() ? ServiceRequestFromLine(*line)
+                      : Result<ServiceRequest>(line.status());
+        if (!mapped.ok()) {
+          std::fprintf(out, "%s",
+                       FormatErrorLine(line_number, mapped.status()).c_str());
+          std::fflush(out);
+          ++failed;
+          continue;
+        }
+        *request = *std::move(mapped);
+        return true;
+      }
+      return false;
+    };
+    auto emit = [&](const Result<ServiceResponse>& response) {
+      if (!response.ok()) {
+        std::fprintf(out, "%s",
+                     FormatErrorLine(line_number, response.status()).c_str());
+        ++failed;
+      } else {
+        std::fprintf(out, "%s",
+                     FormatResponseLine(ResponseToFields(*response)).c_str());
+      }
+      std::fflush(out);
+    };
+    scheduler.ExecuteStreaming(next, emit);
+  } else {
+    // Batch: tokenize and type every line up front; comment lines produce
+    // no response. Slots keep their input line number for error reporting.
+    std::vector<size_t> line_numbers;
+    std::vector<Result<ServiceRequest>> parsed;
+    std::string text;
+    while (ReadLine(in, &text)) {
+      ++line_number;
+      Result<RequestLine> line = ParseRequestLine(text);
+      if (line.ok() && line->fields.empty()) continue;
+      line_numbers.push_back(line_number);
+      parsed.push_back(line.ok() ? ServiceRequestFromLine(*line)
+                                 : Result<ServiceRequest>(line.status()));
     }
-    const Result<ServiceResponse>& result = results[cursor++];
-    if (!result.ok()) {
-      std::fprintf(out, "%s",
-                   FormatErrorLine(line_numbers[i], result.status()).c_str());
-      ++failed;
-      continue;
+
+    std::vector<ServiceRequest> batch;
+    for (const Result<ServiceRequest>& request : parsed) {
+      if (request.ok()) batch.push_back(*request);
     }
-    std::fprintf(out, "%s",
-                 FormatResponseLine(ResponseToFields(*result)).c_str());
+    std::vector<Result<ServiceResponse>> results =
+        scheduler.ExecuteBatch(batch);
+
+    size_t cursor = 0;
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      if (!parsed[i].ok()) {
+        std::fprintf(
+            out, "%s",
+            FormatErrorLine(line_numbers[i], parsed[i].status()).c_str());
+        ++failed;
+        continue;
+      }
+      const Result<ServiceResponse>& result = results[cursor++];
+      if (!result.ok()) {
+        std::fprintf(out, "%s",
+                     FormatErrorLine(line_numbers[i], result.status()).c_str());
+        ++failed;
+        continue;
+      }
+      std::fprintf(out, "%s",
+                   FormatResponseLine(ResponseToFields(*result)).c_str());
+    }
   }
+  if (owned_in != nullptr) std::fclose(owned_in);
   return failed == 0 ? 0 : 1;
 }
 
@@ -494,18 +580,20 @@ std::string CliUsage() {
       "                   through the engine in one submission)\n"
       "                   --answer=mean|median|approx|any-size\n"
       "  aggregate        consensus group-by COUNT over the label attribute\n"
-      "  serve            answer a batch of requests read from the input\n"
-      "                   file (or stdin when omitted or '-'), one request\n"
-      "                   per line:\n"
+      "  serve            answer requests read from the input file (or\n"
+      "                   stdin when omitted or '-'), one request per line:\n"
       "                     op=load name=T file=PATH [format=tree|bid]\n"
       "                     op=topk tree=T k=K [metric=...] [answer=...]\n"
       "                     op=world tree=T [answer=mean|median]\n"
       "                     op=stats\n"
-      "                   one tab-separated response line per request;\n"
-      "                   rank distributions are cached by (tree\n"
-      "                   fingerprint, k) across the batch. Exits 0 when\n"
-      "                   every request succeeded, 1 otherwise (failures\n"
-      "                   are reported in-band as error lines).\n"
+      "                   one tab-separated response line per request; rank\n"
+      "                   distributions are cached by (tree fingerprint, k)\n"
+      "                   and leaf marginals by fingerprint across requests.\n"
+      "                   Default is batch mode (the whole input is one\n"
+      "                   scheduler batch; loads apply before queries);\n"
+      "                   --stream answers each request as it is read.\n"
+      "                   Exits 0 when every request succeeded, 1 otherwise\n"
+      "                   (failures are reported in-band as error lines).\n"
       "  help             print this message\n"
       "\n"
       "flags:\n"
@@ -516,9 +604,18 @@ std::string CliUsage() {
       "  --threads=N         evaluation threads for topk, consensus-world\n"
       "                      and serve (default 1; 0 = all hardware cores;\n"
       "                      results are independent of N)\n"
-      "  --cache=on|off      serve only: the rank-distribution cache\n"
-      "                      (default on; answers are bitwise identical\n"
-      "                      either way — off exists for benchmarking)\n";
+      "  --cache=on|off      serve only: the rank-distribution and\n"
+      "                      marginals caches (default on; answers are\n"
+      "                      bitwise identical either way — off exists for\n"
+      "                      benchmarking)\n"
+      "  --cache-budget=B    serve only: byte budget per cache; retained\n"
+      "                      entries are LRU-evicted to fit (default\n"
+      "                      unbounded; 0 retains nothing; answers are\n"
+      "                      bitwise independent of the budget)\n"
+      "  --stream            serve only: flush one response line per\n"
+      "                      request instead of batching the whole input;\n"
+      "                      queries see only trees loaded earlier in the\n"
+      "                      stream\n";
 }
 
 int RunCli(const std::vector<std::string>& args, std::FILE* out,

@@ -10,10 +10,12 @@
 //   consensus-world  mean/median world under symmetric difference / Jaccard
 //   topk             consensus Top-k answers under the Section 5 metrics
 //   aggregate        mean + median group-by COUNT vectors (BID label input)
-//   serve            batched request protocol through the serving layer
+//   serve            request protocol through the serving layer
 //                    (service/query_scheduler.h): catalog loads, Top-k and
-//                    set-consensus queries with cross-query rank-
-//                    distribution caching, one request/response per line
+//                    set-consensus queries with cross-query caching of rank
+//                    distributions and leaf marginals (byte-budgeted LRU,
+//                    --cache-budget), one request/response per line, batched
+//                    by default or flushed per request with --stream
 //
 // Input files are either and/xor trees in the s-expression format
 // (io/tree_text.h) or BID tables (io/table_io.h) selected with --format.
