@@ -4,6 +4,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 
@@ -100,6 +101,14 @@ Result<long long> ParseStrictInt(const std::string& name,
                                    value + "'");
   }
   return parsed;
+}
+
+std::string FormatRoundTripDouble(double value) {
+  // 32 bytes comfortably hold the longest shortest-representation double
+  // ("-2.2250738585072014e-308" is 24 characters).
+  char buf[32];
+  std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, r.ptr);
 }
 
 std::string EscapeFieldValue(const std::string& value) {

@@ -81,6 +81,14 @@ Result<RequestLine> ParseRequestLine(const std::string& line);
 Result<long long> ParseStrictInt(const std::string& name,
                                  const std::string& value);
 
+/// \brief Shortest round-trip decimal rendering of a double: the minimal
+/// digit string that strtod parses back to the bit-identical value
+/// (std::to_chars with no precision argument). The single formatter behind
+/// every double the system emits — serve response `expected=` values and
+/// the offline CLI's probabilities/distances alike — so no output layer
+/// silently truncates what the engine computed exactly ("%.6f" used to).
+std::string FormatRoundTripDouble(double value);
+
 /// \brief Escapes a response value for the tab-separated framing: backslash
 /// becomes "\\", tab/newline/CR become "\t"/"\n"/"\r", and every other
 /// control character (0x00-0x1F, 0x7F) becomes "\xHH". The identity on

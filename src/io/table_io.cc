@@ -2,6 +2,7 @@
 
 #include "io/table_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -34,6 +35,15 @@ Result<std::vector<Block>> ParseBidTable(const std::string& text) {
     if (ls >> rest) {
       return Status::ParseError("line " + std::to_string(line_no) +
                                 ": trailing content '" + rest + "'");
+    }
+    // Explicit finiteness check, not just the range compare below: NaN
+    // defeats every comparison, and some standard libraries' stream
+    // extraction (libc++) accepts "inf"/"nan" tokens where others reject
+    // them — a validated table must hold finite numbers on every
+    // platform, like the tree parser guarantees.
+    if (!std::isfinite(prob) || !std::isfinite(score)) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected finite numbers");
     }
     if (prob < 0.0 || prob > 1.0) {
       return Status::ParseError("line " + std::to_string(line_no) +

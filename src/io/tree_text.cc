@@ -3,6 +3,7 @@
 #include "io/tree_text.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <vector>
@@ -84,6 +85,15 @@ class Parser {
     double v = std::strtod(s.c_str(), &end);
     if (end == nullptr || *end != '\0' || end == s.c_str()) {
       return Err("expected a number, got '" + s + "'");
+    }
+    // strtod happily accepts "inf"/"nan" literals and turns overflowing
+    // magnitudes like 1e999 into HUGE_VAL — any of which would smuggle a
+    // non-finite value into a tree that downstream code treats as
+    // validated (probabilities and scores flow into folds where one NaN
+    // poisons every answer). Underflow to a denormal/zero is a
+    // representable approximation and stays accepted.
+    if (!std::isfinite(v)) {
+      return Err("expected a finite number, got '" + s + "'");
     }
     return v;
   }

@@ -2,7 +2,6 @@
 
 #include "service/query_scheduler.h"
 
-#include <charconv>
 #include <memory>
 #include <utility>
 
@@ -61,17 +60,6 @@ Result<std::string> RequiredField(const RequestLine& line,
   return *value;
 }
 
-// Shortest round-trip formatting: the engine guarantees served distances
-// bitwise, and the wire must not be the layer that loses that ("%.6f"
-// silently truncated every answer). std::to_chars with no precision emits
-// the minimal digit string that strtod parses back to the identical
-// double; tests/cli_test.cc pins serve output == engine bits.
-std::string FormatDistance(double value) {
-  char buf[32];
-  std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), value);
-  return std::string(buf, r.ptr);
-}
-
 std::string KeysCsv(const std::vector<KeyId>& keys) {
   std::string csv;
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -81,10 +69,10 @@ std::string KeysCsv(const std::vector<KeyId>& keys) {
   return csv;
 }
 
-void AppendCacheFields(const CacheStats& stats, const char* prefix,
+void AppendCacheFields(const CacheStats& stats, const std::string& prefix,
                        std::vector<RequestField>* fields) {
   auto add = [&](const char* name, int64_t value) {
-    fields->push_back({std::string(prefix) + name, std::to_string(value)});
+    fields->push_back({prefix + name, std::to_string(value)});
   };
   add("hits", stats.hits);
   add("misses", stats.misses);
@@ -180,7 +168,7 @@ std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
       fields.push_back({"k", std::to_string(response.k)});
       fields.push_back({"keys", KeysCsv(response.keys)});
       fields.push_back(
-          {"expected", FormatDistance(response.expected_distance)});
+          {"expected", FormatRoundTripDouble(response.expected_distance)});
       break;
     case ServiceRequest::Op::kWorld:
       fields.push_back({"tree", response.tree_name});
@@ -188,11 +176,26 @@ std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
       fields.push_back({"answer", response.answer});
       fields.push_back({"keys", KeysCsv(response.keys)});
       fields.push_back(
-          {"expected", FormatDistance(response.expected_distance)});
+          {"expected", FormatRoundTripDouble(response.expected_distance)});
       break;
     case ServiceRequest::Op::kStats:
+      // The aggregate fields come first and are identical in meaning
+      // whether the answer came from one engine or a sharded front-end;
+      // the per-shard breakdown (when present) trails them, so clients
+      // reading only the totals never notice the shard layout.
       AppendCacheFields(response.stats, "", &fields);
       AppendCacheFields(response.marginals_stats, "marg_", &fields);
+      if (!response.shard_stats.empty()) {
+        fields.push_back(
+            {"shards", std::to_string(response.shard_stats.size())});
+        for (size_t s = 0; s < response.shard_stats.size(); ++s) {
+          const std::string prefix = "s" + std::to_string(s) + "_";
+          AppendCacheFields(response.shard_stats[s].rank_dist, prefix,
+                            &fields);
+          AppendCacheFields(response.shard_stats[s].marginals,
+                            prefix + "marg_", &fields);
+        }
+      }
       break;
   }
   return fields;
@@ -206,20 +209,23 @@ QueryScheduler::QueryScheduler(const Engine* engine, TreeCatalog* catalog,
       cache_(options.cache_budget_bytes),
       marginals_cache_(options.cache_budget_bytes) {}
 
+Result<AndXorTree> LoadRequestTree(const ServiceRequest& request) {
+  CPDB_ASSIGN_OR_RETURN(std::string content,
+                        ReadFileToString(request.load_file));
+  if (request.load_format == "tree") {
+    return ParseTree(content);
+  }
+  CPDB_ASSIGN_OR_RETURN(std::vector<Block> blocks, ParseBidTable(content));
+  return MakeBlockIndependent(blocks);
+}
+
 namespace {
 
 Result<ServiceResponse> ExecuteLoad(TreeCatalog* catalog,
                                     const ServiceRequest& request) {
-  CPDB_ASSIGN_OR_RETURN(std::string content,
-                        ReadFileToString(request.load_file));
-  Result<CatalogEntry> entry = Status::Internal("unreachable");
-  if (request.load_format == "tree") {
-    entry = catalog->InsertFromText(request.load_name, content);
-  } else {
-    CPDB_ASSIGN_OR_RETURN(std::vector<Block> blocks, ParseBidTable(content));
-    CPDB_ASSIGN_OR_RETURN(AndXorTree tree, MakeBlockIndependent(blocks));
-    entry = catalog->Insert(request.load_name, std::move(tree));
-  }
+  CPDB_ASSIGN_OR_RETURN(AndXorTree tree, LoadRequestTree(request));
+  Result<CatalogEntry> entry =
+      catalog->Insert(request.load_name, std::move(tree));
   if (!entry.ok()) return entry.status();
   ServiceResponse response;
   response.op = ServiceRequest::Op::kLoad;

@@ -34,9 +34,11 @@
 // may only reference trees loaded *earlier*), and `stats` reports the
 // counters at its point in the stream rather than post-batch.
 //
-// This is the chassis for sharding: a front-end that partitions batches
-// across processes needs exactly this interface (catalog handles + a batch
-// call with per-slot Results) on each shard.
+// This is the chassis for sharding, and service/sharded_scheduler.h is the
+// front-end built on it: a ShardedScheduler owns one (Engine, TreeCatalog,
+// QueryScheduler) context per shard and partitions batches across them by
+// tree fingerprint — exactly this interface (catalog handles + a batch
+// call with per-slot Results), replicated.
 
 #ifndef CPDB_SERVICE_QUERY_SCHEDULER_H_
 #define CPDB_SERVICE_QUERY_SCHEDULER_H_
@@ -87,6 +89,13 @@ struct ServiceRequest {
 /// never defaults. `line` must be non-empty (callers skip comment lines).
 Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line);
 
+/// \brief One shard's pair of cache counter snapshots — the per-shard
+/// breakdown a sharded front-end attaches to its kStats answers.
+struct ShardCacheStats {
+  CacheStats rank_dist;   ///< the shard's RankDistCache counters
+  CacheStats marginals;   ///< the shard's MarginalsCache counters
+};
+
 /// \brief One request's answer; which members are meaningful depends on op.
 struct ServiceResponse {
   ServiceRequest::Op op = ServiceRequest::Op::kTopK;
@@ -98,12 +107,25 @@ struct ServiceResponse {
   std::vector<KeyId> keys;   // kTopK: answer keys; kWorld: world keys
   double expected_distance = 0.0;  // kTopK/kWorld
   CacheStats stats;                // kStats: rank-distribution cache
-  CacheStats marginals_stats;      // kStats: marginals cache
+                                   // (aggregated totals when sharded)
+  CacheStats marginals_stats;      // kStats: marginals cache (ditto)
+  /// kStats via a ShardedScheduler: one entry per shard, in shard order,
+  /// summing to the two aggregate members above. Empty for the
+  /// single-engine QueryScheduler, whose wire output stays byte-identical
+  /// to what it was before sharding existed.
+  std::vector<ShardCacheStats> shard_stats;
 };
 
 /// \brief Renders a response as protocol fields, ready for
 /// FormatResponseLine. The inverse direction of ServiceRequestFromLine.
 std::vector<RequestField> ResponseToFields(const ServiceResponse& response);
+
+/// \brief Reads and parses a kLoad request's file into a validated tree
+/// (request.load_format selects the parser). The single shared front half
+/// of load execution — both QueryScheduler and ShardedScheduler route
+/// through it, so the two paths' read/parse error statuses are
+/// byte-identical by construction, not by convention.
+Result<AndXorTree> LoadRequestTree(const ServiceRequest& request);
 
 /// \brief Scheduler knobs.
 struct SchedulerOptions {

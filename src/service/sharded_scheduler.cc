@@ -1,0 +1,301 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "service/sharded_scheduler.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/hash.h"
+#include "io/tree_text.h"
+
+namespace cpdb {
+
+namespace {
+
+void AccumulateCacheStats(CacheStats* total, const CacheStats& part) {
+  total->hits += part.hits;
+  total->misses += part.misses;
+  total->coalesced += part.coalesced;
+  total->entries += part.entries;
+  total->bytes += part.bytes;
+  total->evictions += part.evictions;
+}
+
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(int num_shards,
+                                   const EngineOptions& engine_options,
+                                   SchedulerOptions options) {
+  const int n = std::max(num_shards, 1);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    Shard shard;
+    shard.engine = std::make_unique<Engine>(engine_options);
+    shard.catalog = std::make_unique<TreeCatalog>();
+    shard.scheduler = std::make_unique<QueryScheduler>(
+        shard.engine.get(), shard.catalog.get(), options);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+int ShardedScheduler::ShardOfFingerprint(uint64_t fingerprint,
+                                         int num_shards) {
+  // SplitMix64 finalizer: a bijective remix, so the partition stays a pure
+  // deterministic function of the fingerprint while spreading any residual
+  // structure in the FNV-1a value across all 64 bits before the modulo.
+  uint64_t x = fingerprint;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<int>(x % static_cast<uint64_t>(std::max(num_shards, 1)));
+}
+
+int ShardedScheduler::ThreadsPerShard(int total_threads, int num_shards) {
+  int total = total_threads;
+  if (total < 1) {
+    // The ThreadPool convention: values < 1 mean the hardware concurrency.
+    // Resolve it here so the split divides the real budget instead of
+    // handing every shard its own full-machine pool.
+    total = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  return std::max(1, total / std::max(num_shards, 1));
+}
+
+Result<CatalogEntry> ShardedScheduler::Insert(const std::string& name,
+                                              AndXorTree tree) {
+  // Same error (and same cheap-first ordering) as TreeCatalog::Insert.
+  if (name.empty()) {
+    return Status::InvalidArgument("catalog name must not be empty");
+  }
+  // Serialize and hash once, outside the directory lock; the catalog
+  // reuses both via InsertCanonical instead of recomputing them.
+  std::string canonical = FormatTree(tree, /*indent=*/false);
+  const uint64_t fingerprint = Fnv1a64(canonical);
+  std::lock_guard<std::mutex> lock(mu_);
+  // A bound name stays on its shard: re-inserting identical content lands
+  // there anyway (same fingerprint, same shard), and different content
+  // must reach the catalog that holds the name so the rebind is rejected
+  // with exactly the AlreadyExists the single catalog reports. The
+  // catalog insert runs under mu_ so two racing loads of one unbound name
+  // cannot route to different shards; loads are the cold path (queries
+  // take mu_ only for a map lookup), so the wider section is cheap.
+  auto it = directory_.find(name);
+  const int shard = it != directory_.end()
+                        ? it->second
+                        : ShardOfFingerprint(fingerprint, num_shards());
+  Result<CatalogEntry> entry =
+      shards_[static_cast<size_t>(shard)].catalog->InsertCanonical(
+          name, std::move(tree), std::move(canonical), fingerprint);
+  if (entry.ok()) directory_.emplace(name, shard);
+  return entry;
+}
+
+Result<int> ShardedScheduler::ShardForName(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = directory_.find(name);
+  if (it == directory_.end()) {
+    // A query failing at the routing layer produces the same error line
+    // it would against a single catalog — the shared formatter makes the
+    // parity structural (tests/sharded_service_test.cc pins it).
+    return TreeCatalog::UnknownTreeError(name);
+  }
+  return it->second;
+}
+
+Result<ServiceResponse> ShardedScheduler::ExecuteLoad(
+    const ServiceRequest& request) {
+  // The shared front half (read + parse) runs here because routing needs
+  // the content before any shard catalog is chosen; sharing it with the
+  // single scheduler keeps the two paths' error statuses byte-identical
+  // by construction.
+  CPDB_ASSIGN_OR_RETURN(AndXorTree tree, LoadRequestTree(request));
+  CPDB_ASSIGN_OR_RETURN(CatalogEntry entry,
+                        Insert(request.load_name, std::move(tree)));
+  ServiceResponse response;
+  response.op = ServiceRequest::Op::kLoad;
+  response.tree_name = entry.name;
+  response.fingerprint = entry.fingerprint;
+  return response;
+}
+
+ServiceResponse ShardedScheduler::StatsResponse() const {
+  ServiceResponse response;
+  response.op = ServiceRequest::Op::kStats;
+  response.shard_stats = PerShardStats();
+  for (const ShardCacheStats& shard : response.shard_stats) {
+    AccumulateCacheStats(&response.stats, shard.rank_dist);
+    AccumulateCacheStats(&response.marginals_stats, shard.marginals);
+  }
+  return response;
+}
+
+std::vector<Result<ServiceResponse>> ShardedScheduler::ExecuteBatch(
+    const std::vector<ServiceRequest>& requests) {
+  std::vector<Result<ServiceResponse>> responses(
+      requests.size(),
+      Result<ServiceResponse>(Status::Internal("request not executed")));
+
+  // Loads first, in request order — the batch contract. Loads stay on the
+  // front-end thread: they are rare, order-sensitive on names, and each
+  // one decides the routing for every query that follows.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].op == ServiceRequest::Op::kLoad) {
+      responses[i] = ExecuteLoad(requests[i]);
+    }
+  }
+
+  // Partition queries by owning shard, preserving slot order within each
+  // sub-batch — per-key request order is what keeps each shard's cache
+  // counters identical to the single scheduler's. Unknown names fail
+  // their slot here, exactly as the single scheduler's Lookup would.
+  std::vector<std::vector<ServiceRequest>> sub_batches(shards_.size());
+  std::vector<std::vector<size_t>> sub_slots(shards_.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ServiceRequest& request = requests[i];
+    if (request.op != ServiceRequest::Op::kTopK &&
+        request.op != ServiceRequest::Op::kWorld) {
+      continue;
+    }
+    Result<int> shard = ShardForName(request.tree_name);
+    if (!shard.ok()) {
+      responses[i] = shard.status();
+      continue;
+    }
+    sub_batches[static_cast<size_t>(*shard)].push_back(request);
+    sub_slots[static_cast<size_t>(*shard)].push_back(i);
+  }
+
+  // Fan the sub-batches concurrently: one helper thread per non-empty
+  // shard beyond the first, which runs on the calling thread (a 1-shard
+  // front-end spawns nothing and degenerates to the plain scheduler).
+  // Each sub-batch executes on its shard's own engine/caches, so the only
+  // shared state the helpers touch is their private results slot. The
+  // helpers are created per batch on purpose: the steady-state threads
+  // live in the shard engines' pools, and one short-lived dispatcher
+  // thread per busy shard is noise next to the folds it dispatches.
+  std::vector<std::vector<Result<ServiceResponse>>> shard_results(
+      shards_.size());
+  // A throw anywhere in the fan-out must fail slots, not the process: an
+  // exception escaping a helper's thread entry — or unwinding past
+  // joinable threads — is std::terminate, unacceptable in a long-lived
+  // server. The library reports errors via Status, but allocation can
+  // throw from any of it.
+  auto run_shard = [this, &sub_batches, &shard_results](size_t s) {
+    try {
+      shard_results[s] = shards_[s].scheduler->ExecuteBatch(sub_batches[s]);
+    } catch (const std::exception& e) {
+      shard_results[s].assign(
+          sub_batches[s].size(),
+          Result<ServiceResponse>(Status::Internal(
+              std::string("shard execution failed: ") + e.what())));
+    } catch (...) {
+      shard_results[s].assign(
+          sub_batches[s].size(),
+          Result<ServiceResponse>(Status::Internal("shard execution failed")));
+    }
+  };
+  std::vector<std::thread> helpers;
+  // Joins whatever was spawned on every exit path (spawning helper K can
+  // throw bad_alloc while helpers 0..K-1 run); the joinable() check makes
+  // the normal-path explicit join below idempotent.
+  struct JoinHelpers {
+    std::vector<std::thread>* threads;
+    ~JoinHelpers() {
+      for (std::thread& helper : *threads) {
+        if (helper.joinable()) helper.join();
+      }
+    }
+  } join_guard{&helpers};
+  int first_busy = -1;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (sub_batches[s].empty()) continue;
+    if (first_busy < 0) {
+      first_busy = static_cast<int>(s);
+      continue;
+    }
+    try {
+      helpers.emplace_back(run_shard, s);
+    } catch (...) {
+      // Thread exhaustion degrades this shard to the calling thread —
+      // slower, never fatal (run_shard itself cannot throw).
+      run_shard(s);
+    }
+  }
+  if (first_busy >= 0) run_shard(static_cast<size_t>(first_busy));
+  for (std::thread& helper : helpers) helper.join();
+
+  // Reassemble in input order.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t j = 0; j < sub_slots[s].size(); ++j) {
+      responses[sub_slots[s][j]] = std::move(shard_results[s][j]);
+    }
+  }
+
+  // Stats last: the aggregate describes the batch that just ran.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].op == ServiceRequest::Op::kStats) {
+      responses[i] = StatsResponse();
+    }
+  }
+  return responses;
+}
+
+Result<ServiceResponse> ShardedScheduler::ExecuteOne(
+    const ServiceRequest& request) {
+  switch (request.op) {
+    case ServiceRequest::Op::kLoad:
+      return ExecuteLoad(request);
+    case ServiceRequest::Op::kStats:
+      return StatsResponse();
+    case ServiceRequest::Op::kTopK:
+    case ServiceRequest::Op::kWorld: {
+      CPDB_ASSIGN_OR_RETURN(int shard, ShardForName(request.tree_name));
+      return shards_[static_cast<size_t>(shard)].scheduler->ExecuteOne(
+          request);
+    }
+  }
+  return Status::Internal("unknown request op");
+}
+
+void ShardedScheduler::ExecuteStreaming(
+    const std::function<bool(ServiceRequest*)>& next,
+    const std::function<void(const Result<ServiceResponse>&)>& emit) {
+  ServiceRequest request;
+  // The same loop shape as QueryScheduler::ExecuteStreaming — the
+  // interleaving contract (emit response N before pulling request N+1)
+  // lives in the loop, not in which shard answers.
+  while (next(&request)) {
+    emit(ExecuteOne(request));
+  }
+}
+
+CacheStats ShardedScheduler::cache_stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    AccumulateCacheStats(&total, shard.scheduler->cache_stats());
+  }
+  return total;
+}
+
+CacheStats ShardedScheduler::marginals_stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    AccumulateCacheStats(&total, shard.scheduler->marginals_stats());
+  }
+  return total;
+}
+
+std::vector<ShardCacheStats> ShardedScheduler::PerShardStats() const {
+  std::vector<ShardCacheStats> stats;
+  stats.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    stats.push_back(ShardCacheStats{shard.scheduler->cache_stats(),
+                                    shard.scheduler->marginals_stats()});
+  }
+  return stats;
+}
+
+}  // namespace cpdb

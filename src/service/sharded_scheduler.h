@@ -1,0 +1,156 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// ShardedScheduler — the partitioned serving front-end, the first step from
+// one process toward replicated serving. The observation it exploits is
+// that consensus answers are embarrassingly partitionable by tree: every
+// expensive precompute (the rank-distribution fold, the leaf-marginal fold)
+// is keyed by tree *fingerprint*, so requests against disjoint fingerprints
+// never share state. The front-end therefore owns N shard contexts — each a
+// private Engine (with its own thread pool), TreeCatalog, and
+// QueryScheduler (with its own RankDistCache / MarginalsCache) — and:
+//
+//   * routes every kLoad to the shard owning the loaded content's
+//     fingerprint (deterministic fingerprint-hash partitioning; a name
+//     already bound stays on its shard so rebind conflicts surface exactly
+//     as the single catalog reports them);
+//   * routes every kTopK / kWorld to the shard owning its tree, fanning the
+//     per-shard sub-batches across threads — sub-batches execute
+//     concurrently, each on its shard's engine — and reassembles the
+//     per-slot Results in input order;
+//   * answers kStats with the *sum* of the shards' cache counters plus the
+//     per-shard breakdown (ServiceResponse::shard_stats).
+//
+// Determinism: because the partitioning is a pure function of content
+// fingerprints, every (fingerprint, k) cache key lives on exactly one
+// shard, and requests for it arrive there in the same slot order the
+// single-engine QueryScheduler would process them. Combined with the
+// engine's schedule determinism, answers are bitwise identical to a
+// single-engine QueryScheduler for every op, metric, thread count, shard
+// count, and cache budget — sharding is observable only in throughput and
+// in the kStats shard breakdown (tests/sharded_service_test.cc pins this,
+// including aggregate counter totals for unbounded budgets; a *finite*
+// budget applies per shard cache, so eviction-driven counters may
+// legitimately differ across shard counts while answers never do).
+//
+// Scope: shards are in-process today (contexts, not processes). The
+// interface is deliberately the QueryScheduler's — ExecuteBatch /
+// ExecuteOne / ExecuteStreaming with per-slot Results — so replacing a
+// shard context with a remote replica changes the transport, not the
+// partitioning or the callers.
+
+#ifndef CPDB_SERVICE_SHARDED_SCHEDULER_H_
+#define CPDB_SERVICE_SHARDED_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+#include "service/query_scheduler.h"
+#include "service/tree_catalog.h"
+
+namespace cpdb {
+
+/// \brief Executes request batches partitioned across N private
+/// (Engine, TreeCatalog, QueryScheduler) shard contexts.
+///
+/// Thread-compatible like the QueryScheduler it fans out to: concurrent
+/// ExecuteBatch / ExecuteOne calls are safe (the name directory has its own
+/// mutex; shard contexts are internally locked), though batches racing on
+/// `load` of conflicting content may observe AlreadyExists.
+class ShardedScheduler {
+ public:
+  /// \brief Builds `num_shards` contexts (clamped to >= 1), each with its
+  /// own Engine(engine_options) — callers wanting a fixed total thread
+  /// count split it with ThreadsPerShard — and a QueryScheduler configured
+  /// with `options` (so a cache budget applies to each shard's caches).
+  ShardedScheduler(int num_shards, const EngineOptions& engine_options,
+                   SchedulerOptions options = SchedulerOptions());
+
+  /// \brief The shard owning `fingerprint`: a deterministic pure function
+  /// of (fingerprint, num_shards), identical across processes and runs.
+  /// The fingerprint — already a content hash — is remixed through a
+  /// finalizer before the modulo so shard balance never leans on FNV-1a's
+  /// low-bit behavior.
+  static int ShardOfFingerprint(uint64_t fingerprint, int num_shards);
+
+  /// \brief The per-shard engine-thread count for a total budget:
+  /// max(1, total / num_shards), with total < 1 first resolved to the
+  /// hardware concurrency (the ThreadPool convention). The floor division
+  /// drops any remainder, and the floor of 1 means more shards than
+  /// threads raises the effective total to num_shards — every shard
+  /// engine needs at least one thread to exist. The CLI's
+  /// `serve --shards=N --threads=T` sizes each shard engine with this.
+  static int ThreadsPerShard(int total_threads, int num_shards);
+
+  /// \brief Registers `tree` under `name` in the owning shard's catalog —
+  /// the direct seam tests and benchmarks use to seed shards without going
+  /// through kLoad files. Same semantics as TreeCatalog::Insert
+  /// (idempotent for identical content, AlreadyExists on a rebind).
+  Result<CatalogEntry> Insert(const std::string& name, AndXorTree tree);
+
+  /// \brief Executes a batch with QueryScheduler::ExecuteBatch semantics:
+  /// loads apply first in request order, per-request failures land in
+  /// their slot, kStats reports post-batch counters. Shard sub-batches run
+  /// concurrently; results[i] answers requests[i] regardless of which
+  /// shard served it.
+  std::vector<Result<ServiceResponse>> ExecuteBatch(
+      const std::vector<ServiceRequest>& requests);
+
+  /// \brief Executes one request on its owning shard — the unit of the
+  /// streaming path, with QueryScheduler::ExecuteOne's order-sensitive
+  /// semantics (queries see only earlier loads; kStats is point-in-time).
+  Result<ServiceResponse> ExecuteOne(const ServiceRequest& request);
+
+  /// \brief The incremental serve loop, same interleaving contract as
+  /// QueryScheduler::ExecuteStreaming: request N's response is emitted
+  /// before request N+1 is pulled, no matter which shards serve them.
+  void ExecuteStreaming(
+      const std::function<bool(ServiceRequest*)>& next,
+      const std::function<void(const Result<ServiceResponse>&)>& emit);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// \brief Aggregate rank-distribution cache counters: the sum over
+  /// shards (each shard's snapshot is consistent; the sum is taken shard
+  /// by shard, like any fleet-wide metric roll-up).
+  CacheStats cache_stats() const;
+
+  /// \brief Aggregate marginals cache counters (sum over shards).
+  CacheStats marginals_stats() const;
+
+  /// \brief Per-shard counter snapshots, in shard order.
+  std::vector<ShardCacheStats> PerShardStats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<Engine> engine;
+    std::unique_ptr<TreeCatalog> catalog;
+    std::unique_ptr<QueryScheduler> scheduler;
+  };
+
+  Result<ServiceResponse> ExecuteLoad(const ServiceRequest& request);
+
+  /// The shard bound to `name`, or NotFound with the same message
+  /// TreeCatalog::Lookup reports — routing must not change error lines.
+  Result<int> ShardForName(const std::string& name) const;
+
+  ServiceResponse StatsResponse() const;
+
+  std::vector<Shard> shards_;
+  // Guards directory_: name -> owning shard. Names route to the shard
+  // owning their content's fingerprint; the directory exists because
+  // queries address trees by name and the fingerprint is only known to
+  // the shard that loaded it.
+  mutable std::mutex mu_;
+  std::map<std::string, int> directory_;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_SERVICE_SHARDED_SCHEDULER_H_

@@ -18,11 +18,24 @@ uint64_t TreeCatalog::FingerprintTree(const AndXorTree& tree) {
 
 Result<CatalogEntry> TreeCatalog::Insert(const std::string& name,
                                          AndXorTree tree) {
+  // Check the name before paying the O(tree) serialization below
+  // (InsertCanonical re-checks for its direct callers).
   if (name.empty()) {
     return Status::InvalidArgument("catalog name must not be empty");
   }
   std::string canonical = FormatTree(tree, /*indent=*/false);
   uint64_t fingerprint = Fnv1a64(canonical);
+  return InsertCanonical(name, std::move(tree), std::move(canonical),
+                         fingerprint);
+}
+
+Result<CatalogEntry> TreeCatalog::InsertCanonical(const std::string& name,
+                                                  AndXorTree tree,
+                                                  std::string canonical,
+                                                  uint64_t fingerprint) {
+  if (name.empty()) {
+    return Status::InvalidArgument("catalog name must not be empty");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   // Whenever a fingerprint matches existing content, confirm the bytes
   // match too: the hash is 64-bit and non-cryptographic, and both the
@@ -61,11 +74,15 @@ Result<CatalogEntry> TreeCatalog::InsertFromText(const std::string& name,
   return Insert(name, std::move(tree));
 }
 
+Status TreeCatalog::UnknownTreeError(const std::string& name) {
+  return Status::NotFound("no catalog tree named '" + name + "'");
+}
+
 Result<CatalogEntry> TreeCatalog::Lookup(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
-    return Status::NotFound("no catalog tree named '" + name + "'");
+    return UnknownTreeError(name);
   }
   return it->second;
 }

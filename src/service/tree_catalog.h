@@ -60,11 +60,29 @@ class TreeCatalog {
   /// error instead of silently serving another tree's answers.
   Result<CatalogEntry> Insert(const std::string& name, AndXorTree tree);
 
+  /// \brief Insert with the canonical serialization and fingerprint
+  /// precomputed by the caller — `canonical` MUST equal
+  /// FormatTree(tree, /*indent=*/false) and `fingerprint` its Fnv1a64 (a
+  /// mismatch corrupts the content dedup). Exists so a routing layer that
+  /// already serialized the tree to pick a shard (ShardedScheduler) does
+  /// not pay the O(tree) serialization twice per load; Insert is this
+  /// with the two values computed here.
+  Result<CatalogEntry> InsertCanonical(const std::string& name,
+                                       AndXorTree tree, std::string canonical,
+                                       uint64_t fingerprint);
+
   /// \brief Parses `text` (the s-expression tree format) and inserts it.
   Result<CatalogEntry> InsertFromText(const std::string& name,
                                       const std::string& text);
 
-  /// \brief The entry registered under `name`, or NotFound.
+  /// \brief The NotFound status Lookup reports for an unknown `name`.
+  /// Exposed so routing layers that resolve names before reaching any
+  /// catalog (ShardedScheduler's directory) emit the byte-identical error
+  /// line by construction, not by keeping a copied string in sync.
+  static Status UnknownTreeError(const std::string& name);
+
+  /// \brief The entry registered under `name`, or NotFound
+  /// (UnknownTreeError).
   Result<CatalogEntry> Lookup(const std::string& name) const;
 
   /// \brief Number of registered names.

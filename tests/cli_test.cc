@@ -7,15 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/set_consensus.h"
 #include "engine/engine.h"
 #include "io/request_protocol.h"
 #include "io/table_io.h"
 #include "io/tree_text.h"
+#include "model/builders.h"
+#include "model/possible_worlds.h"
 
 namespace cpdb {
 namespace {
@@ -89,12 +94,28 @@ TEST_F(CliTest, ValidateRejectsBrokenInput) {
   EXPECT_NE(r.err.find("INVALID"), std::string::npos);
 }
 
-TEST_F(CliTest, MarginalsListsKeys) {
+TEST_F(CliTest, MarginalsRoundTripTheComputedDoublesExactly) {
+  // The satellite regression: offline output now uses the same shortest
+  // round-trip formatting as the serve wire, so strtod of every printed
+  // probability reproduces the computed double bitwise ("%.6f" used to
+  // truncate — and to round 0.8999999999999999 up to a tidy-looking
+  // 0.900000 that was not the answer).
   CliResult r = RunCliArgs({"marginals", tree_path_});
   EXPECT_EQ(r.code, 0);
-  EXPECT_NE(r.out.find("1 0.9"), std::string::npos);
-  EXPECT_NE(r.out.find("2 0.7"), std::string::npos);
-  EXPECT_NE(r.out.find("3 1.0"), std::string::npos);
+  auto tree = ParseTree(*ReadFileToString(tree_path_));
+  ASSERT_TRUE(tree.ok());
+  int matched = 0;
+  for (KeyId key : tree->Keys()) {
+    const std::string prefix = std::to_string(key) + " ";
+    size_t pos = r.out.find(prefix);
+    ASSERT_NE(pos, std::string::npos) << "key " << key << " in:\n" << r.out;
+    const char* printed = r.out.c_str() + pos + prefix.size();
+    EXPECT_EQ(std::strtod(printed, nullptr), tree->KeyMarginal(key))
+        << "key " << key << ": printed '" << printed
+        << "' does not round-trip the computed marginal";
+    ++matched;
+  }
+  EXPECT_EQ(matched, 3);
 }
 
 TEST_F(CliTest, WorldsSumToOne) {
@@ -175,6 +196,89 @@ TEST_F(CliTest, TopKAllMetricsBatchesEveryMetric) {
         << metric << ": " << tail << " not in:\n"
         << r.out;
   }
+}
+
+// Offline command outputs round-trip the computed doubles exactly — the
+// satellite fix that finished what PR 4 started on the serve wire. topk and
+// consensus-world are pinned against engine/core bits; worlds and aggregate
+// against the shortest-round-trip property itself (a truncated "%.6f" value
+// re-formats differently after strtod; a shortest form is a fixed point).
+TEST_F(CliTest, OfflineDistancesRoundTripEngineBitsExactly) {
+  // topk: the printed E[distance] must strtod back to the engine's bits.
+  auto blocks = ParseBidTable(*ReadFileToString(bid_path_));
+  ASSERT_TRUE(blocks.ok());
+  auto tree = MakeBlockIndependent(*blocks);
+  ASSERT_TRUE(tree.ok());
+  Engine engine;
+  for (const char* metric :
+       {"symdiff", "intersection", "footrule", "kendall"}) {
+    CliResult r = RunCliArgs({"topk", bid_path_, "--format=bid", "--k=2",
+                              std::string("--metric=") + metric});
+    ASSERT_EQ(r.code, 0) << r.err;
+    size_t pos = r.out.find("E[distance] = ");
+    ASSERT_NE(pos, std::string::npos);
+    double printed =
+        std::strtod(r.out.c_str() + pos + strlen("E[distance] = "), nullptr);
+    auto direct = engine.ConsensusTopK(*tree, 2, *ParseTopKMetricName(metric));
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(printed, direct->expected_distance) << metric;
+  }
+
+  // consensus-world: same property against the marginals-fold path the
+  // command runs.
+  CliResult world = RunCliArgs({"consensus-world", tree_path_});
+  ASSERT_EQ(world.code, 0) << world.err;
+  auto sexp_tree = ParseTree(*ReadFileToString(tree_path_));
+  ASSERT_TRUE(sexp_tree.ok());
+  std::vector<double> marginal = engine.LeafMarginals(*sexp_tree);
+  double expected = ExpectedSymDiffDistanceFromMarginals(
+      *sexp_tree, marginal, MeanWorldSymDiffFromMarginals(*sexp_tree, marginal));
+  size_t pos = world.out.find("E[distance] = ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(
+      std::strtod(world.out.c_str() + pos + strlen("E[distance] = "), nullptr),
+      expected);
+
+  // worlds: every printed probability is in shortest round-trip form, and
+  // the multiset agrees bitwise with the enumerated distribution.
+  CliResult worlds = RunCliArgs({"worlds", tree_path_});
+  ASSERT_EQ(worlds.code, 0);
+  std::vector<double> printed_probs;
+  size_t cursor = 0;
+  while (cursor < worlds.out.size()) {
+    size_t space = worlds.out.find(' ', cursor);
+    size_t newline = worlds.out.find('\n', cursor);
+    std::string token = worlds.out.substr(cursor, space - cursor);
+    printed_probs.push_back(std::strtod(token.c_str(), nullptr));
+    EXPECT_EQ(FormatRoundTripDouble(printed_probs.back()), token)
+        << "'" << token << "' is not the shortest round-trip form";
+    cursor = newline == std::string::npos ? worlds.out.size() : newline + 1;
+  }
+  auto enumerated = EnumerateWorlds(*sexp_tree, 4096);
+  ASSERT_TRUE(enumerated.ok());
+  std::vector<double> computed_probs;
+  for (const World& w : *enumerated) computed_probs.push_back(w.prob);
+  std::sort(printed_probs.begin(), printed_probs.end());
+  std::sort(computed_probs.begin(), computed_probs.end());
+  EXPECT_EQ(printed_probs, computed_probs);
+
+  // aggregate: the group means are in shortest round-trip form.
+  CliResult agg = RunCliArgs({"aggregate", bid_path_, "--format=bid"});
+  ASSERT_EQ(agg.code, 0) << agg.err;
+  int mean_columns = 0;
+  for (size_t line = agg.out.find('\n') + 1; line < agg.out.size();) {
+    size_t first_space = agg.out.find(' ', line);
+    size_t second_space = agg.out.find(' ', first_space + 1);
+    ASSERT_NE(second_space, std::string::npos);
+    std::string token =
+        agg.out.substr(first_space + 1, second_space - first_space - 1);
+    EXPECT_EQ(FormatRoundTripDouble(std::strtod(token.c_str(), nullptr)),
+              token);
+    ++mean_columns;
+    size_t newline = agg.out.find('\n', line);
+    line = newline == std::string::npos ? agg.out.size() : newline + 1;
+  }
+  EXPECT_GT(mean_columns, 0);
 }
 
 TEST_F(CliTest, IntegerFlagsParseStrictly) {
@@ -387,6 +491,82 @@ TEST_F(CliTest, ServeStreamingAnswersInInputOrder) {
   // The answered slot agrees with batch mode bitwise (same response line).
   std::vector<std::string> batch_lines = OutputLines(batch2.out);
   EXPECT_EQ(lines[3], batch_lines[3]);
+}
+
+// serve --shards=N: answers bitwise identical to --shards=1 and to the
+// default single scheduler for every op, in both execution modes; op=stats
+// keeps identical aggregate totals and adds the per-shard breakdown.
+TEST_F(CliTest, ServeShardedAnswersMatchUnshardedBitwise) {
+  std::string requests_path = ::testing::TempDir() + "/cli_shard_req.txt";
+  ASSERT_TRUE(WriteStringToFile(
+                  requests_path,
+                  "op=load name=t file=" + tree_path_ + "\n"
+                  "op=load name=b file=" + bid_path_ + " format=bid\n"
+                  "op=topk tree=t k=2 metric=symdiff\n"
+                  "op=topk tree=t k=2 metric=intersection\n"
+                  "op=topk tree=b k=2 metric=footrule\n"
+                  "op=topk tree=b k=2 metric=kendall\n"
+                  "op=topk tree=t k=2 metric=symdiff answer=median\n"
+                  "op=world tree=t\n"
+                  "op=world tree=b answer=median\n"
+                  "op=topk tree=nope k=2\n"
+                  "op=stats\n")
+                  .ok());
+  CliResult plain = RunCliArgs({"serve", requests_path, "--threads=2"});
+  ASSERT_EQ(plain.code, 1);  // the op=topk tree=nope slot fails in-band
+
+  // Everything except the trailing stats line must be byte-identical
+  // across the default scheduler and every shard count, in batch and
+  // streaming modes alike.
+  auto lines_before_stats = [](const std::string& out) {
+    return out.substr(0, out.find("ok\top=stats"));
+  };
+  for (int shards : {1, 2, 4}) {
+    std::string flag = "--shards=" + std::to_string(shards);
+    CliResult sharded =
+        RunCliArgs({"serve", requests_path, "--threads=2", flag});
+    ASSERT_EQ(sharded.code, 1) << sharded.err;
+    EXPECT_EQ(lines_before_stats(sharded.out), lines_before_stats(plain.out))
+        << flag;
+    CliResult streamed =
+        RunCliArgs({"serve", requests_path, "--threads=2", flag, "--stream"});
+    ASSERT_EQ(streamed.code, 1) << flag << " --stream: " << streamed.err;
+    EXPECT_EQ(lines_before_stats(streamed.out), lines_before_stats(plain.out))
+        << flag << " --stream";
+
+    // Aggregate stats totals equal the unsharded scheduler's counters;
+    // the breakdown names the shard layout and sums to the totals.
+    ResponseLine plain_stats = FindResponse(plain.out, {{"op", "stats"}});
+    ResponseLine shard_stats = FindResponse(sharded.out, {{"op", "stats"}});
+    for (const char* field : {"hits", "misses", "coalesced", "entries",
+                              "bytes", "evictions", "marg_hits",
+                              "marg_misses", "marg_entries", "marg_bytes"}) {
+      ASSERT_NE(shard_stats.Find(field), nullptr) << field;
+      EXPECT_EQ(*shard_stats.Find(field), *plain_stats.Find(field))
+          << flag << " " << field;
+    }
+    ASSERT_NE(shard_stats.Find("shards"), nullptr);
+    EXPECT_EQ(*shard_stats.Find("shards"), std::to_string(shards));
+    long long breakdown_misses = 0;
+    for (int s = 0; s < shards; ++s) {
+      const std::string* part =
+          shard_stats.Find("s" + std::to_string(s) + "_misses");
+      ASSERT_NE(part, nullptr) << flag << " shard " << s;
+      breakdown_misses += std::stoll(*part);
+    }
+    EXPECT_EQ(std::to_string(breakdown_misses), *shard_stats.Find("misses"));
+    // The default scheduler's line carries no shard fields at all.
+    EXPECT_EQ(plain_stats.Find("shards"), nullptr);
+  }
+
+  // Flag hygiene, matching every other serve flag: strict value, strict
+  // range, serve-only scope.
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--shards=0"}).code, 2);
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--shards=2o"}).code, 2);
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--shards=4096"}).code, 2);
+  CliResult scoped = RunCliArgs({"topk", tree_path_, "--k=2", "--shards=2"});
+  EXPECT_EQ(scoped.code, 2);
+  EXPECT_NE(scoped.err.find("applies only to serve"), std::string::npos);
 }
 
 TEST_F(CliTest, ServeReportsRequestErrorsInBand) {

@@ -47,6 +47,36 @@ TEST(TreeTextTest, RejectsMalformedInput) {
             StatusCode::kParseError);
 }
 
+TEST(TreeTextTest, RejectsNonFiniteNumbers) {
+  // strtod accepts "inf"/"nan" spellings and overflows 1e999 to infinity;
+  // every one of these must fail with a clean ParseError instead of
+  // smuggling a non-finite value into a validated tree (a NaN score or
+  // probability poisons every downstream fold).
+  for (const char* bad : {
+           "(leaf key=1 score=inf)",
+           "(leaf key=1 score=-inf)",
+           "(leaf key=1 score=infinity)",
+           "(leaf key=1 score=nan)",
+           "(leaf key=1 score=NaN)",
+           "(leaf key=1 score=1e999)",   // overflow -> HUGE_VAL
+           "(leaf key=1 score=-1e999)",
+           "(xor inf (leaf key=1 score=1))",
+           "(xor nan (leaf key=1 score=1))",
+           "(xor 1e999 (leaf key=1 score=1))",
+           "(leaf key=nan score=1)",
+       }) {
+    auto result = ParseTree(bad);
+    ASSERT_FALSE(result.ok()) << "'" << bad << "' was accepted";
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError) << bad;
+    EXPECT_NE(result.status().message().find("finite"), std::string::npos)
+        << bad << ": " << result.status().ToString();
+  }
+  // Large-but-finite and tiny (underflowing) magnitudes remain legal: they
+  // are representable approximations, not poison.
+  EXPECT_TRUE(ParseTree("(leaf key=1 score=1e308)").ok());
+  EXPECT_TRUE(ParseTree("(leaf key=1 score=1e-999)").ok());
+}
+
 TEST(TreeTextTest, RejectsSemanticViolations) {
   // Parsing succeeds syntactically but Validate() catches the constraint.
   EXPECT_FALSE(
@@ -103,6 +133,16 @@ TEST(BidTableTest, RejectsBadInput) {
   EXPECT_FALSE(ParseBidTable("1 0.5 2.0 3 junk\n").ok()); // trailing field
   EXPECT_FALSE(ParseBidTable("1 0.5 2.0\n1 0.5 2.0\n").ok());  // duplicate
   EXPECT_FALSE(ParseBidTable("1 0.6 2.0\n1 0.6 3.0\n").ok());  // mass > 1
+  // Non-finite tokens: some standard libraries' stream extraction accepts
+  // "inf"/"nan" spellings (libc++) where others fail the extraction
+  // (libstdc++) — either way these must be ParseError, and a NaN
+  // probability must not slip past the [0,1] range check.
+  for (const char* bad : {"1 nan 5\n", "1 inf 5\n", "1 0.5 nan\n",
+                          "1 0.5 inf\n", "1 0.5 -inf\n"}) {
+    auto result = ParseBidTable(bad);
+    ASSERT_FALSE(result.ok()) << "'" << bad << "' was accepted";
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError) << bad;
+  }
 }
 
 TEST(BidTableTest, RoundTrip) {

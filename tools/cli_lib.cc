@@ -19,6 +19,7 @@
 #include "model/builders.h"
 #include "model/possible_worlds.h"
 #include "service/query_scheduler.h"
+#include "service/sharded_scheduler.h"
 #include "service/tree_catalog.h"
 
 namespace cpdb {
@@ -41,6 +42,8 @@ struct CliOptions {
   int64_t cache_budget = kUnboundedCacheBytes;  // serve: cache byte budget
   bool cache_budget_set = false;  // --cache-budget given (serve only)
   bool stream = false;     // serve: flush one response per request
+  int shards = 0;          // serve: 0 = single scheduler, N >= 1 = sharded
+  bool shards_set = false;  // --shards given (serve only)
 };
 
 // The evaluation engine configured by --threads. Results are independent of
@@ -135,6 +138,14 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       }
       opts.cache_budget = budget;
       opts.cache_budget_set = true;
+    } else if (name == "shards") {
+      CPDB_ASSIGN_OR_RETURN(long long shards, ParseIntFlag(name, value));
+      if (shards < 1 || shards > 1024) {
+        return Status::InvalidArgument(
+            "--shards must be between 1 and 1024, got '" + value + "'");
+      }
+      opts.shards = static_cast<int>(shards);
+      opts.shards_set = true;
     } else if (name == "stream") {
       // A boolean presence flag: "--stream=off" would invite the
       // silently-misread failure mode the strict parses exist to prevent.
@@ -162,6 +173,9 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
   }
   if (opts.stream && opts.command != "serve") {
     return Status::InvalidArgument("--stream applies only to serve");
+  }
+  if (opts.shards_set && opts.command != "serve") {
+    return Status::InvalidArgument("--shards applies only to serve");
   }
   if (positional.size() > 1) opts.input_path = positional[1];
   if (positional.size() > 2) {
@@ -216,8 +230,12 @@ int CmdMarginals(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     return 1;
   }
   std::fprintf(out, "key presence_probability\n");
+  // Shortest round-trip formatting (shared with the serve wire): strtod of
+  // the printed value reproduces the computed double bitwise, where "%.6f"
+  // silently truncated it.
   for (KeyId key : tree->Keys()) {
-    std::fprintf(out, "%d %.6f\n", key, tree->KeyMarginal(key));
+    std::fprintf(out, "%d %s\n", key,
+                 FormatRoundTripDouble(tree->KeyMarginal(key)).c_str());
   }
   return 0;
 }
@@ -236,7 +254,7 @@ int CmdWorlds(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   std::sort(worlds->begin(), worlds->end(),
             [](const World& a, const World& b) { return a.prob > b.prob; });
   for (const World& w : *worlds) {
-    std::fprintf(out, "%.6f ", w.prob);
+    std::fprintf(out, "%s ", FormatRoundTripDouble(w.prob).c_str());
     PrintWorld(*tree, w.leaf_ids, out);
     std::fprintf(out, "\n");
   }
@@ -296,8 +314,9 @@ int CmdConsensusWorld(const CliOptions& opts, std::FILE* out, std::FILE* err) {
                  opts.metric.c_str());
     return 1;
   }
-  std::fprintf(out, "%s world under %s, E[distance] = %.6f:\n",
-               opts.answer.c_str(), opts.metric.c_str(), expected);
+  std::fprintf(out, "%s world under %s, E[distance] = %s:\n",
+               opts.answer.c_str(), opts.metric.c_str(),
+               FormatRoundTripDouble(expected).c_str());
   PrintWorld(*tree, world, out);
   std::fprintf(out, "\n");
   return 0;
@@ -343,8 +362,8 @@ int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
       std::fprintf(out, "top-%d (%s, mean): [", opts.k,
                    TopKMetricName(kMetrics[i]));
       for (KeyId key : results[i]->keys) std::fprintf(out, " %d", key);
-      std::fprintf(out, " ]  E[distance] = %.6f\n",
-                   results[i]->expected_distance);
+      std::fprintf(out, " ]  E[distance] = %s\n",
+                   FormatRoundTripDouble(results[i]->expected_distance).c_str());
     }
     return 0;
   }
@@ -376,7 +395,8 @@ int CmdTopK(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   std::fprintf(out, "top-%d (%s, %s): [", opts.k, opts.metric.c_str(),
                opts.answer.c_str());
   for (KeyId key : result->keys) std::fprintf(out, " %d", key);
-  std::fprintf(out, " ]  E[distance] = %.6f\n", result->expected_distance);
+  std::fprintf(out, " ]  E[distance] = %s\n",
+               FormatRoundTripDouble(result->expected_distance).c_str());
   return 0;
 }
 
@@ -394,8 +414,12 @@ bool ReadLine(std::FILE* in, std::string* line) {
 }
 
 // The serve command: reads one request per line (the protocol of
-// io/request_protocol.h) and answers through a QueryScheduler. Two
-// execution modes:
+// io/request_protocol.h) and answers through a QueryScheduler — or, with
+// --shards=N, through a ShardedScheduler that partitions requests across N
+// (engine, catalog, cache) contexts by tree fingerprint, splitting
+// --threads evenly across the shard engines. Answers are bitwise identical
+// in every configuration; only throughput and the stats breakdown change.
+// Two execution modes:
 //
 //   batch (default)  — the whole input is one scheduler batch: catalog
 //       loads apply first (queries may reference trees loaded later in the
@@ -426,12 +450,34 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     in = owned_in;
   }
 
-  Engine engine = MakeEngine(opts);
-  TreeCatalog catalog;
   SchedulerOptions scheduler_options;
   scheduler_options.use_cache = opts.cache;
   scheduler_options.cache_budget_bytes = opts.cache_budget;
-  QueryScheduler scheduler(&engine, &catalog, scheduler_options);
+
+  // One of the two back ends; the batch and streaming paths below
+  // dispatch on which pointer is set. The plain QueryScheduler is the
+  // default (wire output unchanged from before sharding existed);
+  // --shards=N builds the ShardedScheduler (N >= 1, so the one-shard
+  // configuration exercises the same front-end the differential tests
+  // compare against).
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<TreeCatalog> catalog;
+  std::unique_ptr<QueryScheduler> scheduler;
+  std::unique_ptr<ShardedScheduler> sharded;
+  if (opts.shards >= 1) {
+    EngineOptions engine_options;
+    engine_options.num_threads =
+        ShardedScheduler::ThreadsPerShard(opts.threads, opts.shards);
+    sharded = std::make_unique<ShardedScheduler>(opts.shards, engine_options,
+                                                 scheduler_options);
+  } else {
+    EngineOptions engine_options;
+    engine_options.num_threads = opts.threads;
+    engine = std::make_unique<Engine>(engine_options);
+    catalog = std::make_unique<TreeCatalog>();
+    scheduler = std::make_unique<QueryScheduler>(engine.get(), catalog.get(),
+                                                 scheduler_options);
+  }
 
   int failed = 0;
   size_t line_number = 0;
@@ -474,7 +520,13 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
       }
       std::fflush(out);
     };
-    scheduler.ExecuteStreaming(next, emit);
+    // Both back ends share the scheduler-level interleaving contract;
+    // dispatch to whichever owns this serve.
+    if (sharded != nullptr) {
+      sharded->ExecuteStreaming(next, emit);
+    } else {
+      scheduler->ExecuteStreaming(next, emit);
+    }
   } else {
     // Batch: tokenize and type every line up front; comment lines produce
     // no response. Slots keep their input line number for error reporting.
@@ -495,7 +547,8 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
       if (request.ok()) batch.push_back(*request);
     }
     std::vector<Result<ServiceResponse>> results =
-        scheduler.ExecuteBatch(batch);
+        sharded != nullptr ? sharded->ExecuteBatch(batch)
+                           : scheduler->ExecuteBatch(batch);
 
     size_t cursor = 0;
     for (size_t i = 0; i < parsed.size(); ++i) {
@@ -557,7 +610,7 @@ int CmdAggregate(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   }
   std::fprintf(out, "group mean_count median_count\n");
   for (size_t j = 0; j < mean.size(); ++j) {
-    std::fprintf(out, "%zu %.6f %lld\n", j, mean[j],
+    std::fprintf(out, "%zu %s %lld\n", j, FormatRoundTripDouble(mean[j]).c_str(),
                  static_cast<long long>((*median)[j]));
   }
   return 0;
@@ -615,7 +668,15 @@ std::string CliUsage() {
       "  --stream            serve only: flush one response line per\n"
       "                      request instead of batching the whole input;\n"
       "                      queries see only trees loaded earlier in the\n"
-      "                      stream\n";
+      "                      stream\n"
+      "  --shards=N          serve only: partition requests across N\n"
+      "                      engine shards by tree fingerprint (each\n"
+      "                      shard engine gets max(1, threads/N) threads,\n"
+      "                      so N > threads raises the total to N; a\n"
+      "                      --cache-budget applies to each shard's\n"
+      "                      caches, so retained bytes scale with N;\n"
+      "                      answers are bitwise identical for any N;\n"
+      "                      op=stats adds per-shard breakdown fields)\n";
 }
 
 int RunCli(const std::vector<std::string>& args, std::FILE* out,
