@@ -43,6 +43,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +51,7 @@
 #include "common/rng.h"
 #include "engine/engine.h"
 #include "io/tree_text.h"
+#include "service/catalog_snapshot.h"
 #include "service/query_scheduler.h"
 #include "service/sharded_scheduler.h"
 #include "service/tree_catalog.h"
@@ -333,6 +335,99 @@ void BM_ServeHeavyTailWarmCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeHeavyTailWarmCache)->Args({40, 4});
+
+// Warm restart (the snapshot PR's trajectory): how fast a restarted
+// replica reaches its first served response, three ways.
+//
+//   arm 0 (cold)       — parse every catalog tree from text and insert it
+//                        line-by-line, then serve; the first batch pays
+//                        every rank-distribution fold.
+//   arm 1 (snap)       — decode + install a trees-only snapshot (one
+//                        contiguous buffer instead of N files); the first
+//                        batch still pays its folds.
+//   arm 2 (snap+dists) — decode + install a snapshot carrying the saved
+//                        rank distributions; the first batch hits the
+//                        seeded cache and re-folds nothing.
+//
+// Each iteration is a full restart: fresh catalog + scheduler, load, then
+// the first batch. The time_to_first_response counter isolates
+// startup + first answer — the latency a load balancer waits before
+// routing traffic to the replica. Answers are bitwise identical across all
+// three arms (tests/catalog_warm_restart_test.cc).
+void BM_ServeWarmRestart(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  constexpr int kTrees = 16;
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  engine_options.use_fast_bid_path = false;
+  Engine engine(engine_options);
+
+  // The catalog source of truth, as serve sees it: canonical text.
+  Rng rng(67);
+  std::vector<std::string> names;
+  std::vector<std::string> texts;
+  std::vector<ServiceRequest> batch;
+  for (int i = 0; i < kTrees; ++i) {
+    RandomTreeOptions opts;
+    opts.num_keys = 40;
+    opts.max_depth = 3;
+    opts.max_alternatives = 2;
+    names.push_back("restart" + std::to_string(i));
+    texts.push_back(FormatTree(*RandomAndXorTree(opts, &rng), false));
+    ServiceRequest request;
+    request.op = ServiceRequest::Op::kTopK;
+    request.tree_name = names.back();
+    request.k = kK;
+    request.metric = TopKMetric::kSymDiff;
+    batch.push_back(request);
+  }
+
+  // Produce both snapshot flavors from a reference replica warmed on the
+  // exact batch the restarted replica will serve.
+  std::string snapshot_bytes;
+  {
+    TreeCatalog catalog;
+    QueryScheduler scheduler(&engine, &catalog);
+    for (int i = 0; i < kTrees; ++i) {
+      catalog.Insert(names[i], *ParseTree(texts[i])).ValueOrDie();
+    }
+    scheduler.ExecuteBatch(batch);
+    snapshot_bytes = EncodeCatalogSnapshot(BuildCatalogSnapshot(
+        catalog, mode == 2 ? &scheduler : nullptr));
+  }
+
+  double first_response_seconds = 0.0;
+  for (auto _ : state) {
+    TreeCatalog catalog;
+    QueryScheduler scheduler(&engine, &catalog);
+    const auto start = std::chrono::steady_clock::now();
+    if (mode == 0) {
+      for (int i = 0; i < kTrees; ++i) {
+        catalog.Insert(names[i], *ParseTree(texts[i])).ValueOrDie();
+      }
+    } else {
+      CatalogSnapshot snapshot =
+          DecodeCatalogSnapshot(snapshot_bytes.data(), snapshot_bytes.size())
+              .ValueOrDie();
+      if (!InstallCatalogSnapshot(snapshot, &catalog, &scheduler).ok()) {
+        state.SkipWithError("snapshot install failed");
+        return;
+      }
+    }
+    auto first = scheduler.ExecuteOne(batch[0]);
+    first_response_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    benchmark::DoNotOptimize(first);
+    auto results = scheduler.ExecuteBatch(batch);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["time_to_first_response"] = benchmark::Counter(
+      first_response_seconds, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ServeWarmRestart)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace cpdb

@@ -1,0 +1,54 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// MmapFile — a read-only memory-mapped file, the zero-copy input path for
+// catalog snapshots (service/catalog_snapshot.h). Modeled on the mmap-backed
+// read-only tree files of untangle's basetree.h: a restarted replica maps
+// the snapshot instead of streaming it through a read buffer, so the kernel
+// pages bytes in on demand and identical bytes are shared across processes
+// mapping the same file. The mapping is immutable (PROT_READ, MAP_PRIVATE):
+// writers produce a new file; readers never see a torn state.
+
+#ifndef CPDB_IO_MMAP_FILE_H_
+#define CPDB_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+
+namespace cpdb {
+
+/// \brief A read-only mapping of an entire file. Move-only RAII: the
+/// mapping lives until destruction, so any pointers into data() are valid
+/// for the lifetime of the object and no longer.
+class MmapFile {
+ public:
+  /// \brief Maps `path` read-only. A missing or unreadable file is the
+  /// same NotFound/InvalidArgument surface ReadFileToString reports — a
+  /// caller switching load paths must not change its error handling. An
+  /// empty file yields a valid object with size() == 0 (mmap of length 0
+  /// is not portable; there are no bytes to map).
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  /// \brief First mapped byte; nullptr iff size() == 0.
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(void* data, size_t size) : data_(data), size_(size) {}
+  void Reset();
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_IO_MMAP_FILE_H_

@@ -3,6 +3,8 @@
 #include "io/tree_text.h"
 
 #include <cctype>
+
+#include "io/request_protocol.h"
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
@@ -199,7 +201,14 @@ void FormatNode(const AndXorTree& tree, NodeId id, bool indent, int depth,
   };
   switch (n.kind) {
     case NodeKind::kLeaf:
-      *os << "(leaf key=" << n.leaf.key << " score=" << n.leaf.score;
+      // Doubles render via the shortest-round-trip formatter: the canonical
+      // form fingerprints trees and is the snapshot payload, so it must be
+      // injective — default ostream precision (6 digits) made two trees
+      // whose probabilities differ past the 6th digit share a canonical
+      // text (hence a fingerprint), and made a snapshot-restored tree
+      // numerically drift from the one that saved it.
+      *os << "(leaf key=" << n.leaf.key
+          << " score=" << FormatRoundTripDouble(n.leaf.score);
       if (n.leaf.label >= 0) *os << " label=" << n.leaf.label;
       *os << ")";
       break;
@@ -215,7 +224,7 @@ void FormatNode(const AndXorTree& tree, NodeId id, bool indent, int depth,
       *os << "(xor";
       for (size_t i = 0; i < n.children.size(); ++i) {
         newline();
-        *os << n.edge_probs[i] << " ";
+        *os << FormatRoundTripDouble(n.edge_probs[i]) << " ";
         FormatNode(tree, n.children[i], indent, depth + 1, os);
       }
       *os << ")";

@@ -1,0 +1,153 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Versioned binary catalog snapshots — the persistence layer that lets a
+// restarted serving process (or a newly spawned shard replica) come up warm
+// instead of re-parsing and re-folding every tree. A snapshot file holds:
+//
+//   * a magic + format-version header (unknown version => refuse, never
+//     guess — the untangle basetree.h BASETREE_MAGIC discipline);
+//   * one record per catalog binding: (name, content fingerprint, canonical
+//     tree serialization). The canonical text is the format's source of
+//     truth: the fingerprint is definitionally Fnv1a64 over it, so a loaded
+//     catalog's fingerprints are byte-identical to a cold catalog's by
+//     construction, not by trust in the file;
+//   * optional precomputed (fingerprint, k) rank-distribution sections —
+//     the serving layer's most expensive derived state (the O(L^2 k) fold),
+//     persisted so a restarted replica's first Top-k batch hits warm;
+//   * a whole-file FNV-1a checksum.
+//
+// This is the first input surface the process cannot trust: the bytes come
+// from disk, not from our own validated structures. DecodeCatalogSnapshot
+// therefore treats the file as adversarial — every length is bounds-checked
+// against the remaining payload before use, every embedded tree re-parses
+// and re-validates through ParseTree, every fingerprint is recomputed and
+// compared, and any failure returns a typed Status without touching any
+// catalog (tests/catalog_snapshot_test.cc runs the corruption torture
+// matrix under ASan/UBSan).
+//
+// Format v1, all integers little-endian:
+//
+//   offset 0   8 bytes   magic "CPDBSNAP"
+//   offset 8   u32       format version (1)
+//   offset 12  u32       reserved (must be 0 in v1)
+//   offset 16  u64       tree record count
+//   offset 24  u64       distribution record count
+//   ...        tree records, then distribution records (layouts below)
+//   size-8     u64       FNV-1a checksum over bytes [0, size-8)
+//
+//   tree record:  u32 name length, name bytes, u64 fingerprint,
+//                 u64 canonical length, canonical bytes
+//   dist record:  u64 tree fingerprint, u32 k, u64 key count, then per key:
+//                 i32 key id, then k doubles (raw IEEE-754 bits, little-
+//                 endian): Pr(r(key) = i) for i = 1..k
+//
+// Records are written in sorted order (trees by name, distributions by
+// (fingerprint, k)), so encoding is a pure function of the logical content:
+// save -> load -> save reproduces the file byte for byte, independent of
+// catalog load order or cache LRU history.
+
+#ifndef CPDB_SERVICE_CATALOG_SNAPSHOT_H_
+#define CPDB_SERVICE_CATALOG_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/rank_distribution.h"
+#include "model/and_xor_tree.h"
+#include "service/tree_catalog.h"
+
+namespace cpdb {
+
+class QueryScheduler;
+
+/// \brief The 8 magic bytes opening every snapshot file.
+inline constexpr char kCatalogSnapshotMagic[8] = {'C', 'P', 'D', 'B',
+                                                  'S', 'N', 'A', 'P'};
+
+/// \brief The newest format version this build reads and the only one it
+/// writes. A file stamped with a larger version is refused outright — a
+/// newer format may carry semantics this decoder would silently drop.
+inline constexpr uint32_t kCatalogSnapshotVersion = 1;
+
+/// \brief One persisted catalog binding. `tree` is the parsed, validated
+/// form of `canonical`; `fingerprint` is Fnv1a64(canonical) (both are
+/// verified on decode, supplied by the catalog on save).
+struct SnapshotTree {
+  std::string name;
+  uint64_t fingerprint = 0;
+  std::string canonical;
+  std::shared_ptr<const AndXorTree> tree;
+};
+
+/// \brief One persisted precomputed rank distribution, keyed exactly like
+/// RankDistCache: (tree content fingerprint, k).
+struct SnapshotDistribution {
+  uint64_t fingerprint = 0;
+  int k = 0;
+  std::shared_ptr<const RankDistribution> dist;
+};
+
+/// \brief The decoded (or to-be-encoded) logical content of a snapshot.
+struct CatalogSnapshot {
+  std::vector<SnapshotTree> trees;
+  std::vector<SnapshotDistribution> distributions;
+};
+
+/// \brief Serializes a snapshot to the v1 byte format. Deterministic:
+/// records are emitted in sorted order (trees by name, distributions by
+/// (fingerprint, k)) whatever order the vectors hold, so the bytes are a
+/// pure function of the logical content.
+std::string EncodeCatalogSnapshot(const CatalogSnapshot& snapshot);
+
+/// \brief Parses and fully validates `size` bytes of snapshot. On any
+/// defect — truncation, bad magic, unsupported future version, checksum
+/// mismatch, counts or lengths overflowing the payload, an embedded tree
+/// that fails ParseTree or is not in canonical form, a fingerprint that
+/// does not hash its bytes, duplicate or dangling records, non-finite
+/// probabilities, trailing garbage — returns a typed Status describing the
+/// first defect found. Never aborts, never returns a partially valid
+/// snapshot.
+Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size);
+
+/// \brief Captures the live serving state: every catalog binding, plus —
+/// when `scheduler` is non-null — the retained entries of its
+/// rank-distribution cache (filtered to fingerprints the catalog holds) as
+/// the precomputed sections. Pass a null scheduler for a trees-only
+/// snapshot.
+CatalogSnapshot BuildCatalogSnapshot(const TreeCatalog& catalog,
+                                     const QueryScheduler* scheduler);
+
+/// \brief Installs a decoded snapshot: inserts every tree through
+/// TreeCatalog::InsertCanonical — the same seam line-by-line loading ends
+/// in, so fingerprints and AlreadyExists/rebind semantics are byte-identical
+/// to feeding the canonical texts as individual loads — and, when
+/// `scheduler` is non-null, seeds its rank-distribution cache with the
+/// snapshot's precomputed sections. Into a fresh catalog this cannot fail
+/// (decode already validated everything); into a pre-populated catalog a
+/// name bound to different content fails with the catalog's own
+/// AlreadyExists, leaving earlier entries installed — exactly as the same
+/// sequence of loads would.
+Status InstallCatalogSnapshot(const CatalogSnapshot& snapshot,
+                              TreeCatalog* catalog, QueryScheduler* scheduler);
+
+/// \brief Encodes and writes `snapshot` to `path` (truncating).
+Status WriteCatalogSnapshotFile(const std::string& path,
+                                const CatalogSnapshot& snapshot);
+
+/// \brief The streaming-read load path: reads the whole file into memory,
+/// then decodes. A missing or unreadable path is an error (a warm restart
+/// must not silently fall back to a cold start).
+Result<CatalogSnapshot> ReadCatalogSnapshotFile(const std::string& path);
+
+/// \brief The mmap load path: maps the file read-only (io/mmap_file.h) and
+/// decodes from the mapping — same validation, same typed errors, same
+/// resulting snapshot as the read path; only how the bytes arrive differs.
+Result<CatalogSnapshot> MmapCatalogSnapshotFile(const std::string& path);
+
+}  // namespace cpdb
+
+#endif  // CPDB_SERVICE_CATALOG_SNAPSHOT_H_

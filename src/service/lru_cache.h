@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace cpdb {
 
@@ -152,6 +153,45 @@ class CostLruCache {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     return it == entries_.end() ? nullptr : it->second.value;
+  }
+
+  /// \brief Retains `value` for `key` without computing — the seam a warm
+  /// restart uses to seed a cache from persisted state. Charged and
+  /// LRU-evicted exactly like a computed entry (an oversized value is
+  /// silently not retained, same as GetOrCompute), but counted in no
+  /// hit/miss/coalesced counter: seeding is provisioning, not traffic.
+  /// A key already retained or currently in flight is left alone (the
+  /// existing value wins — it was computed by the engine this process
+  /// trusts); returns whether `value` was retained.
+  bool Put(const Key& key, std::shared_ptr<const Value> value) {
+    if (value == nullptr) return false;
+    const int64_t charged = cost_ ? cost_(*value) : 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.find(key) != entries_.end() ||
+        inflight_.find(key) != inflight_.end()) {
+      return false;
+    }
+    if (byte_budget_ >= 0 && charged > byte_budget_) return false;
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{std::move(value), charged, lru_.begin()});
+    stats_.bytes += charged;
+    stats_.entries = static_cast<int64_t>(entries_.size());
+    EvictToBudgetLocked();
+    return true;
+  }
+
+  /// \brief All retained entries in key order (deterministic: the map's
+  /// order, independent of insertion or LRU history) — the enumeration a
+  /// snapshot save walks. Handles share ownership, so the caller's view
+  /// stays valid however the cache evicts afterwards.
+  std::vector<std::pair<Key, std::shared_ptr<const Value>>> Entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<Key, std::shared_ptr<const Value>>> entries;
+    entries.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      entries.emplace_back(key, entry.value);
+    }
+    return entries;
   }
 
   /// \brief Counter snapshot (consistent: taken under the lock).

@@ -184,6 +184,25 @@ class QueryScheduler {
       const std::function<bool(ServiceRequest*)>& next,
       const std::function<void(const Result<ServiceResponse>&)>& emit);
 
+  /// \brief Seeds the owned rank-distribution cache with a precomputed
+  /// entry — the warm-restart seam: a catalog snapshot's persisted
+  /// distributions land here so a restarted replica's first batch hits
+  /// warm instead of re-folding. No-op (returns false) when caching is
+  /// disabled or the entry is not retained (existing entry, over-budget);
+  /// never changes answers, exactly like every other cache path.
+  bool SeedRankDistribution(uint64_t fingerprint, int k,
+                            std::shared_ptr<const RankDistribution> dist) {
+    if (!options_.use_cache) return false;
+    return cache_.Seed(fingerprint, k, std::move(dist));
+  }
+
+  /// \brief The rank-distribution cache's retained entries, in
+  /// (fingerprint, k) order — what a snapshot save persists as the
+  /// precomputed-distributions section.
+  std::vector<RankDistCache::RetainedEntry> RetainedRankDistributions() const {
+    return cache_.RetainedEntries();
+  }
+
   /// \brief Counter snapshot of the owned rank-distribution cache.
   CacheStats cache_stats() const { return cache_.stats(); }
 

@@ -19,6 +19,20 @@ std::shared_ptr<const RankDistribution> RankDistCache::Peek(
   return cache_.Peek(Key(fingerprint, k));
 }
 
+bool RankDistCache::Seed(uint64_t fingerprint, int k,
+                         std::shared_ptr<const RankDistribution> dist) {
+  return cache_.Put(Key(fingerprint, k), std::move(dist));
+}
+
+std::vector<RankDistCache::RetainedEntry> RankDistCache::RetainedEntries()
+    const {
+  std::vector<RetainedEntry> entries;
+  for (auto& [key, dist] : cache_.Entries()) {
+    entries.push_back(RetainedEntry{key.first, key.second, std::move(dist)});
+  }
+  return entries;
+}
+
 CacheStats RankDistCache::stats() const { return cache_.stats(); }
 
 void RankDistCache::Clear() { cache_.Clear(); }

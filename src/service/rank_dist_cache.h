@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "core/rank_distribution.h"
 #include "service/lru_cache.h"
@@ -53,6 +54,29 @@ class RankDistCache {
   /// a query).
   std::shared_ptr<const RankDistribution> Peek(uint64_t fingerprint,
                                                int k) const;
+
+  /// \brief Retains a precomputed distribution for (fingerprint, k) — the
+  /// warm-restart seam catalog snapshots use to seed a fresh cache. The
+  /// caller vouches that `dist` is exactly what the engine would compute
+  /// for that key (snapshot loading rebuilds it from values saved off a
+  /// live cache, so the promise is structural). Charged and evicted like a
+  /// computed entry; no hit/miss counter moves; an existing entry wins.
+  /// Returns whether the distribution was retained.
+  bool Seed(uint64_t fingerprint, int k,
+            std::shared_ptr<const RankDistribution> dist);
+
+  /// \brief One retained entry: its (fingerprint, k) key and the shared
+  /// distribution handle.
+  struct RetainedEntry {
+    uint64_t fingerprint = 0;
+    int k = 0;
+    std::shared_ptr<const RankDistribution> dist;
+  };
+
+  /// \brief All retained entries in (fingerprint, k) order — deterministic
+  /// regardless of LRU history, which is what makes a snapshot saved from
+  /// a live cache byte-stable. Handles share ownership.
+  std::vector<RetainedEntry> RetainedEntries() const;
 
   /// \brief Counter snapshot; bytes <= byte_budget() in every snapshot.
   CacheStats stats() const;

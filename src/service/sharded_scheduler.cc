@@ -8,6 +8,7 @@
 
 #include "common/hash.h"
 #include "io/tree_text.h"
+#include "service/catalog_snapshot.h"
 
 namespace cpdb {
 
@@ -74,6 +75,13 @@ Result<CatalogEntry> ShardedScheduler::Insert(const std::string& name,
   // reuses both via InsertCanonical instead of recomputing them.
   std::string canonical = FormatTree(tree, /*indent=*/false);
   const uint64_t fingerprint = Fnv1a64(canonical);
+  return InsertCanonicalRouted(name, std::move(tree), std::move(canonical),
+                               fingerprint);
+}
+
+Result<CatalogEntry> ShardedScheduler::InsertCanonicalRouted(
+    const std::string& name, AndXorTree tree, std::string canonical,
+    uint64_t fingerprint) {
   std::lock_guard<std::mutex> lock(mu_);
   // A bound name stays on its shard: re-inserting identical content lands
   // there anyway (same fingerprint, same shard), and different content
@@ -91,6 +99,64 @@ Result<CatalogEntry> ShardedScheduler::Insert(const std::string& name,
           name, std::move(tree), std::move(canonical), fingerprint);
   if (entry.ok()) directory_.emplace(name, shard);
   return entry;
+}
+
+Status ShardedScheduler::InstallSnapshot(const CatalogSnapshot& snapshot) {
+  for (const SnapshotTree& record : snapshot.trees) {
+    // Same cheap-first name check as Insert (the decoder already rejects
+    // empty names; installing a hand-built snapshot gets the same error a
+    // load would).
+    if (record.name.empty()) {
+      return Status::InvalidArgument("catalog name must not be empty");
+    }
+    // Through the same routed InsertCanonical path kLoad takes — the
+    // directory learns every binding, so queries route; fingerprints and
+    // AlreadyExists/rebind semantics are the catalog's own.
+    Result<CatalogEntry> entry =
+        InsertCanonicalRouted(record.name, AndXorTree(*record.tree),
+                              record.canonical, record.fingerprint);
+    if (!entry.ok()) return entry.status();
+  }
+  for (const SnapshotDistribution& record : snapshot.distributions) {
+    // Each (fingerprint, k) cache key lives on exactly one shard — seed it
+    // there, the shard every query for that fingerprint reaches.
+    const int shard = ShardOfFingerprint(record.fingerprint, num_shards());
+    shards_[static_cast<size_t>(shard)].scheduler->SeedRankDistribution(
+        record.fingerprint, record.k, record.dist);
+  }
+  return Status::OK();
+}
+
+CatalogSnapshot ShardedScheduler::BuildSnapshot(
+    bool include_distributions) const {
+  CatalogSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    CatalogSnapshot part = BuildCatalogSnapshot(
+        *shard.catalog,
+        include_distributions ? shard.scheduler.get() : nullptr);
+    for (SnapshotTree& record : part.trees) {
+      snapshot.trees.push_back(std::move(record));
+    }
+    for (SnapshotDistribution& record : part.distributions) {
+      snapshot.distributions.push_back(std::move(record));
+    }
+  }
+  // Merge order must not leak the shard count: names are disjoint across
+  // shards and (fingerprint, k) keys live on exactly one shard, so sorting
+  // yields one canonical order whatever N was (the encoder would re-sort
+  // anyway; sorting here makes the in-memory snapshot deterministic too).
+  std::sort(snapshot.trees.begin(), snapshot.trees.end(),
+            [](const SnapshotTree& a, const SnapshotTree& b) {
+              return a.name < b.name;
+            });
+  std::sort(snapshot.distributions.begin(), snapshot.distributions.end(),
+            [](const SnapshotDistribution& a, const SnapshotDistribution& b) {
+              if (a.fingerprint != b.fingerprint) {
+                return a.fingerprint < b.fingerprint;
+              }
+              return a.k < b.k;
+            });
+  return snapshot;
 }
 
 Result<int> ShardedScheduler::ShardForName(const std::string& name) const {

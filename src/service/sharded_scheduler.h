@@ -56,6 +56,8 @@
 
 namespace cpdb {
 
+struct CatalogSnapshot;
+
 /// \brief Executes request batches partitioned across N private
 /// (Engine, TreeCatalog, QueryScheduler) shard contexts.
 ///
@@ -93,6 +95,25 @@ class ShardedScheduler {
   /// through kLoad files. Same semantics as TreeCatalog::Insert
   /// (idempotent for identical content, AlreadyExists on a rebind).
   Result<CatalogEntry> Insert(const std::string& name, AndXorTree tree);
+
+  /// \brief Installs a decoded catalog snapshot (service/catalog_snapshot.h)
+  /// across the shards: every tree routes to the shard owning its
+  /// fingerprint through the same directory-updating path kLoad takes — so
+  /// query routing, dedup, and AlreadyExists/rebind semantics are identical
+  /// to loading the same trees line-by-line — and every persisted rank
+  /// distribution seeds the cache of the shard that owns its fingerprint.
+  /// The per-shard placement is a pure function of content, so a snapshot
+  /// saved at --shards=M restores correctly at --shards=N for any M, N.
+  Status InstallSnapshot(const CatalogSnapshot& snapshot);
+
+  /// \brief Captures the merged serving state of all shards as one
+  /// snapshot: the union of the shard catalogs (disjoint by construction —
+  /// each name lives on exactly one shard) plus, when
+  /// `include_distributions` is set, the union of the shards' retained
+  /// rank-distribution caches. The result is independent of shard count:
+  /// entries are merged and sorted, so saving at --shards=M and at
+  /// --shards=N produces byte-identical files for the same logical state.
+  CatalogSnapshot BuildSnapshot(bool include_distributions) const;
 
   /// \brief Executes a batch with QueryScheduler::ExecuteBatch semantics:
   /// loads apply first in request order, per-request failures land in
@@ -135,6 +156,16 @@ class ShardedScheduler {
   };
 
   Result<ServiceResponse> ExecuteLoad(const ServiceRequest& request);
+
+  /// The shared back half of Insert and InstallSnapshot: routes by the
+  /// directory (bound names stay on their shard) or the fingerprint
+  /// partition, inserts via the shard catalog's InsertCanonical, and
+  /// records the binding — all under mu_, so racing loads of one unbound
+  /// name cannot route to different shards.
+  Result<CatalogEntry> InsertCanonicalRouted(const std::string& name,
+                                             AndXorTree tree,
+                                             std::string canonical,
+                                             uint64_t fingerprint);
 
   /// The shard bound to `name`, or NotFound with the same message
   /// TreeCatalog::Lookup reports — routing must not change error lines.

@@ -92,4 +92,14 @@ size_t TreeCatalog::size() const {
   return by_name_.size();
 }
 
+std::vector<CatalogEntry> TreeCatalog::SnapshotEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CatalogEntry> entries;
+  entries.reserve(by_name_.size());
+  for (const auto& [name, entry] : by_name_) {
+    entries.push_back(entry);  // by_name_ is ordered: name order for free
+  }
+  return entries;
+}
+
 }  // namespace cpdb

@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "model/and_xor_tree.h"
@@ -87,6 +88,13 @@ class TreeCatalog {
 
   /// \brief Number of registered names.
   size_t size() const;
+
+  /// \brief Every entry, in name order — deterministic regardless of load
+  /// order, which is what makes a catalog snapshot saved from live state
+  /// byte-stable (service/catalog_snapshot.h walks this). Entries share
+  /// tree ownership, so the returned view stays valid however the catalog
+  /// changes afterwards.
+  std::vector<CatalogEntry> SnapshotEntries() const;
 
  private:
   mutable std::mutex mu_;

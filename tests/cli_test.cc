@@ -610,6 +610,123 @@ TEST_F(CliTest, ServeReportsRequestErrorsInBand) {
   EXPECT_EQ(RunCliArgs({"serve", "/does/not/exist.req", "--stream"}).code, 1);
 }
 
+// serve --save-catalog / --catalog: a replica restored from a snapshot
+// answers the same requests with byte-identical stdout, on both load paths,
+// and the snapshot round-trips through a serve process byte-identically.
+TEST_F(CliTest, ServeSnapshotRoundTripServesIdenticalBytes) {
+  const std::string cold_path = ::testing::TempDir() + "/cli_snap_cold.txt";
+  const std::string warm_path = ::testing::TempDir() + "/cli_snap_warm.txt";
+  const std::string snap_path = ::testing::TempDir() + "/cli_snap.snap";
+  const std::string queries =
+      "op=topk tree=t k=2 metric=symdiff\n"
+      "op=topk tree=t k=2 metric=kendall\n"
+      "op=topk tree=b k=2 metric=intersection\n"
+      "op=world tree=b answer=median\n";
+  ASSERT_TRUE(WriteStringToFile(
+                  cold_path,
+                  "op=load name=t file=" + tree_path_ + "\n" +
+                      "op=load name=b file=" + bid_path_ + " format=bid\n" +
+                      queries)
+                  .ok());
+  ASSERT_TRUE(WriteStringToFile(warm_path, queries).ok());
+
+  // Cold replica: line-by-line loads, then save the live catalog.
+  CliResult cold = RunCliArgs(
+      {"serve", cold_path, "--threads=2", "--save-catalog=" + snap_path});
+  EXPECT_EQ(cold.code, 0) << cold.err;
+  // The cold transcript minus its two load-response lines is the expected
+  // warm transcript.
+  size_t queries_start = cold.out.find("\n");          // after load t
+  queries_start = cold.out.find("\n", queries_start + 1);  // after load b
+  const std::string want = cold.out.substr(queries_start + 1);
+
+  for (const char* extra : {"", "--mmap"}) {
+    std::vector<std::string> args = {"serve", warm_path, "--threads=2",
+                                     "--catalog=" + snap_path};
+    if (*extra != '\0') args.push_back(extra);
+    CliResult warm = RunCliArgs(args);
+    EXPECT_EQ(warm.code, 0) << warm.err;
+    EXPECT_EQ(warm.out, want) << "load path: " << (*extra ? extra : "read");
+  }
+
+  // The snapshot carried the distributions the cold run computed: a warm
+  // replica's first (and only) batch never misses the rank-dist cache.
+  const std::string stats_path = ::testing::TempDir() + "/cli_snap_stats.txt";
+  ASSERT_TRUE(WriteStringToFile(stats_path, queries + "op=stats\n").ok());
+  CliResult stats = RunCliArgs(
+      {"serve", stats_path, "--catalog=" + snap_path});
+  EXPECT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("\tmisses=0\t"), std::string::npos) << stats.out;
+
+  // Load-then-save through an otherwise idle serve process reproduces the
+  // snapshot byte-for-byte.
+  const std::string empty_path = ::testing::TempDir() + "/cli_snap_none.txt";
+  const std::string snap2_path = ::testing::TempDir() + "/cli_snap2.snap";
+  ASSERT_TRUE(WriteStringToFile(empty_path, "# no requests\n").ok());
+  CliResult resave = RunCliArgs({"serve", empty_path,
+                                 "--catalog=" + snap_path,
+                                 "--save-catalog=" + snap2_path});
+  EXPECT_EQ(resave.code, 0) << resave.err;
+  EXPECT_EQ(*ReadFileToString(snap2_path), *ReadFileToString(snap_path));
+}
+
+TEST_F(CliTest, ServeSnapshotFlagHygiene) {
+  const std::string requests_path =
+      ::testing::TempDir() + "/cli_snap_req.txt";
+  ASSERT_TRUE(WriteStringToFile(requests_path, "# empty\n").ok());
+
+  // Value hygiene at parse time: exit 2 plus usage, before any serving.
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{"serve", requests_path, "--catalog="},
+        std::vector<std::string>{"serve", requests_path, "--save-catalog="},
+        std::vector<std::string>{"serve", requests_path, "--mmap=on"},
+        std::vector<std::string>{"serve", requests_path, "--mmap"}}) {
+    CliResult r = RunCliArgs(args);
+    EXPECT_EQ(r.code, 2) << args.back();
+    EXPECT_NE(r.err.find("usage"), std::string::npos) << args.back();
+  }
+  // --mmap without --catalog is a contradiction, not a no-op.
+  CliResult orphan = RunCliArgs({"serve", requests_path, "--mmap"});
+  EXPECT_NE(orphan.err.find("--mmap requires --catalog"), std::string::npos);
+
+  // Serve-only scope, like every other serve flag.
+  for (const char* flag : {"--catalog=/tmp/x", "--save-catalog=/tmp/x",
+                           "--mmap"}) {
+    CliResult scoped = RunCliArgs({"topk", tree_path_, "--k=2", flag});
+    EXPECT_EQ(scoped.code, 2) << flag;
+    EXPECT_NE(scoped.err.find("applies only to serve"), std::string::npos)
+        << flag;
+  }
+
+  // A missing snapshot is a startup error — never a silent cold start
+  // masquerading as a warm one — on both load paths.
+  for (const char* extra : {"", "--mmap"}) {
+    std::vector<std::string> args = {"serve", requests_path,
+                                     "--catalog=/does/not/exist.snap"};
+    if (*extra != '\0') args.push_back(extra);
+    CliResult r = RunCliArgs(args);
+    EXPECT_EQ(r.code, 1) << (*extra ? extra : "read");
+    EXPECT_NE(r.err.find("catalog error: cannot load"), std::string::npos)
+        << r.err;
+  }
+
+  // A corrupt snapshot is rejected the same way.
+  const std::string bad_path = ::testing::TempDir() + "/cli_snap_bad.snap";
+  ASSERT_TRUE(WriteStringToFile(bad_path, "BASETREEgarbage").ok());
+  CliResult corrupt = RunCliArgs(
+      {"serve", requests_path, "--catalog=" + bad_path});
+  EXPECT_EQ(corrupt.code, 1);
+  EXPECT_NE(corrupt.err.find("catalog error: cannot load"),
+            std::string::npos);
+
+  // An unwritable --save-catalog target fails loudly after serving.
+  CliResult unwritable = RunCliArgs(
+      {"serve", requests_path, "--save-catalog=/does/not/exist/dir.snap"});
+  EXPECT_EQ(unwritable.code, 1);
+  EXPECT_NE(unwritable.err.find("catalog error: cannot save"),
+            std::string::npos);
+}
+
 TEST_F(CliTest, AggregateUsesLabels) {
   CliResult r = RunCliArgs({"aggregate", bid_path_, "--format=bid"});
   EXPECT_EQ(r.code, 0) << r.err;

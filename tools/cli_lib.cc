@@ -18,6 +18,7 @@
 #include "io/tree_text.h"
 #include "model/builders.h"
 #include "model/possible_worlds.h"
+#include "service/catalog_snapshot.h"
 #include "service/query_scheduler.h"
 #include "service/sharded_scheduler.h"
 #include "service/tree_catalog.h"
@@ -44,6 +45,9 @@ struct CliOptions {
   bool stream = false;     // serve: flush one response per request
   int shards = 0;          // serve: 0 = single scheduler, N >= 1 = sharded
   bool shards_set = false;  // --shards given (serve only)
+  std::string catalog_path;       // serve: snapshot to load at startup
+  std::string save_catalog_path;  // serve: snapshot to write at shutdown
+  bool mmap = false;  // serve: load --catalog via mmap instead of read
 };
 
 // The evaluation engine configured by --threads. Results are independent of
@@ -146,6 +150,25 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       }
       opts.shards = static_cast<int>(shards);
       opts.shards_set = true;
+    } else if (name == "catalog") {
+      // A pathless --catalog must not silently mean "cold start": the whole
+      // point of the flag is that a warm restart either happens or errors.
+      if (value.empty()) {
+        return Status::InvalidArgument("--catalog requires a file path");
+      }
+      opts.catalog_path = value;
+    } else if (name == "save-catalog") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--save-catalog requires a file path");
+      }
+      opts.save_catalog_path = value;
+    } else if (name == "mmap") {
+      // A boolean presence flag, same convention as --stream.
+      if (eq != std::string::npos) {
+        return Status::InvalidArgument("--mmap takes no value, got '" + value +
+                                       "'");
+      }
+      opts.mmap = true;
     } else if (name == "stream") {
       // A boolean presence flag: "--stream=off" would invite the
       // silently-misread failure mode the strict parses exist to prevent.
@@ -176,6 +199,18 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
   }
   if (opts.shards_set && opts.command != "serve") {
     return Status::InvalidArgument("--shards applies only to serve");
+  }
+  if (!opts.catalog_path.empty() && opts.command != "serve") {
+    return Status::InvalidArgument("--catalog applies only to serve");
+  }
+  if (!opts.save_catalog_path.empty() && opts.command != "serve") {
+    return Status::InvalidArgument("--save-catalog applies only to serve");
+  }
+  if (opts.mmap && opts.command != "serve") {
+    return Status::InvalidArgument("--mmap applies only to serve");
+  }
+  if (opts.mmap && opts.catalog_path.empty()) {
+    return Status::InvalidArgument("--mmap requires --catalog");
   }
   if (positional.size() > 1) opts.input_path = positional[1];
   if (positional.size() > 2) {
@@ -479,6 +514,30 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
                                                  scheduler_options);
   }
 
+  // Warm restart: install the snapshot before reading any request. A
+  // missing, unreadable, or corrupt snapshot is a *startup error* — the
+  // operator asked for a warm catalog, so silently serving cold (and
+  // answering every query with "no catalog tree named ...") would be the
+  // silently-misread failure mode the strict flag parses exist to prevent.
+  if (!opts.catalog_path.empty()) {
+    Result<CatalogSnapshot> snapshot =
+        opts.mmap ? MmapCatalogSnapshotFile(opts.catalog_path)
+                  : ReadCatalogSnapshotFile(opts.catalog_path);
+    Status installed =
+        snapshot.ok()
+            ? (sharded != nullptr
+                   ? sharded->InstallSnapshot(*snapshot)
+                   : InstallCatalogSnapshot(*snapshot, catalog.get(),
+                                            scheduler.get()))
+            : snapshot.status();
+    if (!installed.ok()) {
+      std::fprintf(err, "catalog error: cannot load '%s': %s\n",
+                   opts.catalog_path.c_str(), installed.ToString().c_str());
+      if (owned_in != nullptr) std::fclose(owned_in);
+      return 1;
+    }
+  }
+
   int failed = 0;
   size_t line_number = 0;
   if (opts.stream) {
@@ -571,6 +630,22 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     }
   }
   if (owned_in != nullptr) std::fclose(owned_in);
+
+  // Persist the live catalog (and the retained rank distributions, so the
+  // next process's first batch hits warm) after all requests are answered.
+  // A failed save is a failed serve: the operator asked for durability.
+  if (!opts.save_catalog_path.empty()) {
+    CatalogSnapshot snapshot =
+        sharded != nullptr
+            ? sharded->BuildSnapshot(/*include_distributions=*/true)
+            : BuildCatalogSnapshot(*catalog, scheduler.get());
+    Status saved = WriteCatalogSnapshotFile(opts.save_catalog_path, snapshot);
+    if (!saved.ok()) {
+      std::fprintf(err, "catalog error: cannot save '%s': %s\n",
+                   opts.save_catalog_path.c_str(), saved.ToString().c_str());
+      return 1;
+    }
+  }
   return failed == 0 ? 0 : 1;
 }
 
@@ -676,7 +751,20 @@ std::string CliUsage() {
       "                      --cache-budget applies to each shard's\n"
       "                      caches, so retained bytes scale with N;\n"
       "                      answers are bitwise identical for any N;\n"
-      "                      op=stats adds per-shard breakdown fields)\n";
+      "                      op=stats adds per-shard breakdown fields)\n"
+      "  --catalog=FILE      serve only: load a catalog snapshot (written\n"
+      "                      by --save-catalog) before reading requests —\n"
+      "                      the warm-restart path. A missing or corrupt\n"
+      "                      snapshot is a startup error, never a silent\n"
+      "                      cold start. Answers are bitwise identical to\n"
+      "                      loading the same trees via op=load lines\n"
+      "  --save-catalog=FILE serve only: after answering all requests,\n"
+      "                      write the catalog (and the retained rank\n"
+      "                      distributions, so the next process's first\n"
+      "                      batch hits warm) as a checksummed snapshot\n"
+      "  --mmap              serve only, requires --catalog: map the\n"
+      "                      snapshot read-only instead of streaming it\n"
+      "                      into memory; same validation, same answers\n";
 }
 
 int RunCli(const std::vector<std::string>& args, std::FILE* out,
