@@ -9,10 +9,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.h"
+#include "model/flat_tree.h"
 #include "model/generating_function.h"
 #include "poly/poly1.h"
+#include "poly/poly_arena.h"
 #include "workload/generators.h"
 
 namespace cpdb {
@@ -22,6 +25,16 @@ Poly1 SizeGf(const AndXorTree& tree, int max_degree) {
   auto leaf_poly = [&](NodeId) { return Poly1::Monomial(max_degree, 1, 1.0); };
   auto make_const = [&](double c) { return Poly1::Constant(max_degree, c); };
   return EvalGeneratingFunction<Poly1>(tree, leaf_poly, make_const);
+}
+
+// The flat-path equivalent of SizeGf: every leaf tagged x, dy = 0. The
+// FlatTree is compiled once outside the timed loop (matching how the engine
+// amortizes compilation across leaves) and the arena is reused so the
+// steady state allocates nothing.
+void SizeGfFlat(const FlatTree& flat, int max_degree, double* out,
+                PolyArena* arena) {
+  flat.EvalGeneratingFunction(
+      max_degree, 0, [](int, double* row) { row[1] = 1.0; }, out, arena);
 }
 
 void BM_SizeGfTupleIndependentFull(benchmark::State& state) {
@@ -70,6 +83,68 @@ void BM_SizeGfBid(benchmark::State& state) {
 }
 BENCHMARK(BM_SizeGfBid)->RangeMultiplier(2)->Range(64, 2048)->Complexity();
 
+// Flat-vs-pointer ablation (tentpole measurement): the same truncated size
+// PGF through the compiled FlatTree + arena + vectorized kernels. Compare
+// against BM_SizeGfTupleIndependentTruncated / BM_SizeGfBid at equal n.
+void BM_SizeGfFlatTupleIndependentTruncated(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const int k = 32;
+  Rng rng(42);
+  auto tree = RandomTupleIndependent(n, &rng);
+  const FlatTree flat = FlatTree::Compile(*tree);
+  std::vector<double> out(static_cast<size_t>(k) + 1);
+  PolyArena arena;
+  for (auto _ : state) {
+    SizeGfFlat(flat, k, out.data(), &arena);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SizeGfFlatTupleIndependentTruncated)
+    ->RangeMultiplier(2)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_SizeGfFlatBid(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_alternatives = 3;
+  auto tree = RandomBid(opts, &rng);
+  const FlatTree flat = FlatTree::Compile(*tree);
+  std::vector<double> out(33);
+  PolyArena arena;
+  for (auto _ : state) {
+    SizeGfFlat(flat, 32, out.data(), &arena);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SizeGfFlatBid)->RangeMultiplier(2)->Range(64, 2048)->Complexity();
+
+// Compile cost in isolation, so the amortized numbers above can be read
+// honestly: one Compile is one O(N) pass plus slot bookkeeping.
+void BM_FlatTreeCompile(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_alternatives = 3;
+  auto tree = RandomBid(opts, &rng);
+  for (auto _ : state) {
+    FlatTree flat = FlatTree::Compile(*tree);
+    benchmark::DoNotOptimize(flat);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FlatTreeCompile)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
 void BM_SizeGfDeepAndXor(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Rng rng(9);
@@ -85,6 +160,26 @@ void BM_SizeGfDeepAndXor(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SizeGfDeepAndXor)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_SizeGfFlatDeepAndXor(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_depth = 5;
+  opts.max_alternatives = 2;
+  auto tree = RandomAndXorTree(opts, &rng);
+  state.counters["leaves"] = tree->NumLeaves();
+  const FlatTree flat = FlatTree::Compile(*tree);
+  std::vector<double> out(33);
+  PolyArena arena;
+  for (auto _ : state) {
+    SizeGfFlat(flat, 32, out.data(), &arena);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SizeGfFlatDeepAndXor)->RangeMultiplier(2)->Range(16, 256);
 
 void PrintMassSanityTable() {
   std::printf("\n## E1: generating-function mass sanity"

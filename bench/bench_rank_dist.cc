@@ -33,6 +33,29 @@ BENCHMARK(BM_RankDistBid)
     ->ArgsProduct({{128}, {5, 10, 20, 40}})
     ->Complexity(benchmark::oNSquared);
 
+// Pointer-tree reference for BM_RankDistBid (identical inputs, identical
+// bits out): the per-leaf EvalGeneratingFunction walk that allocates one
+// Poly2 per node visit. The gap between the two at large n is the
+// flatten+arena+vectorize win persisted in BENCH_fold_flatten.json.
+void BM_RankDistBidPointer(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  Rng rng(17);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_alternatives = 2;
+  auto tree = RandomBid(opts, &rng);
+  for (auto _ : state) {
+    RankDistribution dist = ComputeRankDistributionPointer(*tree, k);
+    benchmark::DoNotOptimize(dist);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RankDistBidPointer)
+    ->ArgsProduct({{32, 64, 128, 256, 512}, {10}})
+    ->ArgsProduct({{128}, {5, 10, 20, 40}})
+    ->Complexity(benchmark::oNSquared);
+
 void BM_RankDistDeepAndXor(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   int k = static_cast<int>(state.range(1));
@@ -87,6 +110,35 @@ void BM_PairwiseOrderProbabilities(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_PairwiseOrderProbabilities)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+
+// Pointer-tree reference for the pairwise matrix: what the code did before
+// the satellite fix — re-walk the pointer tree for every (u, v) cell
+// instead of compiling the FlatTree once for all n^2 cells.
+void BM_PairwiseOrderProbabilitiesPointer(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(23);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  opts.max_alternatives = 2;
+  auto tree = RandomBid(opts, &rng);
+  std::vector<KeyId> keys = tree->Keys();
+  for (auto _ : state) {
+    std::vector<std::vector<double>> p(
+        keys.size(), std::vector<double>(keys.size(), 0.0));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (size_t j = 0; j < keys.size(); ++j) {
+        if (i == j) continue;
+        p[i][j] = PrRanksBeforePointer(*tree, keys[i], keys[j]);
+      }
+    }
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PairwiseOrderProbabilitiesPointer)
     ->RangeMultiplier(2)
     ->Range(8, 64)
     ->Complexity();

@@ -27,14 +27,23 @@ double RankDistribution::PrRankLe(KeyId key, int i) const {
 int64_t RankDistribution::ApproxBytes() const {
   // Per-key: one KeyId, one rb-tree node (pair + ~3 pointers + color,
   // estimated flat), and two rows of k+1 doubles with their vector headers.
+  // On top of that, the fixed-size members' out-of-line storage: the keys_
+  // element array is heap-allocated beyond the sizeof(RankDistribution)
+  // header, and pr_eq_/pr_le_ each heap-allocate an outer array of n inner
+  // vector headers — omitting those undercharged every cache entry by
+  // ~56 bytes per key, which a byte-budgeted LRU multiplies across its
+  // whole admission history.
   constexpr int64_t kMapNodeBytes = 64;
-  const int64_t per_row = static_cast<int64_t>(sizeof(std::vector<double>)) +
-                          static_cast<int64_t>(k_ + 1) *
-                              static_cast<int64_t>(sizeof(double));
+  constexpr int64_t kVecHeader =
+      static_cast<int64_t>(sizeof(std::vector<double>));
+  const int64_t per_row =
+      kVecHeader +
+      static_cast<int64_t>(k_ + 1) * static_cast<int64_t>(sizeof(double));
   const int64_t n = static_cast<int64_t>(keys_.size());
   return static_cast<int64_t>(sizeof(RankDistribution)) +
-         n * static_cast<int64_t>(sizeof(KeyId)) + n * kMapNodeBytes +
-         2 * n * per_row;
+         n * static_cast<int64_t>(sizeof(KeyId)) +  // keys_ element array
+         2 * n * kVecHeader +  // pr_eq_/pr_le_ outer arrays of inner headers
+         n * kMapNodeBytes + 2 * n * per_row;
 }
 
 void RankDistributionBuilder::EnsureKey(KeyId key) {
@@ -98,6 +107,37 @@ std::vector<double> LeafRankContribution(const AndXorTree& tree, NodeId target,
   return contribution;
 }
 
+std::vector<double> LeafRankContribution(const FlatTree& flat, int target,
+                                         int k) {
+  // Same generating function as the pointer reference above, evaluated over
+  // the flat instruction stream. Rows have shape (k+1) × 2, row-major:
+  // Index(i, j) = i * 2 + j. Leaf classification reads the packed leaf
+  // table; the monomial guards mirror Poly2::Monomial's truncation (a
+  // monomial beyond the bounds is the zero polynomial).
+  const std::vector<FlatLeaf>& leaves = flat.leaves();
+  const FlatLeaf& alt = leaves[static_cast<size_t>(target)];
+  const auto leaf_init = [&](int i, double* row) {
+    if (i == target) {
+      row[1] = 1.0;  // y = x^0 y^1
+      return;
+    }
+    const FlatLeaf& other = leaves[static_cast<size_t>(i)];
+    if (other.key != alt.key && other.score > alt.score) {
+      if (k >= 1) row[2] = 1.0;  // x = x^1 y^0, counts toward the rank
+      return;
+    }
+    row[0] = 1.0;  // constant 1
+  };
+  std::vector<double> f(static_cast<size_t>(k + 1) * 2);
+  flat.EvalGeneratingFunction(k, 1, leaf_init, f.data(), &FlatFoldScratch());
+  std::vector<double> contribution(static_cast<size_t>(k) + 1, 0.0);
+  for (int i = 1; i <= k; ++i) {
+    contribution[static_cast<size_t>(i)] =
+        f[static_cast<size_t>(i - 1) * 2 + 1];  // Coeff(i - 1, 1)
+  }
+  return contribution;
+}
+
 RankDistribution ComputeRankDistribution(const AndXorTree& tree, int k) {
   RankDistribution dist;
   dist.k_ = k;
@@ -108,6 +148,38 @@ RankDistribution ComputeRankDistribution(const AndXorTree& tree, int k) {
   dist.pr_eq_.assign(dist.keys_.size(),
                      std::vector<double>(static_cast<size_t>(k) + 1, 0.0));
 
+  const FlatTree flat = FlatTree::Compile(tree);
+  for (int target = 0; target < flat.num_leaves(); ++target) {
+    std::vector<double> contribution = LeafRankContribution(flat, target, k);
+    int key_idx =
+        dist.key_index_[flat.leaves()[static_cast<size_t>(target)].key];
+    for (int i = 1; i <= k; ++i) {
+      dist.pr_eq_[static_cast<size_t>(key_idx)][static_cast<size_t>(i)] +=
+          contribution[static_cast<size_t>(i)];
+    }
+  }
+
+  dist.pr_le_ = dist.pr_eq_;
+  for (auto& row : dist.pr_le_) {
+    for (size_t i = 2; i < row.size(); ++i) row[i] += row[i - 1];
+  }
+  return dist;
+}
+
+RankDistribution ComputeRankDistributionPointer(const AndXorTree& tree,
+                                                int k) {
+  RankDistribution dist;
+  dist.k_ = k;
+  dist.keys_ = tree.Keys();
+  for (size_t i = 0; i < dist.keys_.size(); ++i) {
+    dist.key_index_[dist.keys_[i]] = static_cast<int>(i);
+  }
+  dist.pr_eq_.assign(dist.keys_.size(),
+                     std::vector<double>(static_cast<size_t>(k) + 1, 0.0));
+
+  // FlatTree leaf order is LeafIds() order, so the two paths accumulate
+  // per-leaf contributions into each key's row in the same sequence —
+  // summation order, and therefore every output bit, matches.
   for (NodeId target : tree.LeafIds()) {
     std::vector<double> contribution = LeafRankContribution(tree, target, k);
     int key_idx = dist.key_index_[tree.node(target).leaf.key];
@@ -124,7 +196,7 @@ RankDistribution ComputeRankDistribution(const AndXorTree& tree, int k) {
   return dist;
 }
 
-double PrRanksBefore(const AndXorTree& tree, KeyId u, KeyId v) {
+double PrRanksBeforePointer(const AndXorTree& tree, KeyId u, KeyId v) {
   // Sum over alternatives a of u of Pr(a present and no alternative of v
   // with a higher score present). Variables: y tags a (need y^1), z tags
   // higher-scoring alternatives of v (need z^0); everything else is 1.
@@ -147,14 +219,51 @@ double PrRanksBefore(const AndXorTree& tree, KeyId u, KeyId v) {
   return total;
 }
 
+double PrRanksBefore(const FlatTree& flat, KeyId u, KeyId v) {
+  // Flat form of the fold above: rows have shape 2 × 2 (max_dx = max_dy =
+  // 1), row-major, so y = x^1 y^0 sits at index 2 and z = x^0 y^1 at
+  // index 1; the answer Coeff(1, 0) is read from index 2. The alternatives
+  // of u are found by one linear scan of the packed leaf table, and every
+  // per-alternative fold reuses this thread's arena.
+  double total = 0.0;
+  const std::vector<FlatLeaf>& leaves = flat.leaves();
+  double f[4];
+  for (int target = 0; target < flat.num_leaves(); ++target) {
+    const FlatLeaf& alt = leaves[static_cast<size_t>(target)];
+    if (alt.key != u) continue;
+    const auto leaf_init = [&](int i, double* row) {
+      if (i == target) {
+        row[2] = 1.0;  // y = x^1 y^0
+        return;
+      }
+      const FlatLeaf& other = leaves[static_cast<size_t>(i)];
+      if (other.key == v && other.score > alt.score) {
+        row[1] = 1.0;  // z = x^0 y^1
+        return;
+      }
+      row[0] = 1.0;  // constant 1
+    };
+    flat.EvalGeneratingFunction(1, 1, leaf_init, f, &FlatFoldScratch());
+    total += f[2];  // Coeff(1, 0)
+  }
+  return total;
+}
+
+double PrRanksBefore(const AndXorTree& tree, KeyId u, KeyId v) {
+  return PrRanksBefore(FlatTree::Compile(tree), u, v);
+}
+
 std::vector<std::vector<double>> PairwiseOrderProbabilities(
     const AndXorTree& tree, const std::vector<KeyId>& keys) {
+  // One compile, n^2 cells: the per-cell work drops to the folds
+  // themselves, instead of re-walking the pointer tree per (u, v) pair.
+  const FlatTree flat = FlatTree::Compile(tree);
   std::vector<std::vector<double>> p(
       keys.size(), std::vector<double>(keys.size(), 0.0));
   for (size_t i = 0; i < keys.size(); ++i) {
     for (size_t j = 0; j < keys.size(); ++j) {
       if (i == j) continue;
-      p[i][j] = PrRanksBefore(tree, keys[i], keys[j]);
+      p[i][j] = PrRanksBefore(flat, keys[i], keys[j]);
     }
   }
   return p;

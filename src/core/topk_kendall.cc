@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/topk_footrule.h"
+#include "model/flat_tree.h"
 #include "model/generating_function.h"
 #include "poly/poly2.h"
 
@@ -44,14 +45,51 @@ double PrInTopKAndBefore(const AndXorTree& tree, KeyId u, KeyId t, int k) {
   return total;
 }
 
+double PrInTopKAndBefore(const FlatTree& flat, KeyId u, KeyId t, int k) {
+  // Flat form of the fold above: rows have shape (k+1) × 2, row-major, so
+  // y = x^0 y^1 sits at index 1, x = x^1 y^0 at index 2 (guarded like
+  // Poly2::Monomial's truncation), and the forbidden leaves keep their
+  // zeroed row. Bitwise identical to the pointer reference.
+  double total = 0.0;
+  const std::vector<FlatLeaf>& leaves = flat.leaves();
+  std::vector<double> f(static_cast<size_t>(k + 1) * 2);
+  for (int target = 0; target < flat.num_leaves(); ++target) {
+    const FlatLeaf& alt = leaves[static_cast<size_t>(target)];
+    if (alt.key != u) continue;
+    const auto leaf_init = [&](int i, double* row) {
+      if (i == target) {
+        row[1] = 1.0;  // y
+        return;
+      }
+      const FlatLeaf& other = leaves[static_cast<size_t>(i)];
+      if (other.score > alt.score) {
+        if (other.key == t) return;  // forbidden: the zero polynomial
+        if (other.key != u) {
+          if (k >= 1) row[2] = 1.0;  // x, counts toward the rank
+          return;
+        }
+      }
+      row[0] = 1.0;
+    };
+    flat.EvalGeneratingFunction(k, 1, leaf_init, f.data(), &FlatFoldScratch());
+    for (int i = 0; i <= k - 1; ++i) {
+      total += f[static_cast<size_t>(i) * 2 + 1];  // Coeff(i, 1)
+    }
+  }
+  return total;
+}
+
 KendallEvaluator::KendallEvaluator(const AndXorTree& tree, int k)
     : k_(k), keys_(tree.Keys()) {
   BuildKeyIndex();
   q_.assign(keys_.size(), std::vector<double>(keys_.size(), 0.0));
+  // One compile shared by all n^2 q cells (the engine fans the same cells
+  // across its pool; this is the sequential form).
+  const FlatTree flat = FlatTree::Compile(tree);
   for (size_t iu = 0; iu < keys_.size(); ++iu) {
     for (size_t it = 0; it < keys_.size(); ++it) {
       if (iu == it) continue;
-      q_[iu][it] = PrInTopKAndBefore(tree, keys_[iu], keys_[it], k_);
+      q_[iu][it] = PrInTopKAndBefore(flat, keys_[iu], keys_[it], k_);
     }
   }
 }

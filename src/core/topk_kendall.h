@@ -32,8 +32,14 @@
 namespace cpdb {
 
 /// \brief q(u, t) = Pr(r(u) <= k and r(u) < r(t)): u makes the Top-k and
-/// ranks ahead of t (t absent or ranked below both count).
+/// ranks ahead of t (t absent or ranked below both count). Pointer-tree
+/// reference implementation (differential baseline for the flat overload).
 double PrInTopKAndBefore(const AndXorTree& tree, KeyId u, KeyId t, int k);
+
+/// \brief Flat-path q(u, t) over an already compiled tree — the form the
+/// O(n^2) q-matrix loops use so the compile cost is paid once per tree.
+/// Bitwise identical to the pointer reference.
+double PrInTopKAndBefore(const FlatTree& flat, KeyId u, KeyId t, int k);
 
 /// \brief Precomputes the pairwise q statistics for a key set and evaluates
 /// E[d_K(answer, topk(pw))] for arbitrary candidate answers.

@@ -13,6 +13,7 @@
 #include "core/topk_intersection.h"
 #include "core/topk_kendall.h"
 #include "core/topk_metrics.h"
+#include "model/flat_tree.h"
 #include "model/possible_worlds.h"
 
 namespace cpdb {
@@ -82,21 +83,28 @@ RankDistribution Engine::ComputeRankDistribution(const AndXorTree& tree,
     // Fall through to the general path on any fast-path failure.
   }
 
-  const std::vector<NodeId>& leaves = tree.LeafIds();
-  std::vector<std::vector<double>> contributions(leaves.size());
-  pool_.ParallelFor(static_cast<int64_t>(leaves.size()), [&](int64_t i) {
+  // Compile the flat form once; the immutable FlatTree is shared read-only
+  // across all parallel leaf tasks, each of which folds over its own
+  // thread-local arena scratch.
+  const FlatTree flat = FlatTree::Compile(tree);
+  const int num_leaves = flat.num_leaves();
+  std::vector<std::vector<double>> contributions(
+      static_cast<size_t>(num_leaves));
+  pool_.ParallelFor(num_leaves, [&](int64_t i) {
     contributions[static_cast<size_t>(i)] =
-        LeafRankContribution(tree, leaves[static_cast<size_t>(i)], k);
+        LeafRankContribution(flat, static_cast<int>(i), k);
   });
 
-  // Merge in DFS leaf order — the exact accumulation order of the
-  // sequential ComputeRankDistribution, hence bitwise-identical sums.
+  // Merge in DFS leaf order (== flat leaf-table order) — the exact
+  // accumulation order of the sequential ComputeRankDistribution, hence
+  // bitwise-identical sums.
   RankDistributionBuilder builder(k);
   for (KeyId key : tree.Keys()) builder.EnsureKey(key);
-  for (size_t l = 0; l < leaves.size(); ++l) {
-    KeyId key = tree.node(leaves[l]).leaf.key;
+  for (int l = 0; l < num_leaves; ++l) {
+    KeyId key = flat.leaves()[static_cast<size_t>(l)].key;
     for (int i = 1; i <= k; ++i) {
-      builder.Add(key, i, contributions[l][static_cast<size_t>(i)]);
+      builder.Add(key, i, contributions[static_cast<size_t>(l)]
+                                       [static_cast<size_t>(i)]);
     }
   }
   return std::move(builder).Build();
@@ -130,19 +138,25 @@ std::vector<std::vector<double>> Engine::PerKeyColumns(
 }
 
 std::vector<double> Engine::LeafMarginals(const AndXorTree& tree) const {
-  const std::vector<NodeId>& leaves = tree.LeafIds();
+  // FlatTree::Compile carries the root-to-leaf XOR edge product down its
+  // single O(N) walk, multiplying in the exact order tree.LeafMarginal
+  // does, so scattering the precomputed leaf-table marginals is bitwise
+  // identical to the historical per-leaf pointer walks — and replaces L
+  // O(depth) walks with one pass.
+  const FlatTree flat = FlatTree::Compile(tree);
   std::vector<double> marginal(static_cast<size_t>(tree.NumNodes()), 0.0);
-  pool_.ParallelFor(static_cast<int64_t>(leaves.size()), [&](int64_t i) {
-    NodeId leaf = leaves[static_cast<size_t>(i)];
-    marginal[static_cast<size_t>(leaf)] = tree.LeafMarginal(leaf);
-  });
+  for (const FlatLeaf& leaf : flat.leaves()) {
+    marginal[static_cast<size_t>(leaf.node)] = leaf.marginal;
+  }
   return marginal;
 }
 
 std::vector<std::vector<double>> Engine::PairwiseOrderProbabilities(
     const AndXorTree& tree, const std::vector<KeyId>& keys) const {
+  // One compiled tree shared read-only by all n^2 parallel cells.
+  const FlatTree flat = FlatTree::Compile(tree);
   return PairwiseMatrix(keys.size(), [&](size_t i, size_t j) {
-    return PrRanksBefore(tree, keys[i], keys[j]);
+    return PrRanksBefore(flat, keys[i], keys[j]);
   });
 }
 
@@ -264,15 +278,16 @@ Result<TopKResult> Engine::ConsensusTopKWithDist(const AndXorTree& tree,
       return MeanTopKFootruleFromColumns(
           dist, PerKeyColumns(dist, FootruleCostColumn));
     case TopKMetric::kKendall: {
-      // The evaluator's O(n^2) q-statistics dominate the query; fan one
-      // generating-function fold per ordered pair across the pool (each
-      // writes its own cell, so the matrix is schedule-deterministic), then
-      // build the footrule answer from parallel cost columns and re-score
-      // it under d_K.
+      // The evaluator's O(n^2) q-statistics dominate the query; compile the
+      // flat tree once and fan one flat fold per ordered pair across the
+      // pool (each writes its own cell, so the matrix is
+      // schedule-deterministic), then build the footrule answer from
+      // parallel cost columns and re-score it under d_K.
       std::vector<KeyId> keys = tree.Keys();
+      const FlatTree flat = FlatTree::Compile(tree);
       std::vector<std::vector<double>> q =
           PairwiseMatrix(keys.size(), [&](size_t iu, size_t it) {
-            return PrInTopKAndBefore(tree, keys[iu], keys[it], k);
+            return PrInTopKAndBefore(flat, keys[iu], keys[it], k);
           });
       CPDB_ASSIGN_OR_RETURN(KendallEvaluator evaluator,
                             KendallEvaluator::Create(tree, k, std::move(q)));

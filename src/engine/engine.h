@@ -119,10 +119,12 @@ class Engine {
 
   // -- Rank distributions (Section 5 sufficient statistics) ---------------
 
-  /// \brief Parallel ComputeRankDistribution: per-leaf generating functions
-  /// are evaluated across the pool and merged in DFS leaf order. Bitwise
-  /// identical for any thread count; on the general path this also means
-  /// bitwise identity with the sequential core function. When the fast BID
+  /// \brief Parallel ComputeRankDistribution: the tree is compiled to a
+  /// FlatTree once, shared read-only across the pool; per-leaf flat folds
+  /// (each over its thread's arena scratch) are evaluated in parallel and
+  /// merged in DFS leaf order. Bitwise identical for any thread count; on
+  /// the general path this also means bitwise identity with the sequential
+  /// core function and with the retained pointer-tree fold. When the fast BID
   /// path engages (options().use_fast_bid_path on a block-independent
   /// tree), the result is that of ComputeRankDistributionFast — sequential
   /// and deterministic, but a numerically different (equally correct)
@@ -130,7 +132,9 @@ class Engine {
   RankDistribution ComputeRankDistribution(const AndXorTree& tree,
                                            int k) const;
 
-  /// \brief Parallel PairwiseOrderProbabilities: one task per ordered pair.
+  /// \brief Parallel PairwiseOrderProbabilities: one task per ordered pair,
+  /// all sharing a single compiled FlatTree (the compile is paid once per
+  /// call, not once per cell).
   /// result[i][j] = Pr(r(keys[i]) < r(keys[j])); diagonal is 0.
   std::vector<std::vector<double>> PairwiseOrderProbabilities(
       const AndXorTree& tree, const std::vector<KeyId>& keys) const;
@@ -221,11 +225,13 @@ class Engine {
   double ExpectedSymDiffDistance(const AndXorTree& tree,
                                  const std::vector<NodeId>& world) const;
 
-  /// \brief Leaf marginals (indexed by NodeId) with one fold per leaf run
-  /// across the pool; bitwise identical to tree.LeafMarginals(). Callers
-  /// issuing several set-consensus operations against one tree (e.g. an
-  /// answer plus its expected distance) compute this once and use the
-  /// core *FromMarginals functions, paying the fold a single time.
+  /// \brief Leaf marginals (indexed by NodeId), read off one O(N)
+  /// FlatTree::Compile pass (which carries the root-to-leaf XOR edge
+  /// product in the same multiplication order as the per-leaf pointer
+  /// walks); bitwise identical to tree.LeafMarginals(). Callers issuing
+  /// several set-consensus operations against one tree (e.g. an answer
+  /// plus its expected distance) compute this once and use the core
+  /// *FromMarginals functions, paying the compile a single time.
   std::vector<double> LeafMarginals(const AndXorTree& tree) const;
 
   /// \brief A set-consensus world answer: the chosen world's leaves and its

@@ -1,0 +1,211 @@
+#include "model/flat_tree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace cpdb {
+
+namespace {
+
+// Compile-time slot allocator: LIFO free list over a dense id space. LIFO
+// keeps recycled rows hot in cache (the row a parent just consumed is the
+// first one handed back out).
+class SlotAllocator {
+ public:
+  int32_t Alloc() {
+    if (!free_.empty()) {
+      int32_t s = free_.back();
+      free_.pop_back();
+      return s;
+    }
+    return next_++;
+  }
+  void Release(int32_t slot) { free_.push_back(slot); }
+  int32_t high_water() const { return next_; }
+
+ private:
+  std::vector<int32_t> free_;
+  int32_t next_ = 0;
+};
+
+const char* KindName(FlatOpKind kind) {
+  switch (kind) {
+    case FlatOpKind::kLeaf:
+      return "leaf";
+    case FlatOpKind::kXorInit:
+      return "xor_init";
+    case FlatOpKind::kXorAccum:
+      return "xor_accum";
+    case FlatOpKind::kMul:
+      return "mul";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FlatTree FlatTree::Compile(const AndXorTree& tree) {
+  FlatTree flat;
+  if (tree.root() == kInvalidNode) return flat;
+
+  // Iterative DFS with an interleaved consume-and-free schedule: a parent
+  // consumes each child's result immediately after that child completes
+  // (instead of waiting for all siblings), so at most one child result per
+  // ancestor level is live at a time and the slot high-water mark is
+  // O(depth) even for wide AND/XOR fan-outs. XOR output rows are allocated
+  // lazily at the first child's completion for the same reason — a chain of
+  // XOR nodes must not pre-allocate an accumulator per level on the way
+  // down.
+  struct Frame {
+    NodeId id;
+    size_t next_child;
+    int32_t acc_slot;  // AND: running product; XOR: accumulator; -1 if none
+    double path_prob;  // product of XOR edge probs root -> this node
+  };
+
+  SlotAllocator slots;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{tree.root(), 0, -1, 1.0});
+  int32_t last_slot = -1;  // result slot of the most recently completed node
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const TreeNode& n = tree.node(f.id);
+
+    if (n.kind == NodeKind::kLeaf) {
+      int32_t s = slots.Alloc();
+      flat.ops_.push_back(FlatOp{FlatOpKind::kLeaf, s, -1, -1, f.id, 0.0});
+      flat.leaves_.push_back(FlatLeaf{
+          n.leaf.key, n.leaf.score, n.leaf.label, f.id,
+          static_cast<int32_t>(flat.ops_.size()) - 1, f.path_prob});
+      last_slot = s;
+      stack.pop_back();
+      continue;
+    }
+
+    if (f.next_child > 0) {
+      // The child evaluated on the previous iteration finished in last_slot;
+      // fold it into this node and recycle its row.
+      if (n.kind == NodeKind::kXor) {
+        if (f.acc_slot < 0) {
+          // First child done: materialize the accumulator seeded with the
+          // leftover mass 1 - sum(edge_probs). Same subtraction order as the
+          // pointer fold.
+          double leftover = 1.0;
+          for (double p : n.edge_probs) leftover -= p;
+          f.acc_slot = slots.Alloc();
+          flat.ops_.push_back(FlatOp{FlatOpKind::kXorInit, f.acc_slot, -1, -1,
+                                     f.id, leftover});
+        }
+        flat.ops_.push_back(FlatOp{FlatOpKind::kXorAccum, f.acc_slot, -1,
+                                   last_slot, f.id,
+                                   n.edge_probs[f.next_child - 1]});
+        slots.Release(last_slot);
+      } else if (f.next_child == 1) {
+        // AND's first child IS the running product; no op emitted.
+        f.acc_slot = last_slot;
+      } else {
+        int32_t out = slots.Alloc();
+        flat.ops_.push_back(FlatOp{FlatOpKind::kMul, out, f.acc_slot,
+                                   last_slot, f.id, 0.0});
+        slots.Release(f.acc_slot);
+        slots.Release(last_slot);
+        f.acc_slot = out;
+      }
+    }
+
+    if (f.next_child < n.children.size()) {
+      const NodeId child = n.children[f.next_child];
+      // Leaf marginals multiply only at XOR edges; the pointer walk's
+      // AND-edge factor is exactly 1.0 and p * 1.0 == p bitwise, so
+      // skipping it preserves LeafMarginal()'s bits.
+      const double child_prob = n.kind == NodeKind::kXor
+                                    ? f.path_prob * n.edge_probs[f.next_child]
+                                    : f.path_prob;
+      ++f.next_child;
+      // Note: push_back may invalidate `f`; it is not used past this point.
+      stack.push_back(Frame{child, 0, -1, child_prob});
+      continue;
+    }
+
+    last_slot = f.acc_slot;
+    stack.pop_back();
+  }
+
+  flat.root_slot_ = last_slot;
+  flat.num_slots_ = slots.high_water();
+  return flat;
+}
+
+void FlatTree::EvalGeneratingFunction(
+    int max_dx, int max_dy,
+    const std::function<void(int leaf_index, double* row)>& leaf_init,
+    double* out, PolyArena* arena) const {
+  const int row_len = (max_dx + 1) * (max_dy + 1);
+  arena->Reserve(num_slots_, row_len);
+
+  int leaf_index = 0;
+  for (const FlatOp& op : ops_) {
+    double* o = arena->Row(op.out_slot);
+    switch (op.kind) {
+      case FlatOpKind::kLeaf:
+        std::fill(o, o + row_len, 0.0);
+        leaf_init(leaf_index++, o);
+        break;
+      case FlatOpKind::kXorInit:
+        std::fill(o, o + row_len, 0.0);
+        o[0] = op.weight;
+        break;
+      case FlatOpKind::kXorAccum:
+        AddScaledRow(o, arena->Row(op.arg_slot), op.weight, row_len);
+        break;
+      case FlatOpKind::kMul:
+        std::fill(o, o + row_len, 0.0);
+        ConvolveRowsTruncated(arena->Row(op.lhs_slot), arena->Row(op.arg_slot),
+                              o, max_dx, max_dy);
+        break;
+    }
+  }
+
+  if (root_slot_ >= 0) {
+    const double* root = arena->Row(root_slot_);
+    std::copy(root, root + row_len, out);
+  } else {
+    std::fill(out, out + row_len, 0.0);
+  }
+}
+
+std::string FlatTree::ToString() const {
+  std::string s;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "flat_tree ops=%zu leaves=%zu slots=%d root_slot=%d\n",
+                ops_.size(), leaves_.size(), num_slots_, root_slot_);
+  s += line;
+  s += "  op   kind       out  lhs  arg  node  weight\n";
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const FlatOp& op = ops_[i];
+    std::snprintf(line, sizeof(line), "  %-4zu %-10s %-4d %-4d %-4d %-5d %.17g\n",
+                  i, KindName(op.kind), op.out_slot, op.lhs_slot, op.arg_slot,
+                  op.node, op.weight);
+    s += line;
+  }
+  s += "  leaf key  score                  label  node  op    marginal\n";
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    const FlatLeaf& leaf = leaves_[i];
+    std::snprintf(line, sizeof(line),
+                  "  %-4zu %-4d %-22.17g %-6d %-5d %-5d %.17g\n", i, leaf.key,
+                  leaf.score, leaf.label, leaf.node, leaf.op_index,
+                  leaf.marginal);
+    s += line;
+  }
+  return s;
+}
+
+PolyArena& FlatFoldScratch() {
+  thread_local PolyArena arena;
+  return arena;
+}
+
+}  // namespace cpdb

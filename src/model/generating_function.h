@@ -11,16 +11,29 @@
 // Theorem 1: the coefficient of prod_j x_j^{i_j} in F_root is the total
 // probability of the possible worlds containing exactly i_j leaves tagged
 // with variable x_j, for all j.
+//
+// This header is the generic pointer-tree fold; model/flat_tree.h compiles
+// the same recurrence into a flat instruction stream over arena rows for the
+// hot paths, with this template retained as the differential reference.
 
 #ifndef CPDB_MODEL_GENERATING_FUNCTION_H_
 #define CPDB_MODEL_GENERATING_FUNCTION_H_
 
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "model/and_xor_tree.h"
 
 namespace cpdb {
+
+/// \brief Instrumentation for EvalGeneratingFunction's slot recycling.
+struct GenFunFoldStats {
+  /// Peak number of simultaneously live intermediate polynomials. Bounded by
+  /// O(tree depth), not O(nodes): a child's slot is recycled the moment its
+  /// parent consumes it (a 20000-deep XOR chain peaks at 2).
+  int max_live_slots = 0;
+};
 
 /// \brief Evaluates the generating function of `tree`.
 ///
@@ -29,57 +42,103 @@ namespace cpdb {
 ///                   (typically a variable monomial or the constant 1).
 /// \param make_const functor double -> PolyT building a constant polynomial
 ///                   with the right truncation bounds.
+/// \param stats      optional: receives the live-slot high-water mark.
 ///
 /// PolyT must support operator*(PolyT, PolyT), AddScaled(PolyT, double) and
-/// AddConstant(double). The fold is iterative (explicit post-order stack) so
+/// AddConstant(double). The fold is iterative (explicit frame stack) so
 /// arbitrarily deep trees do not overflow the call stack.
+///
+/// Memory: intermediate polynomials live in a recycled slot pool. Each
+/// parent consumes a child's result as soon as that child's subtree
+/// completes — XOR children are AddScaled into the accumulator one by one,
+/// AND children are multiplied into the running product left-to-right — and
+/// the consumed slot is immediately freed for reuse, so peak memory is
+/// O(max live slots × poly bytes) instead of the historical
+/// O(nodes × poly bytes). The combination order (AND left-to-right products,
+/// XOR leftover-then-AddScaled in child order) is unchanged, so results are
+/// bitwise identical to the retained-everything fold.
 template <typename PolyT, typename LeafPolyFn, typename MakeConstFn>
 PolyT EvalGeneratingFunction(const AndXorTree& tree, LeafPolyFn&& leaf_poly,
-                             MakeConstFn&& make_const) {
-  std::vector<PolyT> value;
-  value.reserve(static_cast<size_t>(tree.NumNodes()));
-  // `value` is indexed by a dense post-order slot per node id.
-  std::vector<int> slot(static_cast<size_t>(tree.NumNodes()), -1);
+                             MakeConstFn&& make_const,
+                             GenFunFoldStats* stats = nullptr) {
+  // Slot pool with a LIFO free list; slot.size() only grows when every slot
+  // is live, so it is exactly the live high-water mark.
+  std::vector<std::optional<PolyT>> slot;
+  std::vector<int> free_slots;
+  auto alloc = [&]() {
+    if (!free_slots.empty()) {
+      int s = free_slots.back();
+      free_slots.pop_back();
+      return s;
+    }
+    slot.emplace_back();
+    return static_cast<int>(slot.size()) - 1;
+  };
+  auto release = [&](int s) {
+    slot[static_cast<size_t>(s)].reset();
+    free_slots.push_back(s);
+  };
 
-  std::vector<std::pair<NodeId, bool>> stack = {{tree.root(), false}};
+  struct Frame {
+    NodeId id;
+    size_t next_child;
+    int acc;  // AND: running product slot; XOR: accumulator slot; -1 if none
+  };
+  std::vector<Frame> stack = {Frame{tree.root(), 0, -1}};
+  int last = -1;  // result slot of the most recently completed subtree
+
   while (!stack.empty()) {
-    auto [id, expanded] = stack.back();
-    stack.pop_back();
-    const TreeNode& n = tree.node(id);
-    if (!expanded) {
-      if (n.kind == NodeKind::kLeaf) {
-        slot[static_cast<size_t>(id)] = static_cast<int>(value.size());
-        value.push_back(leaf_poly(id));
-        continue;
-      }
-      stack.push_back({id, true});
-      for (NodeId c : n.children) stack.push_back({c, false});
+    Frame& f = stack.back();
+    const TreeNode& n = tree.node(f.id);
+
+    if (n.kind == NodeKind::kLeaf) {
+      int s = alloc();
+      slot[static_cast<size_t>(s)] = leaf_poly(f.id);
+      last = s;
+      stack.pop_back();
       continue;
     }
-    if (n.kind == NodeKind::kAnd) {
-      PolyT acc = std::move(value[static_cast<size_t>(
-          slot[static_cast<size_t>(n.children[0])])]);
-      for (size_t i = 1; i < n.children.size(); ++i) {
-        acc = acc * value[static_cast<size_t>(
-                  slot[static_cast<size_t>(n.children[i])])];
+
+    if (f.next_child > 0) {
+      // The child that just completed sits in `last`; consume and free it.
+      if (n.kind == NodeKind::kXor) {
+        if (f.acc < 0) {
+          // Accumulator is materialized lazily, at the first child's
+          // completion, so a descending chain of XOR nodes holds no slots.
+          double leftover = 1.0;
+          for (double p : n.edge_probs) leftover -= p;
+          f.acc = alloc();
+          slot[static_cast<size_t>(f.acc)] = make_const(leftover);
+        }
+        slot[static_cast<size_t>(f.acc)]->AddScaled(
+            *slot[static_cast<size_t>(last)], n.edge_probs[f.next_child - 1]);
+        release(last);
+      } else if (f.next_child == 1) {
+        f.acc = last;  // AND adopts its first child's slot as the product.
+      } else {
+        int out = alloc();
+        slot[static_cast<size_t>(out)] = *slot[static_cast<size_t>(f.acc)] *
+                                         *slot[static_cast<size_t>(last)];
+        release(f.acc);
+        release(last);
+        f.acc = out;
       }
-      slot[static_cast<size_t>(id)] = static_cast<int>(value.size());
-      value.push_back(std::move(acc));
-    } else {  // kXor
-      double leftover = 1.0;
-      for (double p : n.edge_probs) leftover -= p;
-      PolyT acc = make_const(leftover);
-      for (size_t i = 0; i < n.children.size(); ++i) {
-        acc.AddScaled(value[static_cast<size_t>(
-                          slot[static_cast<size_t>(n.children[i])])],
-                      n.edge_probs[i]);
-      }
-      slot[static_cast<size_t>(id)] = static_cast<int>(value.size());
-      value.push_back(std::move(acc));
     }
+
+    if (f.next_child < n.children.size()) {
+      const NodeId child = n.children[f.next_child];
+      ++f.next_child;
+      // push_back may invalidate `f`; it is not used past this point.
+      stack.push_back(Frame{child, 0, -1});
+      continue;
+    }
+
+    last = f.acc;
+    stack.pop_back();
   }
-  return std::move(value[static_cast<size_t>(
-      slot[static_cast<size_t>(tree.root())])]);
+
+  if (stats != nullptr) stats->max_live_slots = static_cast<int>(slot.size());
+  return PolyT(std::move(*slot[static_cast<size_t>(last)]));
 }
 
 }  // namespace cpdb

@@ -2,6 +2,8 @@
 
 #include "poly/poly1.h"
 
+#include "poly/poly_arena.h"
+
 #include <cassert>
 #include <cmath>
 #include <sstream>
@@ -81,16 +83,13 @@ Poly1& Poly1::operator*=(double scalar) {
 Poly1 operator*(const Poly1& a, const Poly1& b) {
   assert(a.max_degree_ == b.max_degree_);
   Poly1 out(a.max_degree_);
-  int deg_a = a.Degree();
-  int deg_b = b.Degree();
-  for (int i = 0; i <= deg_a; ++i) {
-    double ca = a.coeffs_[static_cast<size_t>(i)];
-    if (ca == 0.0) continue;
-    int j_max = std::min(deg_b, a.max_degree_ - i);
-    for (int j = 0; j <= j_max; ++j) {
-      out.coeffs_[static_cast<size_t>(i + j)] += ca * b.coeffs_[static_cast<size_t>(j)];
-    }
-  }
+  // Shared vectorized kernel (Poly1 is the max_dy == 0 case). Bitwise
+  // identical to the historical degree-bounded loop: the kernel visits the
+  // same nonzero terms in the same order and only admits extra ±0.0 terms,
+  // which cannot move a bit of a zero-initialized accumulator (see
+  // poly/poly_arena.h).
+  ConvolveRowsTruncated(a.coeffs_.data(), b.coeffs_.data(), out.coeffs_.data(),
+                        a.max_degree_, 0);
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include "poly/poly2.h"
 
+#include "poly/poly_arena.h"
+
 #include <cassert>
 #include <sstream>
 
@@ -66,19 +68,13 @@ Poly2& Poly2::operator*=(double scalar) {
 Poly2 operator*(const Poly2& a, const Poly2& b) {
   assert(a.max_dx_ == b.max_dx_ && a.max_dy_ == b.max_dy_);
   Poly2 out(a.max_dx_, a.max_dy_);
-  for (int ia = 0; ia <= a.max_dx_; ++ia) {
-    for (int ja = 0; ja <= a.max_dy_; ++ja) {
-      double ca = a.coeffs_[a.Index(ia, ja)];
-      if (ca == 0.0) continue;
-      for (int ib = 0; ib + ia <= a.max_dx_; ++ib) {
-        for (int jb = 0; jb + ja <= a.max_dy_; ++jb) {
-          double cb = b.coeffs_[b.Index(ib, jb)];
-          if (cb == 0.0) continue;
-          out.coeffs_[out.Index(ia + ib, ja + jb)] += ca * cb;
-        }
-      }
-    }
-  }
+  // Shared vectorized kernel over the row-major coefficient layout. Bitwise
+  // identical to the historical quad loop: same nonzero terms accumulated
+  // into each cell in the same (ia, ja) order; the relaxed zero-skip only
+  // admits ±0.0 terms, which cannot move a bit of a zero-initialized
+  // accumulator (see poly/poly_arena.h).
+  ConvolveRowsTruncated(a.coeffs_.data(), b.coeffs_.data(), out.coeffs_.data(),
+                        a.max_dx_, a.max_dy_);
   return out;
 }
 

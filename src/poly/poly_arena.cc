@@ -1,0 +1,61 @@
+#include "poly/poly_arena.h"
+
+namespace cpdb {
+
+void AddScaledRow(double* CPDB_RESTRICT out, const double* CPDB_RESTRICT src,
+                  double scale, int n) {
+  for (int i = 0; i < n; ++i) out[i] += scale * src[i];
+}
+
+void ConvolveRowsTruncated(const double* CPDB_RESTRICT a,
+                           const double* CPDB_RESTRICT b,
+                           double* CPDB_RESTRICT out, int max_dx, int max_dy) {
+  const int stride = max_dy + 1;
+  for (int ia = 0; ia <= max_dx; ++ia) {
+    const double* CPDB_RESTRICT arow = a + static_cast<size_t>(ia) * stride;
+    // Row-granularity zero skip: the fold's leaf factors are monomials, so
+    // most a rows are entirely zero and cost one scan instead of a pass
+    // over b. Skipping a zero row only drops ±0.0 terms (see header).
+    bool all_zero = true;
+    for (int j = 0; j < stride; ++j) {
+      if (arow[j] != 0.0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) continue;
+    const int b_rows = max_dx - ia + 1;
+    for (int ja = 0; ja <= max_dy; ++ja) {
+      const double ca = arow[ja];
+      if (ca == 0.0) continue;
+      double* CPDB_RESTRICT obase = out + static_cast<size_t>(ia) * stride + ja;
+      if (ja == 0) {
+        // The whole admissible b region is a contiguous prefix, and since
+        // the flat index is linear — Index(ia+ib, jb) = Index(ia,0) +
+        // Index(ib, jb) — the output region is the same-length contiguous
+        // run starting at a's own flat index. One FMA-friendly loop.
+        const int nb = b_rows * stride;
+        for (int t = 0; t < nb; ++t) obase[t] += ca * b[t];
+      } else {
+        // ja > 0: the admissible jb range shrinks to avoid y-truncation
+        // wraparound, so accumulate per b row with a bounded inner loop.
+        const int jb_max = max_dy - ja;
+        for (int ib = 0; ib < b_rows; ++ib) {
+          const double* CPDB_RESTRICT brow =
+              b + static_cast<size_t>(ib) * stride;
+          double* CPDB_RESTRICT orow = obase + static_cast<size_t>(ib) * stride;
+          for (int jb = 0; jb <= jb_max; ++jb) orow[jb] += ca * brow[jb];
+        }
+      }
+    }
+  }
+}
+
+void PolyArena::Reserve(int num_slots, int row_len) {
+  num_slots_ = num_slots;
+  row_len_ = row_len;
+  const size_t need = static_cast<size_t>(num_slots) * row_len;
+  if (buf_.size() < need) buf_.resize(need);
+}
+
+}  // namespace cpdb

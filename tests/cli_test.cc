@@ -20,6 +20,7 @@
 #include "io/table_io.h"
 #include "io/tree_text.h"
 #include "model/builders.h"
+#include "model/flat_tree.h"
 #include "model/possible_worlds.h"
 
 namespace cpdb {
@@ -116,6 +117,27 @@ TEST_F(CliTest, MarginalsRoundTripTheComputedDoublesExactly) {
     ++matched;
   }
   EXPECT_EQ(matched, 3);
+}
+
+TEST_F(CliTest, DumpFlatPrintsTheCompiledRecordTable) {
+  // Both input formats produce a record-table dump whose contents agree
+  // with an in-process compile of the same tree.
+  CliResult r = RunCliArgs({"dump-flat", tree_path_});
+  EXPECT_EQ(r.code, 0) << r.err;
+  auto tree = ParseTree(*ReadFileToString(tree_path_));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(r.out, FlatTree::Compile(*tree).ToString());
+  // The dump names every op kind the compiler can emit for this tree.
+  EXPECT_NE(r.out.find("leaf"), std::string::npos);
+  EXPECT_NE(r.out.find("xor_init"), std::string::npos);
+  EXPECT_NE(r.out.find("mul"), std::string::npos);
+
+  CliResult bid = RunCliArgs({"dump-flat", bid_path_, "--format=bid"});
+  EXPECT_EQ(bid.code, 0) << bid.err;
+  EXPECT_NE(bid.out.find("flat_tree ops="), std::string::npos);
+
+  // Invalid input fails loudly like every other command.
+  EXPECT_EQ(RunCliArgs({"dump-flat", "/does/not/exist"}).code, 1);
 }
 
 TEST_F(CliTest, WorldsSumToOne) {

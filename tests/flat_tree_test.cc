@@ -1,0 +1,283 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Flat-vs-pointer differential suite: the flattened fold (FlatTree +
+// PolyArena + vectorized kernels) must be bitwise indistinguishable from
+// the retained pointer-tree fold on every rewired path — rank
+// distributions, pairwise order probabilities, Kendall q statistics, leaf
+// marginals, and the raw generating function — across random generator
+// trees of all three structural families and engine thread counts
+// {1, 2, 4, 8}. Also pins the structural claims: leaf-table order equals
+// LeafIds() order, precompiled marginals match the pointer walks bit for
+// bit, and slot recycling keeps the arena working set O(depth) rather than
+// O(nodes).
+
+#include "model/flat_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/rank_distribution.h"
+#include "core/topk_kendall.h"
+#include "engine/engine.h"
+#include "model/generating_function.h"
+#include "poly/poly1.h"
+#include "workload/generators.h"
+
+namespace cpdb {
+namespace {
+
+// The three structural families the generators produce: tuple-independent,
+// BID blocks, and deep correlated and/xor trees.
+std::vector<AndXorTree> GeneratorTrees(uint64_t seed) {
+  std::vector<AndXorTree> trees;
+  Rng rng(seed);
+  RandomTreeOptions opts;
+  opts.num_keys = 7;
+  opts.max_depth = 4;
+  opts.max_alternatives = 3;
+
+  auto independent = RandomTupleIndependent(6, &rng);
+  EXPECT_TRUE(independent.ok());
+  if (independent.ok()) trees.push_back(*std::move(independent));
+
+  auto bid = RandomBid(opts, &rng);
+  EXPECT_TRUE(bid.ok());
+  if (bid.ok()) trees.push_back(*std::move(bid));
+
+  auto deep = RandomAndXorTree(opts, &rng);
+  EXPECT_TRUE(deep.ok());
+  if (deep.ok()) trees.push_back(*std::move(deep));
+
+  return trees;
+}
+
+class FlatTreeDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatTreeDifferential, LeafTableMatchesPointerTree) {
+  for (const AndXorTree& tree : GeneratorTrees(GetParam())) {
+    const FlatTree flat = FlatTree::Compile(tree);
+    const std::vector<NodeId>& leaf_ids = tree.LeafIds();
+    ASSERT_EQ(flat.num_leaves(), tree.NumLeaves());
+
+    // Leaf-table order is LeafIds() order, and the compile-time marginals
+    // are bitwise the pointer walks' values.
+    const std::vector<double> pointer_marginals = tree.LeafMarginals();
+    for (int i = 0; i < flat.num_leaves(); ++i) {
+      const FlatLeaf& leaf = flat.leaves()[static_cast<size_t>(i)];
+      ASSERT_EQ(leaf.node, leaf_ids[static_cast<size_t>(i)]);
+      const TupleAlternative& alt = tree.node(leaf.node).leaf;
+      ASSERT_EQ(leaf.key, alt.key);
+      ASSERT_EQ(leaf.score, alt.score);
+      ASSERT_EQ(leaf.marginal, tree.LeafMarginal(leaf.node));
+      ASSERT_EQ(leaf.marginal,
+                pointer_marginals[static_cast<size_t>(leaf.node)]);
+    }
+
+    // Slot recycling: the live high-water mark must undercut node count on
+    // anything but trivial trees (and is bounded by it always).
+    ASSERT_LE(flat.num_slots(), tree.NumNodes());
+    ASSERT_GT(flat.num_slots(), 0);
+
+    // The dump used by `cpdb_cli dump-flat` names every op and leaf.
+    const std::string dump = flat.ToString();
+    EXPECT_NE(dump.find("flat_tree ops="), std::string::npos);
+  }
+}
+
+TEST_P(FlatTreeDifferential, GeneratingFunctionBitwiseEqualsPointerFold) {
+  // The raw fold: world-size generating function (every leaf tagged x),
+  // flat vs pointer, bitwise.
+  const int kMaxDegree = 24;
+  for (const AndXorTree& tree : GeneratorTrees(GetParam())) {
+    auto leaf_poly = [&](NodeId) {
+      return Poly1::Monomial(kMaxDegree, 1, 1.0);
+    };
+    auto make_const = [&](double c) { return Poly1::Constant(kMaxDegree, c); };
+    const Poly1 reference =
+        EvalGeneratingFunction<Poly1>(tree, leaf_poly, make_const);
+
+    const FlatTree flat = FlatTree::Compile(tree);
+    std::vector<double> got(kMaxDegree + 1);
+    flat.EvalGeneratingFunction(
+        kMaxDegree, 0, [](int, double* row) { row[1] = 1.0; }, got.data(),
+        &FlatFoldScratch());
+    for (int d = 0; d <= kMaxDegree; ++d) {
+      ASSERT_EQ(got[static_cast<size_t>(d)], reference.Coeff(d))
+          << "degree " << d;
+    }
+  }
+}
+
+TEST_P(FlatTreeDifferential, RankDistributionBitwiseEqualsPointerFold) {
+  const int k = 5;
+  for (const AndXorTree& tree : GeneratorTrees(GetParam())) {
+    const RankDistribution reference = ComputeRankDistributionPointer(tree, k);
+    const RankDistribution flat_dist = ComputeRankDistribution(tree, k);
+    ASSERT_EQ(flat_dist.keys(), reference.keys());
+    for (KeyId key : reference.keys()) {
+      for (int i = 1; i <= k; ++i) {
+        ASSERT_EQ(flat_dist.PrRankEq(key, i), reference.PrRankEq(key, i))
+            << "key " << key << " rank " << i;
+        ASSERT_EQ(flat_dist.PrRankLe(key, i), reference.PrRankLe(key, i));
+      }
+    }
+
+    // Per-leaf contributions agree bitwise too (flat target index i is
+    // LeafIds()[i] by the leaf-table order test above).
+    const FlatTree flat = FlatTree::Compile(tree);
+    for (int i = 0; i < flat.num_leaves(); ++i) {
+      ASSERT_EQ(LeafRankContribution(flat, i, k),
+                LeafRankContribution(tree, tree.LeafIds()[static_cast<size_t>(i)],
+                                     k));
+    }
+  }
+}
+
+TEST_P(FlatTreeDifferential, PairwiseOrderAndKendallBitwiseEqualPointerFold) {
+  const int k = 3;
+  for (const AndXorTree& tree : GeneratorTrees(GetParam())) {
+    const FlatTree flat = FlatTree::Compile(tree);
+    const std::vector<KeyId> keys = tree.Keys();
+    for (KeyId u : keys) {
+      for (KeyId v : keys) {
+        if (u == v) continue;
+        ASSERT_EQ(PrRanksBefore(flat, u, v), PrRanksBeforePointer(tree, u, v))
+            << "u " << u << " v " << v;
+        ASSERT_EQ(PrInTopKAndBefore(flat, u, v, k),
+                  PrInTopKAndBefore(tree, u, v, k))
+            << "u " << u << " v " << v;
+      }
+    }
+  }
+}
+
+TEST_P(FlatTreeDifferential, EnginePathsBitwiseEqualPointerFoldAcrossThreads) {
+  const int k = 4;
+  for (const AndXorTree& tree : GeneratorTrees(GetParam())) {
+    const RankDistribution dist_ref = ComputeRankDistributionPointer(tree, k);
+    const std::vector<KeyId> keys = tree.Keys();
+    std::vector<std::vector<double>> pairwise_ref(
+        keys.size(), std::vector<double>(keys.size(), 0.0));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (size_t j = 0; j < keys.size(); ++j) {
+        if (i == j) continue;
+        pairwise_ref[i][j] = PrRanksBeforePointer(tree, keys[i], keys[j]);
+      }
+    }
+    const std::vector<double> marginals_ref = tree.LeafMarginals();
+
+    for (int threads : {1, 2, 4, 8}) {
+      EngineOptions opts;
+      opts.num_threads = threads;
+      // Force the general (flat) path even on block-independent trees; the
+      // fast BID path is a different algorithm with different bits.
+      opts.use_fast_bid_path = false;
+      Engine engine(opts);
+
+      const RankDistribution dist = engine.ComputeRankDistribution(tree, k);
+      ASSERT_EQ(dist.keys(), dist_ref.keys()) << "threads " << threads;
+      for (KeyId key : dist_ref.keys()) {
+        for (int i = 1; i <= k; ++i) {
+          ASSERT_EQ(dist.PrRankEq(key, i), dist_ref.PrRankEq(key, i))
+              << "threads " << threads << " key " << key << " rank " << i;
+          ASSERT_EQ(dist.PrRankLe(key, i), dist_ref.PrRankLe(key, i));
+        }
+      }
+
+      ASSERT_EQ(engine.PairwiseOrderProbabilities(tree, keys), pairwise_ref)
+          << "threads " << threads;
+      ASSERT_EQ(engine.LeafMarginals(tree), marginals_ref)
+          << "threads " << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatTreeDifferential,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Structure-specific pins (not randomized)
+// ---------------------------------------------------------------------------
+
+TupleAlternative Alt(KeyId key, double score) {
+  TupleAlternative a;
+  a.key = key;
+  a.score = score;
+  return a;
+}
+
+TEST(FlatTreeTest, DeepChainCompilesToConstantSlotCount) {
+  // The compile-time analogue of the fold-memory bugfix: a 20000-deep XOR
+  // chain must compile to 2 scratch slots (child + accumulator), so the
+  // arena working set is independent of depth.
+  AndXorTree tree;
+  NodeId node = tree.AddLeaf(Alt(1, 1));
+  for (int i = 0; i < 20000; ++i) node = tree.AddXor({node}, {0.5});
+  tree.SetRoot(node);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  const FlatTree flat = FlatTree::Compile(tree);
+  EXPECT_EQ(flat.num_slots(), 2);
+  EXPECT_EQ(flat.num_leaves(), 1);
+
+  // And the fold over it matches the pointer template bitwise.
+  auto leaf_poly = [&](NodeId) { return Poly1::Monomial(1, 1, 1.0); };
+  auto make_const = [&](double c) { return Poly1::Constant(1, c); };
+  const Poly1 reference =
+      EvalGeneratingFunction<Poly1>(tree, leaf_poly, make_const);
+  double got[2];
+  flat.EvalGeneratingFunction(
+      1, 0, [](int, double* row) { row[1] = 1.0; }, got,
+      &FlatFoldScratch());
+  EXPECT_EQ(got[0], reference.Coeff(0));
+  EXPECT_EQ(got[1], reference.Coeff(1));
+}
+
+TEST(FlatTreeTest, WideAndCompilesToConstantSlotCount) {
+  // A wide AND folds each child into the running product immediately, so
+  // 500 children still need only ~3 slots.
+  AndXorTree tree;
+  std::vector<NodeId> blocks;
+  for (int i = 0; i < 500; ++i) {
+    blocks.push_back(tree.AddXor({tree.AddLeaf(Alt(i, i))}, {0.5}));
+  }
+  tree.SetRoot(tree.AddAnd(std::move(blocks)));
+  ASSERT_TRUE(tree.Validate().ok());
+
+  const FlatTree flat = FlatTree::Compile(tree);
+  EXPECT_LE(flat.num_slots(), 4);
+  EXPECT_EQ(flat.num_leaves(), 500);
+}
+
+TEST(FlatTreeTest, EmptyTreeYieldsEmptyFlatTree) {
+  AndXorTree tree;  // no root set
+  const FlatTree flat = FlatTree::Compile(tree);
+  EXPECT_EQ(flat.num_leaves(), 0);
+  EXPECT_EQ(flat.num_slots(), 0);
+  EXPECT_TRUE(flat.ops().empty());
+}
+
+TEST(FlatTreeTest, DumpListsEveryOpAndLeaf) {
+  AndXorTree tree;
+  NodeId a = tree.AddLeaf(Alt(1, 2.5));
+  NodeId b = tree.AddLeaf(Alt(1, 1.5));
+  NodeId x = tree.AddXor({a, b}, {0.25, 0.5});
+  NodeId c = tree.AddLeaf(Alt(2, 3.0));
+  tree.SetRoot(tree.AddAnd({x, c}));
+  ASSERT_TRUE(tree.Validate().ok());
+
+  const FlatTree flat = FlatTree::Compile(tree);
+  const std::string dump = flat.ToString();
+  EXPECT_NE(dump.find("xor_init"), std::string::npos);
+  EXPECT_NE(dump.find("xor_accum"), std::string::npos);
+  EXPECT_NE(dump.find("mul"), std::string::npos);
+  EXPECT_NE(dump.find("leaf"), std::string::npos);
+  // XOR leftover mass 1 - 0.25 - 0.5 = 0.25 is precomputed on the init op.
+  EXPECT_NE(dump.find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpdb

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "common/rng.h"
@@ -158,6 +159,48 @@ TEST(GeneratingFunctionTest, DeepChainDoesNotOverflowStack) {
   ASSERT_TRUE(tree.Validate().ok());
   Poly1 f = SizeGf(tree, 1);
   EXPECT_NEAR(f.Coeff(1), 1.0, 1e-9);
+}
+
+TEST(GeneratingFunctionTest, DeepChainLiveSlotHighWaterIsConstant) {
+  // Regression test for the fold-memory bug: the fold used to retain every
+  // intermediate polynomial until returning, so a deep chain's peak memory
+  // was O(depth × poly bytes). With consume-and-free recycling the chain
+  // needs only the completed child plus its parent's accumulator — the
+  // live-slot high-water mark must stay constant in the depth, not track
+  // it.
+  AndXorTree tree;
+  NodeId node = tree.AddLeaf(Alt(1, 1));
+  for (int i = 0; i < 20000; ++i) node = tree.AddXor({node}, {0.5});
+  tree.SetRoot(node);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  auto leaf_poly = [&](NodeId) { return Poly1::Monomial(1, 1, 1.0); };
+  auto make_const = [&](double c) { return Poly1::Constant(1, c); };
+  GenFunFoldStats stats;
+  Poly1 f = EvalGeneratingFunction<Poly1>(tree, leaf_poly, make_const, &stats);
+  EXPECT_LE(stats.max_live_slots, 2);
+  EXPECT_NEAR(f.Coeff(1), std::pow(0.5, 20000.0), 1e-300);  // underflows to 0
+  EXPECT_NEAR(f.Coeff(0) + f.Coeff(1), 1.0, 1e-9);
+}
+
+TEST(GeneratingFunctionTest, WideAndLiveSlotHighWaterIsConstant) {
+  // A wide AND must not hold all children live either: each child is
+  // multiplied into the running product as soon as it completes.
+  AndXorTree tree;
+  std::vector<NodeId> blocks;
+  for (int i = 0; i < 500; ++i) {
+    blocks.push_back(
+        tree.AddXor({tree.AddLeaf(Alt(i, i))}, {0.5}));
+  }
+  tree.SetRoot(tree.AddAnd(std::move(blocks)));
+  ASSERT_TRUE(tree.Validate().ok());
+
+  auto leaf_poly = [&](NodeId) { return Poly1::Monomial(4, 1, 1.0); };
+  auto make_const = [&](double c) { return Poly1::Constant(4, c); };
+  GenFunFoldStats stats;
+  Poly1 f = EvalGeneratingFunction<Poly1>(tree, leaf_poly, make_const, &stats);
+  EXPECT_LE(stats.max_live_slots, 4);
+  EXPECT_NEAR(f.Coeff(0), std::pow(0.5, 500.0), 1e-300);  // exact: 2^-500
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/rng.h"
 #include "poly/poly1.h"
 #include "poly/poly2.h"
+#include "poly/poly_arena.h"
 #include "poly/sparse_poly.h"
 
 namespace cpdb {
@@ -137,6 +140,69 @@ TEST(Poly2Test, AddScaled) {
   Poly2 b = Poly2::Monomial(1, 1, 1, 1, 2.0);
   a.AddScaled(b, 0.5);
   EXPECT_EQ(a.Coeff(1, 1), 1.0);
+}
+
+TEST(ConvolveKernelTest, BitwiseMatchesNaiveQuadLoopOnRandomOperands) {
+  // The vectorized kernel behind Poly1/Poly2 operator* and the flat fold
+  // must be bitwise identical to the textbook truncated-convolution quad
+  // loop with per-element zero skips (the historical implementation),
+  // including on operands with scattered exact zeros (which exercise the
+  // row-granularity skip's ±0.0 argument).
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int max_dx = static_cast<int>(rng.UniformInt(1, 7));
+    const int max_dy = static_cast<int>(rng.UniformInt(0, 3));
+    const int stride = max_dy + 1;
+    const size_t len = static_cast<size_t>((max_dx + 1) * stride);
+    std::vector<double> a(len), b(len);
+    for (size_t i = 0; i < len; ++i) {
+      a[i] = rng.Bernoulli(1.0 / 3) ? 0.0 : rng.Uniform(-0.5, 0.5);
+      b[i] = rng.Bernoulli(1.0 / 3) ? 0.0 : rng.Uniform(-0.5, 0.5);
+    }
+
+    std::vector<double> naive(len, 0.0);
+    for (int ia = 0; ia <= max_dx; ++ia) {
+      for (int ja = 0; ja <= max_dy; ++ja) {
+        const double ca = a[static_cast<size_t>(ia * stride + ja)];
+        if (ca == 0.0) continue;
+        for (int ib = 0; ib + ia <= max_dx; ++ib) {
+          for (int jb = 0; jb + ja <= max_dy; ++jb) {
+            const double cb = b[static_cast<size_t>(ib * stride + jb)];
+            if (cb == 0.0) continue;
+            naive[static_cast<size_t>((ia + ib) * stride + (ja + jb))] +=
+                ca * cb;
+          }
+        }
+      }
+    }
+
+    std::vector<double> got(len, 0.0);
+    ConvolveRowsTruncated(a.data(), b.data(), got.data(), max_dx, max_dy);
+    for (size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(got[i], naive[i]) << "trial " << trial << " index " << i;
+    }
+  }
+}
+
+TEST(PolyArenaTest, ReserveGrowsOnlyAndKeepsGeometry) {
+  PolyArena arena;
+  arena.Reserve(4, 8);
+  EXPECT_EQ(arena.num_slots(), 4);
+  EXPECT_EQ(arena.row_len(), 8);
+  const size_t big = arena.CapacityBytes();
+  EXPECT_GE(big, 4 * 8 * sizeof(double));
+
+  // Rows are distinct, writable storage.
+  for (int s = 0; s < 4; ++s) arena.Row(s)[0] = static_cast<double>(s);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(arena.Row(s)[0], s);
+
+  // Shrinking the geometry must not shrink the allocation (steady-state
+  // reuse), and growing past the high-water must grow it.
+  arena.Reserve(1, 2);
+  EXPECT_EQ(arena.num_slots(), 1);
+  EXPECT_GE(arena.CapacityBytes(), big);
+  arena.Reserve(16, 32);
+  EXPECT_GE(arena.CapacityBytes(), 16 * 32 * sizeof(double));
 }
 
 TEST(SparsePolyTest, BasicArithmetic) {

@@ -151,6 +151,45 @@ TEST(RankDistributionTest, CertainDatabaseHasDeterministicRanks) {
   }
 }
 
+TEST(RankDistributionTest, ApproxBytesCoversHandComputedLowerBound) {
+  // Regression test for the --cache-budget undercharge: ApproxBytes must
+  // cover, for n keys at truncation k, at least
+  //   * the 2 n (k+1) doubles of payload (pr_eq_ + pr_le_ inner elements),
+  //   * the n KeyIds of the keys_ element array,
+  //   * the 2 n inner vector headers the pr_eq_/pr_le_ outer arrays hold,
+  //   * and the top-level object itself (which embeds the keys_/pr_eq_/
+  //     pr_le_ headers).
+  // The historical formula omitted the outer-array headers and the keys_
+  // element storage, undercharging every cached entry.
+  const int k = 5;
+  const int n = 10;
+  Rng rng(3);
+  RandomTreeOptions opts;
+  opts.num_keys = n;
+  auto tree = RandomBid(opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  RankDistribution dist = ComputeRankDistribution(*tree, k);
+  ASSERT_EQ(static_cast<int>(dist.keys().size()), n);
+
+  const int64_t payload =
+      2 * static_cast<int64_t>(n) * (k + 1) * sizeof(double);
+  const int64_t key_array = static_cast<int64_t>(n) * sizeof(KeyId);
+  const int64_t inner_headers =
+      2 * static_cast<int64_t>(n) * sizeof(std::vector<double>);
+  const int64_t lower_bound = payload + key_array + inner_headers +
+                              static_cast<int64_t>(sizeof(RankDistribution));
+  EXPECT_GE(dist.ApproxBytes(), lower_bound);
+
+  // Deterministic function of (n, k): a same-shaped distribution from a
+  // different tree costs the same — budget eviction replays identically.
+  Rng rng2(4);
+  auto tree2 = RandomBid(opts, &rng2);
+  ASSERT_TRUE(tree2.ok());
+  RankDistribution dist2 = ComputeRankDistribution(*tree2, k);
+  ASSERT_EQ(dist2.keys().size(), dist.keys().size());
+  EXPECT_EQ(dist2.ApproxBytes(), dist.ApproxBytes());
+}
+
 TEST(RankDistributionTest, UnknownKeyYieldsZero) {
   Rng rng(5);
   auto tree = RandomTupleIndependent(3, &rng);

@@ -17,6 +17,7 @@
 #include "io/table_io.h"
 #include "io/tree_text.h"
 #include "model/builders.h"
+#include "model/flat_tree.h"
 #include "model/possible_worlds.h"
 #include "service/catalog_snapshot.h"
 #include "service/query_scheduler.h"
@@ -255,6 +256,21 @@ int CmdValidate(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   }
   std::fprintf(out, "OK: %d leaves, %zu keys, %d nodes\n", tree->NumLeaves(),
                tree->Keys().size(), tree->NumNodes());
+  return 0;
+}
+
+int CmdDumpFlat(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  // The compiled record table: op stream (kind, slots, originating node,
+  // precomputed XOR weights) followed by the leaf table (key, score, node,
+  // marginal). This is the exact program the hot fold executes, so the dump
+  // is the ground truth for debugging slot recycling and leaf
+  // classification.
+  std::fprintf(out, "%s", FlatTree::Compile(*tree).ToString().c_str());
   return 0;
 }
 
@@ -699,6 +715,9 @@ std::string CliUsage() {
       "\n"
       "commands:\n"
       "  validate         check the input against the model constraints\n"
+      "  dump-flat        print the compiled FlatTree record table (the\n"
+      "                   instruction stream and leaf table the hot\n"
+      "                   generating-function fold executes)\n"
       "  marginals        per-key presence probabilities\n"
       "  worlds           enumerate possible worlds (most likely first)\n"
       "  sample           draw random worlds (--count, --seed)\n"
@@ -781,6 +800,7 @@ int RunCli(const std::vector<std::string>& args, std::FILE* out,
     return 0;
   }
   if (cmd == "validate") return CmdValidate(*opts, out, err);
+  if (cmd == "dump-flat") return CmdDumpFlat(*opts, out, err);
   if (cmd == "marginals") return CmdMarginals(*opts, out, err);
   if (cmd == "worlds") return CmdWorlds(*opts, out, err);
   if (cmd == "sample") return CmdSample(*opts, out, err);
