@@ -86,13 +86,14 @@ RankDistribution Engine::ComputeRankDistribution(const AndXorTree& tree,
   // Compile the flat form once; the immutable FlatTree is shared read-only
   // across all parallel leaf tasks, each of which folds over its own
   // thread-local arena scratch.
-  const FlatTree flat = FlatTree::Compile(tree);
+  const FlatTree flat = CompileCounted(tree);
   const int num_leaves = flat.num_leaves();
   std::vector<std::vector<double>> contributions(
       static_cast<size_t>(num_leaves));
   pool_.ParallelFor(num_leaves, [&](int64_t i) {
     contributions[static_cast<size_t>(i)] =
         LeafRankContribution(flat, static_cast<int>(i), k);
+    NoteArenaHighWater();
   });
 
   // Merge in DFS leaf order (== flat leaf-table order) — the exact
@@ -120,6 +121,7 @@ std::vector<std::vector<double>> Engine::PairwiseMatrix(
     size_t j = static_cast<size_t>(flat) % n;
     if (i == j) return;
     m[i][j] = cell(i, j);
+    NoteArenaHighWater();
   });
   return m;
 }
@@ -133,6 +135,7 @@ std::vector<std::vector<double>> Engine::PerKeyColumns(
   pool_.ParallelFor(static_cast<int64_t>(keys.size()), [&](int64_t t) {
     columns[static_cast<size_t>(t)] =
         column(dist, keys[static_cast<size_t>(t)]);
+    NoteArenaHighWater();
   });
   return columns;
 }
@@ -143,7 +146,7 @@ std::vector<double> Engine::LeafMarginals(const AndXorTree& tree) const {
   // does, so scattering the precomputed leaf-table marginals is bitwise
   // identical to the historical per-leaf pointer walks — and replaces L
   // O(depth) walks with one pass.
-  const FlatTree flat = FlatTree::Compile(tree);
+  const FlatTree flat = CompileCounted(tree);
   std::vector<double> marginal(static_cast<size_t>(tree.NumNodes()), 0.0);
   for (const FlatLeaf& leaf : flat.leaves()) {
     marginal[static_cast<size_t>(leaf.node)] = leaf.marginal;
@@ -154,7 +157,7 @@ std::vector<double> Engine::LeafMarginals(const AndXorTree& tree) const {
 std::vector<std::vector<double>> Engine::PairwiseOrderProbabilities(
     const AndXorTree& tree, const std::vector<KeyId>& keys) const {
   // One compiled tree shared read-only by all n^2 parallel cells.
-  const FlatTree flat = FlatTree::Compile(tree);
+  const FlatTree flat = CompileCounted(tree);
   return PairwiseMatrix(keys.size(), [&](size_t i, size_t j) {
     return PrRanksBefore(flat, keys[i], keys[j]);
   });
@@ -284,7 +287,7 @@ Result<TopKResult> Engine::ConsensusTopKWithDist(const AndXorTree& tree,
       // schedule-deterministic), then build the footrule answer from
       // parallel cost columns and re-score it under d_K.
       std::vector<KeyId> keys = tree.Keys();
-      const FlatTree flat = FlatTree::Compile(tree);
+      const FlatTree flat = CompileCounted(tree);
       std::vector<std::vector<double>> q =
           PairwiseMatrix(keys.size(), [&](size_t iu, size_t it) {
             return PrInTopKAndBefore(flat, keys[iu], keys[it], k);
@@ -410,6 +413,22 @@ McEstimate Engine::McExpectedTopKDistance(const AndXorTree& tree,
         return TopKListDistance(answer, TopKOfWorld(tree, world, k), k,
                                 metric);
       });
+}
+
+FlatTree Engine::CompileCounted(const AndXorTree& tree) const {
+  fold_compiles_.fetch_add(1, std::memory_order_relaxed);
+  return FlatTree::Compile(tree);
+}
+
+void Engine::NoteArenaHighWater() const {
+  // Reads the *calling thread's* scratch arena — meaningful only from
+  // inside fold units, where FlatFoldScratch() is the arena the fold just
+  // grew. The CAS-max publishes a fleet-wide peak across all pool threads.
+  const int64_t bytes = static_cast<int64_t>(FlatFoldScratch().CapacityBytes());
+  int64_t seen = arena_highwater_bytes_.load(std::memory_order_relaxed);
+  while (bytes > seen && !arena_highwater_bytes_.compare_exchange_weak(
+                             seen, bytes, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace cpdb

@@ -36,6 +36,7 @@
 #ifndef CPDB_ENGINE_ENGINE_H_
 #define CPDB_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -101,6 +102,24 @@ struct EngineOptions {
 /// is also why the estimate depends on the thread count *only* through this
 /// resolution, never through scheduling.
 int AdaptiveMcChunkSize(int num_samples, int num_threads);
+
+/// \brief Monotonic counters describing an engine's fold machinery — the
+/// observability surface the serving layer's `op=metrics` scrape re-exports
+/// (as cpdb_fold_compiles_total and cpdb_poly_arena_highwater_bytes). Plain
+/// counting, no clock reads: maintaining them costs a relaxed atomic add
+/// per compile and a CAS-max per fold unit, so they are always on.
+struct EngineObsCounters {
+  /// FlatTree::Compile calls this engine has paid (each is one O(N) pass
+  /// over a tree; the serving caches exist to keep this flat under
+  /// repeated traffic).
+  int64_t fold_compiles = 0;
+  /// High-water mark of any single worker thread's PolyArena scratch
+  /// capacity, in bytes — the peak per-thread working set of the flat
+  /// fold (see poly/poly_arena.h). A gauge, not a counter: it only rises.
+  int64_t arena_highwater_bytes = 0;
+};
+
+class FlatTree;
 
 /// \brief Parallel evaluation engine; thread-safe for concurrent queries
 /// against distinct trees (the engine itself holds no per-query state).
@@ -282,6 +301,18 @@ class Engine {
                                     TopKMetric metric, int num_samples,
                                     uint64_t seed) const;
 
+  // -- Observability -------------------------------------------------------
+
+  /// \brief Snapshot of the fold-machinery counters (see EngineObsCounters).
+  /// Relaxed reads; exact when the engine is quiescent.
+  EngineObsCounters obs_counters() const {
+    EngineObsCounters counters;
+    counters.fold_compiles = fold_compiles_.load(std::memory_order_relaxed);
+    counters.arena_highwater_bytes =
+        arena_highwater_bytes_.load(std::memory_order_relaxed);
+    return counters;
+  }
+
  private:
   /// n x n matrix with cell(i, j) evaluated across the pool (diagonal left
   /// 0): the shared flat-index pairwise pattern behind
@@ -296,9 +327,22 @@ class Engine {
       const std::function<std::vector<double>(const RankDistribution&, KeyId)>&
           column) const;
 
+  /// FlatTree::Compile, counted: the single chokepoint every engine path
+  /// compiles through, so fold_compiles_ cannot undercount.
+  FlatTree CompileCounted(const AndXorTree& tree) const;
+
+  /// Folds the calling thread's arena capacity into the high-water gauge —
+  /// called from inside parallel fold units, where the thread-local
+  /// scratch the unit just used is this thread's.
+  void NoteArenaHighWater() const;
+
   EngineOptions options_;
   // ParallelFor mutates pool bookkeeping; queries are logically const.
   mutable ThreadPool pool_;
+  // Observability counters (see obs_counters()); queries are logically
+  // const, so the instruments they bump are mutable atomics.
+  mutable std::atomic<int64_t> fold_compiles_{0};
+  mutable std::atomic<int64_t> arena_highwater_bytes_{0};
 };
 
 }  // namespace cpdb

@@ -1,0 +1,127 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// The injectable monotonic clock behind every timing read in the serving
+// layer. No service code calls std::chrono::*_clock::now() directly — the
+// clock-hygiene lint (tools/check_clock_hygiene.sh, run in CI) fails the
+// build if such a call appears outside src/obs/ — because a direct call is
+// an untestable timing read: latency histograms, trace spans, and the
+// slow-query log would then carry values no test can pin, and the
+// determinism suites this repo lives by (bitwise wire parity across thread
+// counts, shard counts, and cache budgets) could never cover the
+// observability surface. Instead:
+//
+//   * production code receives a `const Clock*` (SteadyClock::Instance(),
+//     the std::chrono::steady_clock adapter) through its options struct;
+//   * tests inject a FakeClock whose reads are a pure function of the
+//     test's Set/Advance calls (optionally auto-advancing per read), so a
+//     recorded duration — and therefore every histogram bucket, trace
+//     field, and slow-query decision — is exactly reproducible.
+//
+// Readings are int64 nanoseconds on an arbitrary epoch: only differences
+// are meaningful, which is all the observability layer ever computes.
+
+#ifndef CPDB_OBS_CLOCK_H_
+#define CPDB_OBS_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cpdb {
+
+/// \brief A monotonic nanosecond clock. Implementations must be safe to
+/// read from any thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// \brief Nanoseconds since the clock's (arbitrary) epoch; nondecreasing
+  /// across calls observed by one thread.
+  virtual int64_t NowNanos() const = 0;
+};
+
+/// \brief The real monotonic clock (std::chrono::steady_clock). This is the
+/// ONLY place in the tree allowed to read a std::chrono clock; everything
+/// else injects.
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// \brief The process-wide instance — the default every options struct
+  /// resolves a null clock pointer to.
+  static const Clock* Instance() {
+    static const SteadyClock kInstance;
+    return &kInstance;
+  }
+};
+
+/// \brief A manually driven clock for tests: reads return the value the
+/// test last Set (plus any Advance calls), so durations — and everything
+/// derived from them — are deterministic. Thread-safe: concurrent readers
+/// see some linearization of the writer's updates.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() const override {
+    // With auto-advance, each read ticks the clock forward by a fixed
+    // step *after* returning — so N reads observe start, start+step, ...,
+    // start+(N-1)*step: spans become exact functions of the read count,
+    // which is what the trace-determinism tests pin.
+    const int64_t step = auto_advance_.load(std::memory_order_relaxed);
+    if (step == 0) return now_.load(std::memory_order_relaxed);
+    return now_.fetch_add(step, std::memory_order_relaxed);
+  }
+
+  /// \brief Jumps the clock to an absolute reading.
+  void Set(int64_t nanos) { now_.store(nanos, std::memory_order_relaxed); }
+
+  /// \brief Moves the clock forward by `nanos` (use a nonnegative value;
+  /// the clock is supposed to be monotonic).
+  void Advance(int64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  /// \brief Makes every NowNanos() read advance the clock by `step` after
+  /// returning (0 — the default — disables auto-advance).
+  void set_auto_advance(int64_t step) {
+    auto_advance_.store(step, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<int64_t> now_;
+  std::atomic<int64_t> auto_advance_{0};
+};
+
+/// \brief A span timer over an injected clock. Constructed with nullptr it
+/// is fully inert — zero clock reads, ElapsedNanos() == 0 — which is how
+/// the serve path keeps metrics-off / trace-off requests free of timing
+/// overhead without branching at every site.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock)
+      : clock_(clock), start_(clock != nullptr ? clock->NowNanos() : 0) {}
+
+  /// \brief Nanoseconds since construction (clamped to >= 0 so a
+  /// misbehaving clock can never produce a negative duration downstream);
+  /// 0 when constructed with a null clock.
+  int64_t ElapsedNanos() const {
+    if (clock_ == nullptr) return 0;
+    const int64_t elapsed = clock_->NowNanos() - start_;
+    return elapsed > 0 ? elapsed : 0;
+  }
+
+  bool enabled() const { return clock_ != nullptr; }
+
+ private:
+  const Clock* clock_;
+  int64_t start_;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_OBS_CLOCK_H_

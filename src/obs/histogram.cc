@@ -1,0 +1,76 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cpdb {
+
+int LatencyBucketIndex(int64_t nanos) {
+  if (nanos <= 1) return 0;
+  // Smallest i with nanos <= 2^i, i.e. the bit width of (nanos - 1).
+  const uint64_t v = static_cast<uint64_t>(nanos - 1);
+  const int index = 64 - __builtin_clzll(v);
+  return std::min(index, kLatencyHistogramBuckets - 1);
+}
+
+int64_t LatencyBucketUpperNanos(int index) {
+  if (index < 0 || index >= kLatencyHistogramBuckets - 1) return -1;
+  return int64_t{1} << index;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum_nanos += other.sum_nanos;
+  min_nanos = std::min(min_nanos, other.min_nanos);
+  max_nanos = std::max(max_nanos, other.max_nanos);
+  for (int i = 0; i < kLatencyHistogramBuckets; ++i) {
+    buckets[static_cast<size_t>(i)] += other.buckets[static_cast<size_t>(i)];
+  }
+}
+
+LatencyHistogram::LatencyHistogram()
+    : min_nanos_(std::numeric_limits<int64_t>::max()) {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Record(int64_t nanos) {
+  const int64_t d = nanos > 0 ? nanos : 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(d, std::memory_order_relaxed);
+  buckets_[static_cast<size_t>(LatencyBucketIndex(d))].fetch_add(
+      1, std::memory_order_relaxed);
+  // CAS-min / CAS-max: contention is rare (the loop runs only while this
+  // Record is actually improving the extreme).
+  int64_t seen = min_nanos_.load(std::memory_order_relaxed);
+  while (d < seen && !min_nanos_.compare_exchange_weak(
+                         seen, d, std::memory_order_relaxed)) {
+  }
+  seen = max_nanos_.load(std::memory_order_relaxed);
+  while (d > seen && !max_nanos_.compare_exchange_weak(
+                         seen, d, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum_nanos = sum_nanos_.load(std::memory_order_relaxed);
+  const int64_t min = min_nanos_.load(std::memory_order_relaxed);
+  snapshot.min_nanos =
+      min == std::numeric_limits<int64_t>::max() ? 0 : min;
+  snapshot.max_nanos = max_nanos_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kLatencyHistogramBuckets; ++i) {
+    snapshot.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+}  // namespace cpdb

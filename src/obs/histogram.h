@@ -1,0 +1,105 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// A log2-bucketed latency histogram for the serve path. Design constraints,
+// in the order they were chosen:
+//
+//   * Fixed bucket boundaries. Bucket i covers durations d (nanoseconds)
+//     with 2^(i-1) < d <= 2^i (bucket 0 covers d <= 1 ns; the last bucket
+//     is the +Inf overflow). The boundaries are compile-time constants, so
+//     two histograms — recorded on different shards, processes, or runs —
+//     always agree on what a bucket means, and merging is bucket-wise
+//     integer addition. Nothing adapts to the data: adaptive boundaries
+//     would make the merged output depend on recording order.
+//
+//   * Integer nanoseconds throughout. Counts and sums are int64, so
+//     merging is associative and commutative — the merged snapshot is a
+//     pure function of the multiset of recorded durations, independent of
+//     which shard recorded what in which order. (A double sum would make
+//     shard layout visible in the last ulp.)
+//
+//   * Cheap enough for the hot path. Record is a handful of relaxed
+//     atomic adds (plus two CAS loops for min/max), no locks, no
+//     allocation — per-shard instances record concurrently and are merged
+//     only at scrape time.
+//
+// Snapshot consistency: under concurrent recording a snapshot may observe
+// a Record mid-flight (count updated, bucket not yet). Scrapes are
+// monitoring reads, not barriers; every test that asserts exact values
+// snapshots quiescent histograms.
+
+#ifndef CPDB_OBS_HISTOGRAM_H_
+#define CPDB_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace cpdb {
+
+/// \brief Number of buckets, including the final +Inf overflow bucket.
+/// Buckets 0..kLatencyHistogramBuckets-2 have upper bounds 2^0 .. 2^38
+/// nanoseconds (2^38 ns ~ 4.6 minutes — far beyond any sane request);
+/// anything larger lands in the overflow bucket.
+inline constexpr int kLatencyHistogramBuckets = 40;
+
+/// \brief The bucket index for a duration: the smallest i with
+/// nanos <= 2^i (0 for nanos <= 1), clamped to the overflow bucket. A pure
+/// function — the single definition of what the boundaries are.
+int LatencyBucketIndex(int64_t nanos);
+
+/// \brief The inclusive upper bound of bucket i in nanoseconds (2^i), or
+/// -1 for the +Inf overflow bucket.
+int64_t LatencyBucketUpperNanos(int index);
+
+/// \brief A point-in-time copy of a histogram — plain data, mergeable and
+/// comparable. The unit of cross-shard aggregation: scraping a sharded
+/// server merges per-shard snapshots bucket-wise.
+struct HistogramSnapshot {
+  int64_t count = 0;      ///< recorded durations
+  int64_t sum_nanos = 0;  ///< exact integer sum of recorded durations
+  int64_t min_nanos = 0;  ///< smallest recorded duration (0 when count == 0)
+  int64_t max_nanos = 0;  ///< largest recorded duration (0 when count == 0)
+  std::array<int64_t, kLatencyHistogramBuckets> buckets{};  ///< per-bucket
+                                                            ///< (not
+                                                            ///< cumulative)
+
+  /// \brief Bucket-wise merge: counts and sums add, min/max combine. The
+  /// result equals a histogram that recorded both operands' durations —
+  /// in any order.
+  void Merge(const HistogramSnapshot& other);
+
+  friend bool operator==(const HistogramSnapshot& a,
+                         const HistogramSnapshot& b) {
+    return a.count == b.count && a.sum_nanos == b.sum_nanos &&
+           a.min_nanos == b.min_nanos && a.max_nanos == b.max_nanos &&
+           a.buckets == b.buckets;
+  }
+  friend bool operator!=(const HistogramSnapshot& a,
+                         const HistogramSnapshot& b) {
+    return !(a == b);
+  }
+};
+
+/// \brief The live, thread-safe histogram. Record from any thread;
+/// Snapshot at scrape time.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// \brief Records one duration (negative values are clamped to 0 — a
+  /// duration is nonnegative by construction, see Stopwatch).
+  void Record(int64_t nanos);
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_nanos_{0};
+  std::atomic<int64_t> min_nanos_;  // INT64_MAX until the first Record
+  std::atomic<int64_t> max_nanos_{0};
+  std::array<std::atomic<int64_t>, kLatencyHistogramBuckets> buckets_;
+};
+
+}  // namespace cpdb
+
+#endif  // CPDB_OBS_HISTOGRAM_H_

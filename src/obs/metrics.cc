@@ -1,0 +1,221 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpdb {
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+[[noreturn]] void RegistryMisuse(const char* what, const std::string& name) {
+  // Registration happens at construction time with compile-time constant
+  // names; a bad name or a duplicate is a programming error a test hits on
+  // its first run, never a data-dependent condition worth a Status.
+  std::fprintf(stderr, "MetricsRegistry: %s: '%s'\n", what, name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name) const {
+  auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const MetricSample& s, const std::string& n) { return s.name < n; });
+  if (it == samples.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  std::vector<MetricSample> merged;
+  merged.reserve(samples.size() + other.samples.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < samples.size() || j < other.samples.size()) {
+    if (j >= other.samples.size() ||
+        (i < samples.size() && samples[i].name < other.samples[j].name)) {
+      merged.push_back(std::move(samples[i++]));
+      continue;
+    }
+    if (i >= samples.size() || other.samples[j].name < samples[i].name) {
+      merged.push_back(other.samples[j++]);
+      continue;
+    }
+    MetricSample combined = std::move(samples[i++]);
+    const MetricSample& rhs = other.samples[j++];
+    if (combined.kind != rhs.kind) {
+      RegistryMisuse("merge of mismatched kinds", combined.name);
+    }
+    if (combined.kind == MetricSample::Kind::kHistogram) {
+      combined.hist.Merge(rhs.hist);
+    } else {
+      // Counters sum by definition. Gauges in this registry are additive
+      // too (each shard reports its own retained bytes / peak scratch; the
+      // fleet view is the total) — see the header contract.
+      combined.value += rhs.value;
+    }
+    merged.push_back(std::move(combined));
+  }
+  samples = std::move(merged);
+}
+
+struct MetricsRegistry::Instrument {
+  std::string help;
+  MetricSample::Kind kind = MetricSample::Kind::kCounter;
+  // Exactly one of these is set, per kind.
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<LatencyHistogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help) {
+  if (!ValidMetricName(name)) RegistryMisuse("invalid metric name", name);
+  auto instrument = std::make_unique<Instrument>();
+  instrument->help = help;
+  instrument->kind = MetricSample::Kind::kCounter;
+  instrument->counter = std::make_unique<Counter>();
+  Counter* handle = instrument->counter.get();
+  if (!instruments_.emplace(name, std::move(instrument)).second) {
+    RegistryMisuse("duplicate metric name", name);
+  }
+  return handle;
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name,
+                                 const std::string& help) {
+  if (!ValidMetricName(name)) RegistryMisuse("invalid metric name", name);
+  auto instrument = std::make_unique<Instrument>();
+  instrument->help = help;
+  instrument->kind = MetricSample::Kind::kGauge;
+  instrument->gauge = std::make_unique<Gauge>();
+  Gauge* handle = instrument->gauge.get();
+  if (!instruments_.emplace(name, std::move(instrument)).second) {
+    RegistryMisuse("duplicate metric name", name);
+  }
+  return handle;
+}
+
+LatencyHistogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                                const std::string& help) {
+  if (!ValidMetricName(name)) RegistryMisuse("invalid metric name", name);
+  auto instrument = std::make_unique<Instrument>();
+  instrument->help = help;
+  instrument->kind = MetricSample::Kind::kHistogram;
+  instrument->histogram = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* handle = instrument->histogram.get();
+  if (!instruments_.emplace(name, std::move(instrument)).second) {
+    RegistryMisuse("duplicate metric name", name);
+  }
+  return handle;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.samples.reserve(instruments_.size());
+  // std::map iterates in name order — the sorted-export contract for free.
+  for (const auto& [name, instrument] : instruments_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.help = instrument->help;
+    sample.kind = instrument->kind;
+    switch (instrument->kind) {
+      case MetricSample::Kind::kCounter:
+        sample.value = instrument->counter->value();
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.value = instrument->gauge->value();
+        break;
+      case MetricSample::Kind::kHistogram:
+        sample.hist = instrument->histogram->Snapshot();
+        break;
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+std::vector<std::pair<std::string, std::string>> MetricsToKvPairs(
+    const MetricsSnapshot& snapshot) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.kind != MetricSample::Kind::kHistogram) {
+      pairs.emplace_back(sample.name, std::to_string(sample.value));
+      continue;
+    }
+    const HistogramSnapshot& hist = sample.hist;
+    pairs.emplace_back(sample.name + "_count", std::to_string(hist.count));
+    pairs.emplace_back(sample.name + "_sum_ns",
+                       std::to_string(hist.sum_nanos));
+    pairs.emplace_back(sample.name + "_min_ns",
+                       std::to_string(hist.min_nanos));
+    pairs.emplace_back(sample.name + "_max_ns",
+                       std::to_string(hist.max_nanos));
+    for (int i = 0; i < kLatencyHistogramBuckets; ++i) {
+      const int64_t count = hist.buckets[static_cast<size_t>(i)];
+      if (count == 0) continue;
+      pairs.emplace_back(sample.name + "_b" + std::to_string(i),
+                         std::to_string(count));
+    }
+  }
+  return pairs;
+}
+
+std::string MetricsToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricSample& sample : snapshot.samples) {
+    out += "# HELP " + sample.name + " " + sample.help + "\n";
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "# TYPE " + sample.name + " counter\n";
+        out += sample.name + " " + std::to_string(sample.value) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += "# TYPE " + sample.name + " gauge\n";
+        out += sample.name + " " + std::to_string(sample.value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += "# TYPE " + sample.name + " histogram\n";
+        // Cumulative `le` buckets; zero-increment buckets are elided
+        // (legal exposition: `le` label sets may be sparse) except the
+        // mandatory +Inf, which always equals _count.
+        int64_t cumulative = 0;
+        for (int i = 0; i < kLatencyHistogramBuckets - 1; ++i) {
+          const int64_t count = sample.hist.buckets[static_cast<size_t>(i)];
+          if (count == 0) continue;
+          cumulative += count;
+          out += sample.name + "_bucket{le=\"" +
+                 std::to_string(LatencyBucketUpperNanos(i)) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += sample.name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(sample.hist.count) + "\n";
+        out += sample.name + "_sum " + std::to_string(sample.hist.sum_nanos) +
+               "\n";
+        out += sample.name + "_count " + std::to_string(sample.hist.count) +
+               "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cpdb

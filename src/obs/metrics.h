@@ -1,0 +1,157 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// MetricsRegistry — the deterministic metrics surface of the serve path.
+// A registry is a named set of instruments (monotonic counters, gauges,
+// log2 latency histograms); a scrape produces a MetricsSnapshot — plain
+// data, sorted by metric name — which renders to either wire format the
+// `op=metrics` request speaks:
+//
+//   * kv   — flat `name=value` pairs in the existing response-line framing
+//            (MetricsToKvPairs), one field per scalar and a fixed family of
+//            fields per histogram;
+//   * prom — the Prometheus text exposition format (MetricsToPrometheusText)
+//            with HELP/TYPE comments and cumulative `le` histogram buckets.
+//
+// Determinism is the design center, same as everywhere else in this repo:
+// metric *names* are fixed at registration, export order is sorted by
+// name, histogram boundaries are compile-time constants, and every value
+// is an int64 — so the structure of a scrape is bitwise reproducible, and
+// with an injected FakeClock the values are too. Merging (MergeFrom) sums
+// counters and gauges and merges histograms bucket-wise, which is how a
+// sharded front-end presents one fleet view over per-shard registries: the
+// merged scrape is a pure function of the shards' snapshots, independent
+// of shard count or merge order (tests/sharded_service_test.cc pins merged
+// == bucket-wise sum of per-shard).
+//
+// The registry intentionally has no labels: a label set would smuggle
+// unbounded cardinality and formatting ambiguity into the wire contract.
+// Dimensions that matter (per-op, per-stage) are distinct flat names.
+//
+// The existing CacheStats counters are re-exported through this surface by
+// service/query_scheduler.h's AppendCacheStatsMetrics — the `stats` op and
+// the `metrics` op read the same structs, and a golden-name test pins the
+// exported names so the two can never drift apart silently.
+
+#ifndef CPDB_OBS_METRICS_H_
+#define CPDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace cpdb {
+
+/// \brief A monotonic counter (Prometheus "counter"). Thread-safe.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief A last-value / high-water gauge (Prometheus "gauge").
+/// Thread-safe.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  /// \brief Raises the gauge to `value` if larger — the high-water-mark
+  /// update (e.g. peak arena scratch bytes).
+  void UpdateMax(int64_t value) {
+    int64_t seen = value_.load(std::memory_order_relaxed);
+    while (value > seen && !value_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief One scraped metric — plain data.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;       ///< counter / gauge reading
+  HistogramSnapshot hist;  ///< histogram reading (kind == kHistogram)
+};
+
+/// \brief A scrape: samples sorted by name. Mergeable across shards.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// \brief The sample named `name`, or nullptr. Binary search (samples
+  /// are sorted by name).
+  const MetricSample* Find(const std::string& name) const;
+
+  /// \brief Folds `other` in: same-name samples combine (counters and
+  /// gauges add, histograms merge bucket-wise; the kinds must match — a
+  /// mismatch aborts, it is a programming error, not data), unmatched
+  /// names are unioned. Keeps the sorted order. Commutative and
+  /// associative, so a fleet merge is independent of shard order.
+  void MergeFrom(const MetricsSnapshot& other);
+};
+
+/// \brief A named set of instruments. Registration returns stable pointers
+/// (the registry owns the instruments); names must be unique and must
+/// match [a-zA-Z_][a-zA-Z0-9_]* — valid simultaneously as a protocol field
+/// name and a Prometheus metric name. Registration is not thread-safe
+/// (instruments are registered at construction time, before serving);
+/// recording through the returned pointers and Snapshot() are.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* AddCounter(const std::string& name, const std::string& help);
+  Gauge* AddGauge(const std::string& name, const std::string& help);
+  LatencyHistogram* AddHistogram(const std::string& name,
+                                 const std::string& help);
+
+  /// \brief Scrapes every instrument; samples sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Instrument;
+  std::map<std::string, std::unique_ptr<Instrument>> instruments_;
+};
+
+/// \brief Renders a snapshot as flat (name, value) string pairs — the
+/// `op=metrics format=kv` body. Counters and gauges produce one pair;
+/// a histogram named H produces H_count, H_sum_ns, H_min_ns, H_max_ns,
+/// then one H_b<i> pair per *nonzero* bucket (i is the bucket index;
+/// bucket i's upper bound is 2^i ns, the last index is the +Inf overflow).
+/// Zero buckets are elided so a scrape stays proportional to what was
+/// observed, not to the bucket table; the elision is deterministic (a
+/// bucket is present iff its count is nonzero).
+std::vector<std::pair<std::string, std::string>> MetricsToKvPairs(
+    const MetricsSnapshot& snapshot);
+
+/// \brief Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): HELP/TYPE comment pairs, counters/gauges as single
+/// samples, histograms as cumulative `le`-labeled bucket series (nonzero-
+/// increment buckets plus the mandatory le="+Inf") with _sum and _count.
+/// Values are integer nanoseconds — the metric names carry the unit.
+std::string MetricsToPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace cpdb
+
+#endif  // CPDB_OBS_METRICS_H_

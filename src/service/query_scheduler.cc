@@ -2,6 +2,7 @@
 
 #include "service/query_scheduler.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -27,8 +28,25 @@ const char* OpName(ServiceRequest::Op op) {
       return "world";
     case ServiceRequest::Op::kStats:
       return "stats";
+    case ServiceRequest::Op::kMetrics:
+      return "metrics";
   }
   return "?";
+}
+
+// The trace flag is accepted by every op (it modifies the response
+// envelope, not the answer), parsed with the same strictness as every
+// other enum-valued field.
+Status ParseTraceField(const RequestLine& line, ServiceRequest* request) {
+  const std::string* trace = line.Find("trace");
+  if (trace == nullptr) return Status::OK();
+  if (*trace == "on") {
+    request->trace = true;
+  } else if (*trace != "off") {
+    return Status::InvalidArgument("unknown trace '" + *trace +
+                                   "' (expected on or off)");
+  }
+  return Status::OK();
 }
 
 // Strict field-set check: a request naming a field its op does not take is
@@ -87,9 +105,12 @@ void AppendCacheFields(const CacheStats& stats, const std::string& prefix,
 Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line) {
   CPDB_ASSIGN_OR_RETURN(std::string op, RequiredField(line, "op"));
   ServiceRequest request;
+  Status trace_status = ParseTraceField(line, &request);
+  if (!trace_status.ok()) return trace_status;
   if (op == "load") {
     request.op = ServiceRequest::Op::kLoad;
-    Status allowed = CheckAllowedFields(line, {"name", "file", "format"});
+    Status allowed =
+        CheckAllowedFields(line, {"name", "file", "format", "trace"});
     if (!allowed.ok()) return allowed;
     CPDB_ASSIGN_OR_RETURN(request.load_name, RequiredField(line, "name"));
     CPDB_ASSIGN_OR_RETURN(request.load_file, RequiredField(line, "file"));
@@ -105,7 +126,7 @@ Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line) {
   if (op == "topk") {
     request.op = ServiceRequest::Op::kTopK;
     Status allowed =
-        CheckAllowedFields(line, {"tree", "k", "metric", "answer"});
+        CheckAllowedFields(line, {"tree", "k", "metric", "answer", "trace"});
     if (!allowed.ok()) return allowed;
     CPDB_ASSIGN_OR_RETURN(request.tree_name, RequiredField(line, "tree"));
     CPDB_ASSIGN_OR_RETURN(std::string k_text, RequiredField(line, "k"));
@@ -124,7 +145,8 @@ Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line) {
   }
   if (op == "world") {
     request.op = ServiceRequest::Op::kWorld;
-    Status allowed = CheckAllowedFields(line, {"tree", "metric", "answer"});
+    Status allowed =
+        CheckAllowedFields(line, {"tree", "metric", "answer", "trace"});
     if (!allowed.ok()) return allowed;
     CPDB_ASSIGN_OR_RETURN(request.tree_name, RequiredField(line, "tree"));
     if (const std::string* metric = line.Find("metric")) {
@@ -145,12 +167,25 @@ Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line) {
   }
   if (op == "stats") {
     request.op = ServiceRequest::Op::kStats;
-    Status allowed = CheckAllowedFields(line, {});
+    Status allowed = CheckAllowedFields(line, {"trace"});
     if (!allowed.ok()) return allowed;
     return request;
   }
-  return Status::InvalidArgument("unknown op '" + op +
-                                 "' (expected load, topk, world or stats)");
+  if (op == "metrics") {
+    request.op = ServiceRequest::Op::kMetrics;
+    Status allowed = CheckAllowedFields(line, {"format", "trace"});
+    if (!allowed.ok()) return allowed;
+    if (const std::string* format = line.Find("format")) {
+      if (*format != "kv" && *format != "prom") {
+        return Status::InvalidArgument("unknown format '" + *format +
+                                       "' (expected kv or prom)");
+      }
+      request.metrics_format = *format;
+    }
+    return request;
+  }
+  return Status::InvalidArgument(
+      "unknown op '" + op + "' (expected load, topk, world, stats or metrics)");
 }
 
 std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
@@ -197,8 +232,151 @@ std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
         }
       }
       break;
+    case ServiceRequest::Op::kMetrics:
+      fields.push_back({"format", response.metrics_format});
+      if (response.metrics_format == "prom") {
+        // One multi-line exposition body in one field: FormatResponseLine
+        // escapes the newlines, so the framing survives; clients unescape
+        // via ParseResponseLine and hand the body to any Prometheus
+        // scraper verbatim.
+        fields.push_back({"body", MetricsToPrometheusText(response.metrics)});
+      } else {
+        for (auto& [name, value] : MetricsToKvPairs(response.metrics)) {
+          fields.push_back({name, value});
+        }
+      }
+      break;
+  }
+  // Trace fields trail every op's answer fields, strictly additive: a
+  // trace=on response with its trace_* fields stripped is byte-identical
+  // to the trace=off response (the differential suite pins this).
+  if (response.timing.trace) {
+    fields.push_back(
+        {"trace_total_ns", std::to_string(response.timing.total_ns)});
+    for (const auto& [stage, nanos] : response.timing.spans) {
+      fields.push_back({"trace_" + stage + "_ns", std::to_string(nanos)});
+    }
   }
   return fields;
+}
+
+ServeInstruments::ServeInstruments() {
+  requests_total =
+      registry.AddCounter("cpdb_requests_total", "Requests received, any op.");
+  request_errors_total = registry.AddCounter(
+      "cpdb_request_errors_total", "Requests answered with an error line.");
+  load_requests = registry.AddCounter("cpdb_load_requests_total",
+                                      "op=load requests received.");
+  topk_requests = registry.AddCounter("cpdb_topk_requests_total",
+                                      "op=topk requests received.");
+  world_requests = registry.AddCounter("cpdb_world_requests_total",
+                                       "op=world requests received.");
+  stats_requests = registry.AddCounter("cpdb_stats_requests_total",
+                                       "op=stats requests received.");
+  metrics_requests = registry.AddCounter("cpdb_metrics_requests_total",
+                                         "op=metrics requests received.");
+  load_latency = registry.AddHistogram("cpdb_load_latency_nanoseconds",
+                                       "op=load service latency.");
+  topk_latency = registry.AddHistogram("cpdb_topk_latency_nanoseconds",
+                                       "op=topk service latency.");
+  world_latency = registry.AddHistogram("cpdb_world_latency_nanoseconds",
+                                        "op=world service latency.");
+  stats_latency = registry.AddHistogram("cpdb_stats_latency_nanoseconds",
+                                        "op=stats service latency.");
+  metrics_latency = registry.AddHistogram("cpdb_metrics_latency_nanoseconds",
+                                          "op=metrics service latency.");
+  stage_parse = registry.AddHistogram(
+      "cpdb_stage_parse_latency_nanoseconds",
+      "Parse durations: request lines and load-file trees.");
+  stage_catalog =
+      registry.AddHistogram("cpdb_stage_catalog_latency_nanoseconds",
+                            "Catalog insert and lookup durations.");
+  stage_cache = registry.AddHistogram(
+      "cpdb_stage_cache_latency_nanoseconds",
+      "Memo-cache routing durations (folds on miss included).");
+  stage_fold = registry.AddHistogram("cpdb_stage_fold_latency_nanoseconds",
+                                     "Engine evaluation durations.");
+  stage_format = registry.AddHistogram(
+      "cpdb_stage_format_latency_nanoseconds",
+      "Response formatting durations (recorded by the transport).");
+}
+
+Counter* ServeInstruments::op_counter(ServiceRequest::Op op) {
+  switch (op) {
+    case ServiceRequest::Op::kLoad:
+      return load_requests;
+    case ServiceRequest::Op::kTopK:
+      return topk_requests;
+    case ServiceRequest::Op::kWorld:
+      return world_requests;
+    case ServiceRequest::Op::kStats:
+      return stats_requests;
+    case ServiceRequest::Op::kMetrics:
+      return metrics_requests;
+  }
+  return requests_total;
+}
+
+LatencyHistogram* ServeInstruments::op_latency(ServiceRequest::Op op) {
+  switch (op) {
+    case ServiceRequest::Op::kLoad:
+      return load_latency;
+    case ServiceRequest::Op::kTopK:
+      return topk_latency;
+    case ServiceRequest::Op::kWorld:
+      return world_latency;
+    case ServiceRequest::Op::kStats:
+      return stats_latency;
+    case ServiceRequest::Op::kMetrics:
+      return metrics_latency;
+  }
+  return topk_latency;
+}
+
+LatencyHistogram* ServeInstruments::stage(const std::string& name) {
+  if (name == "parse") return stage_parse;
+  if (name == "catalog") return stage_catalog;
+  if (name == "cache") return stage_cache;
+  if (name == "fold") return stage_fold;
+  if (name == "format") return stage_format;
+  return nullptr;
+}
+
+void AppendCacheStatsMetrics(const CacheStats& stats,
+                             const std::string& prefix, MetricsSnapshot* out) {
+  auto add = [&](const char* name, MetricSample::Kind kind, int64_t value,
+                 const char* help) {
+    MetricSample sample;
+    sample.name = prefix + name;
+    sample.help = help;
+    sample.kind = kind;
+    sample.value = value;
+    out->samples.push_back(std::move(sample));
+  };
+  add("hits_total", MetricSample::Kind::kCounter, stats.hits, "Cache hits.");
+  add("misses_total", MetricSample::Kind::kCounter, stats.misses,
+      "Cache misses (entry computed).");
+  add("coalesced_total", MetricSample::Kind::kCounter, stats.coalesced,
+      "Lookups coalesced onto an in-flight compute.");
+  add("evictions_total", MetricSample::Kind::kCounter, stats.evictions,
+      "Entries evicted under the byte budget.");
+  add("entries", MetricSample::Kind::kGauge, stats.entries,
+      "Entries currently retained.");
+  add("bytes", MetricSample::Kind::kGauge, stats.bytes,
+      "Bytes currently charged against the budget.");
+}
+
+std::string FormatSlowQueryLine(int64_t line_number,
+                                const std::string& raw_request,
+                                const ResponseTiming& timing) {
+  std::string out = "slow-query\tline=" + std::to_string(line_number);
+  out += "\ttotal_ms=" +
+         FormatRoundTripDouble(static_cast<double>(timing.total_ns) / 1e6);
+  for (const auto& [stage, nanos] : timing.spans) {
+    out += "\t" + stage + "_ns=" + std::to_string(nanos);
+  }
+  out += "\trequest=" + EscapeFieldValue(raw_request);
+  return out;
 }
 
 QueryScheduler::QueryScheduler(const Engine* engine, TreeCatalog* catalog,
@@ -206,6 +384,10 @@ QueryScheduler::QueryScheduler(const Engine* engine, TreeCatalog* catalog,
     : engine_(engine),
       catalog_(catalog),
       options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SteadyClock::Instance()),
+      instruments_(options.enable_metrics ? std::make_unique<ServeInstruments>()
+                                          : nullptr),
       cache_(options.cache_budget_bytes),
       marginals_cache_(options.cache_budget_bytes) {}
 
@@ -221,11 +403,26 @@ Result<AndXorTree> LoadRequestTree(const ServiceRequest& request) {
 
 namespace {
 
-Result<ServiceResponse> ExecuteLoad(TreeCatalog* catalog,
-                                    const ServiceRequest& request) {
-  CPDB_ASSIGN_OR_RETURN(AndXorTree tree, LoadRequestTree(request));
+// Appends a finished span to `timing` — only when the stopwatch was live,
+// so untimed requests accumulate nothing (not even empty vectors' churn).
+void AddSpan(ResponseTiming* timing, const char* stage,
+             const Stopwatch& stopwatch) {
+  if (!stopwatch.enabled()) return;
+  timing->spans.emplace_back(stage, stopwatch.ElapsedNanos());
+}
+
+}  // namespace
+
+Result<ServiceResponse> QueryScheduler::ExecuteLoadTimed(
+    const ServiceRequest& request, const Clock* clk, ResponseTiming* timing) {
+  Stopwatch parse_watch(clk);
+  Result<AndXorTree> tree = LoadRequestTree(request);
+  AddSpan(timing, "parse", parse_watch);
+  if (!tree.ok()) return tree.status();
+  Stopwatch catalog_watch(clk);
   Result<CatalogEntry> entry =
-      catalog->Insert(request.load_name, std::move(tree));
+      catalog_->Insert(request.load_name, std::move(*tree));
+  AddSpan(timing, "catalog", catalog_watch);
   if (!entry.ok()) return entry.status();
   ServiceResponse response;
   response.op = ServiceRequest::Op::kLoad;
@@ -233,8 +430,6 @@ Result<ServiceResponse> ExecuteLoad(TreeCatalog* catalog,
   response.fingerprint = entry->fingerprint;
   return response;
 }
-
-}  // namespace
 
 std::shared_ptr<const RankDistribution> QueryScheduler::DistFor(
     const CatalogEntry& entry, const ServiceRequest& request) {
@@ -266,16 +461,22 @@ std::shared_ptr<const std::vector<double>> QueryScheduler::MarginalsFor(
 }
 
 Result<ServiceResponse> QueryScheduler::ExecuteWorld(
-    const CatalogEntry& entry, const ServiceRequest& request) {
+    const CatalogEntry& entry, const ServiceRequest& request,
+    const Clock* clk, ResponseTiming* timing) {
   const AndXorTree& tree = *entry.tree;
   // One marginal fold — shared through the cache with every other world
   // query against this content — serves the answer and its expected
   // distance via the engine's marginals-reuse entry point.
+  Stopwatch cache_watch(clk);
   std::shared_ptr<const std::vector<double>> marginals = MarginalsFor(entry);
-  CPDB_ASSIGN_OR_RETURN(
-      Engine::WorldResult world,
+  AddSpan(timing, "cache", cache_watch);
+  Stopwatch fold_watch(clk);
+  Result<Engine::WorldResult> world_result =
       engine_->ConsensusWorldWithMarginals(tree, *marginals,
-                                           request.median_world));
+                                           request.median_world);
+  AddSpan(timing, "fold", fold_watch);
+  if (!world_result.ok()) return world_result.status();
+  Engine::WorldResult& world = *world_result;
   ServiceResponse response;
   response.op = ServiceRequest::Op::kWorld;
   response.tree_name = request.tree_name;
@@ -296,17 +497,109 @@ ServiceResponse QueryScheduler::StatsResponse() const {
   return response;
 }
 
+MetricsSnapshot QueryScheduler::MetricsSnapshotNow() const {
+  MetricsSnapshot snapshot = instruments_->registry.Snapshot();
+  // The registry holds the serve-path instruments; the engine counters and
+  // the cache counters live in their own structs and are re-exported into
+  // the same scrape, so one op=metrics answer covers the whole shard.
+  MetricsSnapshot extra;
+  const EngineObsCounters engine_counters = engine_->obs_counters();
+  MetricSample fold_compiles;
+  fold_compiles.name = "cpdb_fold_compiles_total";
+  fold_compiles.help = "FlatTree compilations performed by the engine.";
+  fold_compiles.kind = MetricSample::Kind::kCounter;
+  fold_compiles.value = engine_counters.fold_compiles;
+  extra.samples.push_back(std::move(fold_compiles));
+  MetricSample arena_highwater;
+  arena_highwater.name = "cpdb_poly_arena_highwater_bytes";
+  arena_highwater.help =
+      "Peak thread-local fold-arena capacity observed on any engine thread.";
+  arena_highwater.kind = MetricSample::Kind::kGauge;
+  arena_highwater.value = engine_counters.arena_highwater_bytes;
+  extra.samples.push_back(std::move(arena_highwater));
+  AppendCacheStatsMetrics(cache_.stats(), "cpdb_rankdist_cache_", &extra);
+  AppendCacheStatsMetrics(marginals_cache_.stats(), "cpdb_marginals_cache_",
+                          &extra);
+  std::sort(extra.samples.begin(), extra.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  snapshot.MergeFrom(extra);
+  return snapshot;
+}
+
+Result<ServiceResponse> QueryScheduler::ExecuteMetricsOp(
+    const ServiceRequest& request, const Clock* clk) {
+  if (instruments_ == nullptr) {
+    return Status::InvalidArgument(
+        "op=metrics requires metrics enabled (serve without --metrics=off)");
+  }
+  // The scrape is timed whole (no stages), and its latency is recorded
+  // *after* the snapshot is taken: a scrape describes the work before it,
+  // never itself.
+  Stopwatch watch(clk);
+  ServiceResponse response;
+  response.op = ServiceRequest::Op::kMetrics;
+  response.metrics_format = request.metrics_format;
+  response.metrics = MetricsSnapshotNow();
+  if (watch.enabled()) {
+    response.timing.total_ns = watch.ElapsedNanos();
+    response.timing.trace = request.trace;
+    instruments_->metrics_latency->Record(response.timing.total_ns);
+  }
+  return response;
+}
+
+void QueryScheduler::FinishTiming(const ServiceRequest& request,
+                                  ResponseTiming* timing,
+                                  Result<ServiceResponse>* response) {
+  timing->total_ns = 0;
+  for (const auto& [stage, nanos] : timing->spans) timing->total_ns += nanos;
+  if (instruments_ != nullptr && !timing->spans.empty()) {
+    instruments_->op_latency(request.op)->Record(timing->total_ns);
+    for (const auto& [stage, nanos] : timing->spans) {
+      if (LatencyHistogram* hist = instruments_->stage(stage)) {
+        hist->Record(nanos);
+      }
+    }
+  }
+  // Attach timing to every timed ok response — not just traced ones: the
+  // transport's slow-query log reads total_ns off the response. The wire
+  // is unaffected because ResponseToFields only renders trace_* fields
+  // when timing.trace (the request said trace=on) is set.
+  if (response->ok() && !timing->spans.empty()) {
+    timing->trace = request.trace;
+    (*response)->timing = std::move(*timing);
+  }
+}
+
 std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
     const std::vector<ServiceRequest>& requests) {
   std::vector<Result<ServiceResponse>> responses(
       requests.size(),
       Result<ServiceResponse>(Status::Internal("request not executed")));
 
+  // Timing is live when metrics are on or any request asked for a trace;
+  // otherwise `clk` is null and every Stopwatch below is inert (zero clock
+  // reads). Instrumentation never touches answer bytes either way.
+  bool any_trace = false;
+  for (const ServiceRequest& request : requests) any_trace |= request.trace;
+  const Clock* clk = TimingClock(any_trace);
+  ServeInstruments* instruments = instruments_.get();
+  if (instruments != nullptr) {
+    instruments->requests_total->Increment(
+        static_cast<int64_t>(requests.size()));
+    for (const ServiceRequest& request : requests) {
+      instruments->op_counter(request.op)->Increment();
+    }
+  }
+  std::vector<ResponseTiming> timings(requests.size());
+
   // Loads first, in request order: a batch is a unit of work, so queries
   // may reference trees loaded anywhere in the same batch.
   for (size_t i = 0; i < requests.size(); ++i) {
     if (requests[i].op == ServiceRequest::Op::kLoad) {
-      responses[i] = ExecuteLoad(catalog_, requests[i]);
+      responses[i] = ExecuteLoadTimed(requests[i], clk, &timings[i]);
     }
   }
 
@@ -321,7 +614,9 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
         request.op != ServiceRequest::Op::kWorld) {
       continue;
     }
+    Stopwatch catalog_watch(clk);
     Result<CatalogEntry> entry = catalog_->Lookup(request.tree_name);
+    AddSpan(&timings[i], "catalog", catalog_watch);
     if (!entry.ok()) {
       responses[i] = entry.status();
       continue;
@@ -344,7 +639,9 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
   std::vector<std::shared_ptr<const RankDistribution>> dists(
       topk_slots.size());
   for (size_t j = 0; j < topk_slots.size(); ++j) {
+    Stopwatch cache_watch(clk);
     dists[j] = DistFor(topk_entries[j], requests[topk_slots[j]]);
+    AddSpan(&timings[topk_slots[j]], "cache", cache_watch);
   }
 
   // One engine submission for all Top-k slots: whole queries fan across
@@ -355,10 +652,19 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
     queries[j] = {topk_entries[j].tree.get(), request.k, request.metric,
                   request.answer, dists[j].get()};
   }
+  Stopwatch fold_watch(clk);
   std::vector<Result<TopKResult>> results =
       engine_->EvaluateConsensusBatch(queries);
+  // The whole submission is one engine call, so every Top-k slot records
+  // the same fold duration — per-slot attribution inside a fused batch
+  // would be fiction. The count (one fold span per slot) is what the
+  // sharded-parity tests rely on; values are side-band by contract.
+  const int64_t batch_fold_nanos = fold_watch.ElapsedNanos();
   for (size_t j = 0; j < topk_slots.size(); ++j) {
     const size_t slot = topk_slots[j];
+    if (fold_watch.enabled()) {
+      timings[slot].spans.emplace_back("fold", batch_fold_nanos);
+    }
     if (!results[j].ok()) {
       responses[slot] = results[j].status();
       continue;
@@ -379,13 +685,49 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
   // serves every world query's answer and expected distance.
   for (size_t j = 0; j < world_slots.size(); ++j) {
     const size_t slot = world_slots[j];
-    responses[slot] = ExecuteWorld(world_entries[j], requests[slot]);
+    responses[slot] =
+        ExecuteWorld(world_entries[j], requests[slot], clk, &timings[slot]);
   }
 
-  // Stats last: the counters describe the batch that just ran.
+  // Close out load/query timing — histogram records and error counts land
+  // *before* the stats/metrics passes below, so a scrape in this batch
+  // describes all of the batch's query work, sharded or not.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ServiceRequest::Op op = requests[i].op;
+    if (op == ServiceRequest::Op::kStats ||
+        op == ServiceRequest::Op::kMetrics) {
+      continue;
+    }
+    FinishTiming(requests[i], &timings[i], &responses[i]);
+    if (instruments != nullptr && !responses[i].ok()) {
+      instruments->request_errors_total->Increment();
+    }
+  }
+
+  // Stats next-to-last: the counters describe the batch that just ran.
   for (size_t i = 0; i < requests.size(); ++i) {
     if (requests[i].op == ServiceRequest::Op::kStats) {
-      responses[i] = StatsResponse();
+      Stopwatch stats_watch(clk);
+      ServiceResponse response = StatsResponse();
+      if (stats_watch.enabled()) {
+        response.timing.total_ns = stats_watch.ElapsedNanos();
+        response.timing.trace = requests[i].trace;
+        if (instruments != nullptr) {
+          instruments->stats_latency->Record(response.timing.total_ns);
+        }
+      }
+      responses[i] = std::move(response);
+    }
+  }
+
+  // Metrics last of all: a scrape in a batch answers for everything the
+  // batch did (including its stats probes), regardless of slot order.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].op == ServiceRequest::Op::kMetrics) {
+      responses[i] = ExecuteMetricsOp(requests[i], clk);
+      if (instruments != nullptr && !responses[i].ok()) {
+        instruments->request_errors_total->Increment();
+      }
     }
   }
   return responses;
@@ -393,43 +735,94 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
 
 Result<ServiceResponse> QueryScheduler::ExecuteOne(
     const ServiceRequest& request) {
-  switch (request.op) {
-    case ServiceRequest::Op::kLoad:
-      return ExecuteLoad(catalog_, request);
-    case ServiceRequest::Op::kStats:
-      return StatsResponse();
-    case ServiceRequest::Op::kTopK: {
-      CPDB_ASSIGN_OR_RETURN(CatalogEntry entry,
-                            catalog_->Lookup(request.tree_name));
-      std::shared_ptr<const RankDistribution> dist = DistFor(entry, request);
-      // With a cached (or freshly computed and now shared) distribution the
-      // engine runs only the metric tail; without one it runs the full
-      // query. Both paths are the bitwise-identical code ExecuteBatch
-      // submits per slot.
-      Result<TopKResult> result =
-          dist != nullptr
-              ? engine_->ConsensusTopKWithDist(*entry.tree, *dist,
-                                               request.metric, request.answer)
-              : engine_->ConsensusTopK(*entry.tree, request.k, request.metric,
-                                       request.answer);
-      if (!result.ok()) return result.status();
-      ServiceResponse response;
-      response.op = ServiceRequest::Op::kTopK;
-      response.tree_name = request.tree_name;
-      response.k = request.k;
-      response.metric = TopKMetricName(request.metric);
-      response.answer = TopKAnswerName(request.answer);
-      response.keys = result->keys;
-      response.expected_distance = result->expected_distance;
-      return response;
-    }
-    case ServiceRequest::Op::kWorld: {
-      CPDB_ASSIGN_OR_RETURN(CatalogEntry entry,
-                            catalog_->Lookup(request.tree_name));
-      return ExecuteWorld(entry, request);
-    }
+  const Clock* clk = TimingClock(request.trace);
+  ServeInstruments* instruments = instruments_.get();
+  if (instruments != nullptr) {
+    instruments->requests_total->Increment();
+    instruments->op_counter(request.op)->Increment();
   }
-  return Status::Internal("unknown request op");
+  Result<ServiceResponse> result = [&]() -> Result<ServiceResponse> {
+    ResponseTiming timing;
+    switch (request.op) {
+      case ServiceRequest::Op::kLoad: {
+        Result<ServiceResponse> response =
+            ExecuteLoadTimed(request, clk, &timing);
+        FinishTiming(request, &timing, &response);
+        return response;
+      }
+      case ServiceRequest::Op::kStats: {
+        Stopwatch stats_watch(clk);
+        ServiceResponse response = StatsResponse();
+        if (stats_watch.enabled()) {
+          response.timing.total_ns = stats_watch.ElapsedNanos();
+          response.timing.trace = request.trace;
+          if (instruments != nullptr) {
+            instruments->stats_latency->Record(response.timing.total_ns);
+          }
+        }
+        return response;
+      }
+      case ServiceRequest::Op::kMetrics:
+        return ExecuteMetricsOp(request, clk);
+      case ServiceRequest::Op::kTopK: {
+        Stopwatch catalog_watch(clk);
+        Result<CatalogEntry> entry = catalog_->Lookup(request.tree_name);
+        AddSpan(&timing, "catalog", catalog_watch);
+        if (!entry.ok()) {
+          Result<ServiceResponse> response(entry.status());
+          FinishTiming(request, &timing, &response);
+          return response;
+        }
+        Stopwatch cache_watch(clk);
+        std::shared_ptr<const RankDistribution> dist = DistFor(*entry, request);
+        AddSpan(&timing, "cache", cache_watch);
+        // With a cached (or freshly computed and now shared) distribution
+        // the engine runs only the metric tail; without one it runs the
+        // full query. Both paths are the bitwise-identical code
+        // ExecuteBatch submits per slot.
+        Stopwatch fold_watch(clk);
+        Result<TopKResult> result =
+            dist != nullptr
+                ? engine_->ConsensusTopKWithDist(*entry->tree, *dist,
+                                                 request.metric,
+                                                 request.answer)
+                : engine_->ConsensusTopK(*entry->tree, request.k,
+                                         request.metric, request.answer);
+        AddSpan(&timing, "fold", fold_watch);
+        Result<ServiceResponse> response(Status::Internal("unset"));
+        if (!result.ok()) {
+          response = Result<ServiceResponse>(result.status());
+        } else {
+          ServiceResponse answer;
+          answer.op = ServiceRequest::Op::kTopK;
+          answer.tree_name = request.tree_name;
+          answer.k = request.k;
+          answer.metric = TopKMetricName(request.metric);
+          answer.answer = TopKAnswerName(request.answer);
+          answer.keys = result->keys;
+          answer.expected_distance = result->expected_distance;
+          response = std::move(answer);
+        }
+        FinishTiming(request, &timing, &response);
+        return response;
+      }
+      case ServiceRequest::Op::kWorld: {
+        Stopwatch catalog_watch(clk);
+        Result<CatalogEntry> entry = catalog_->Lookup(request.tree_name);
+        AddSpan(&timing, "catalog", catalog_watch);
+        Result<ServiceResponse> response =
+            entry.ok() ? ExecuteWorld(*entry, request, clk, &timing)
+                       : Result<ServiceResponse>(entry.status());
+        FinishTiming(request, &timing, &response);
+        return response;
+      }
+    }
+    return Status::Internal("unknown request op");
+  }();
+  if (instruments != nullptr && !result.ok()) {
+    instruments->request_errors_total->Increment();
+  }
+  return result;
 }
 
 void QueryScheduler::ExecuteStreaming(

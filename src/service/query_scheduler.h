@@ -52,6 +52,8 @@
 #include "common/result.h"
 #include "engine/engine.h"
 #include "io/request_protocol.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "service/marginals_cache.h"
 #include "service/rank_dist_cache.h"
 #include "service/tree_catalog.h"
@@ -61,10 +63,11 @@ namespace cpdb {
 /// \brief One typed request of a service batch.
 struct ServiceRequest {
   enum class Op {
-    kLoad,   ///< register a tree file with the catalog
-    kTopK,   ///< consensus Top-k against a catalog tree
-    kWorld,  ///< set-consensus world against a catalog tree
-    kStats,  ///< report the scheduler's cache counters
+    kLoad,     ///< register a tree file with the catalog
+    kTopK,     ///< consensus Top-k against a catalog tree
+    kWorld,    ///< set-consensus world against a catalog tree
+    kStats,    ///< report the scheduler's cache counters
+    kMetrics,  ///< scrape the scheduler's metrics registry
   };
 
   Op op = Op::kTopK;
@@ -80,6 +83,13 @@ struct ServiceRequest {
   TopKMetric metric = TopKMetric::kSymDiff;   // kTopK
   TopKAnswer answer = TopKAnswer::kMean;      // kTopK
   bool median_world = false;                  // kWorld: median vs mean
+
+  // kMetrics
+  std::string metrics_format = "kv";  // kv | prom
+
+  /// Any op: `trace=on` asks for side-band trace_* stage-timing fields on
+  /// this request's ok response. Never changes the answer fields.
+  bool trace = false;
 };
 
 /// \brief Maps a tokenized protocol line to a typed request — the semantic
@@ -94,6 +104,19 @@ Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line);
 struct ShardCacheStats {
   CacheStats rank_dist;   ///< the shard's RankDistCache counters
   CacheStats marginals;   ///< the shard's MarginalsCache counters
+};
+
+/// \brief Side-band timing for one request — never part of the answer.
+/// Spans are (stage name, nanoseconds) in execution order; total_ns is the
+/// request's service latency (the sum of its spans for load/topk/world,
+/// one whole-op measurement for stats/metrics). The `trace` bit records
+/// whether the *request* asked for trace output: ResponseToFields emits
+/// trace_* fields only when it is set, so a response carrying timing for
+/// histogram purposes still renders byte-identical to an untimed one.
+struct ResponseTiming {
+  bool trace = false;
+  int64_t total_ns = 0;
+  std::vector<std::pair<std::string, int64_t>> spans;
 };
 
 /// \brief One request's answer; which members are meaningful depends on op.
@@ -114,6 +137,11 @@ struct ServiceResponse {
   /// single-engine QueryScheduler, whose wire output stays byte-identical
   /// to what it was before sharding existed.
   std::vector<ShardCacheStats> shard_stats;
+  std::string metrics_format;  // kMetrics echo (kv | prom)
+  MetricsSnapshot metrics;     // kMetrics: the scrape
+  /// Side-band stage timings; rendered as trace_* fields only when
+  /// timing.trace is set (the request said trace=on).
+  ResponseTiming timing;
 };
 
 /// \brief Renders a response as protocol fields, ready for
@@ -142,7 +170,77 @@ struct SchedulerOptions {
   /// independent of the budget — eviction costs recomputation, never
   /// correctness.
   int64_t cache_budget_bytes = kUnboundedCacheBytes;
+
+  /// Owns a ServeInstruments registry and records per-op latency
+  /// histograms, per-stage spans, and request/error counters
+  /// (the CLI's --metrics). Off means *zero* timing reads on the serve
+  /// path (no clock calls, no atomics) and op=metrics answers an error.
+  /// Answers are byte-identical either way — the differential suite pins
+  /// it.
+  bool enable_metrics = true;
+
+  /// The timing source; nullptr resolves to SteadyClock::Instance().
+  /// Tests inject a FakeClock here to make every histogram bucket and
+  /// trace field deterministic. Not owned; must outlive the scheduler.
+  const Clock* clock = nullptr;
 };
+
+/// \brief The serve path's instruments, owned by one scheduler (one per
+/// shard when sharded — cheap per-shard instances, merged at scrape time).
+/// All metric names are fixed here; tests/service_test.cc pins the cache
+/// re-export names and tests/obs_test.cc the export formats.
+struct ServeInstruments {
+  ServeInstruments();
+
+  MetricsRegistry registry;
+
+  Counter* requests_total;        // cpdb_requests_total
+  Counter* request_errors_total;  // cpdb_request_errors_total
+  Counter* load_requests;         // cpdb_load_requests_total
+  Counter* topk_requests;         // cpdb_topk_requests_total
+  Counter* world_requests;        // cpdb_world_requests_total
+  Counter* stats_requests;        // cpdb_stats_requests_total
+  Counter* metrics_requests;      // cpdb_metrics_requests_total
+
+  LatencyHistogram* load_latency;     // cpdb_load_latency_nanoseconds
+  LatencyHistogram* topk_latency;     // cpdb_topk_latency_nanoseconds
+  LatencyHistogram* world_latency;    // cpdb_world_latency_nanoseconds
+  LatencyHistogram* stats_latency;    // cpdb_stats_latency_nanoseconds
+  LatencyHistogram* metrics_latency;  // cpdb_metrics_latency_nanoseconds
+
+  // Stage spans: parse (request-line and tree-file parses), catalog
+  // (insert/lookup), cache (memo-cache routing incl. fold-on-miss),
+  // fold (engine evaluation), format (response rendering, recorded by the
+  // transport).
+  LatencyHistogram* stage_parse;    // cpdb_stage_parse_latency_nanoseconds
+  LatencyHistogram* stage_catalog;  // cpdb_stage_catalog_latency_nanoseconds
+  LatencyHistogram* stage_cache;    // cpdb_stage_cache_latency_nanoseconds
+  LatencyHistogram* stage_fold;     // cpdb_stage_fold_latency_nanoseconds
+  LatencyHistogram* stage_format;   // cpdb_stage_format_latency_nanoseconds
+
+  Counter* op_counter(ServiceRequest::Op op);
+  LatencyHistogram* op_latency(ServiceRequest::Op op);
+  /// The stage histogram for a span name, or nullptr for an unknown name.
+  LatencyHistogram* stage(const std::string& name);
+};
+
+/// \brief Re-exports a CacheStats snapshot as metric samples appended to
+/// `out` (hits/misses/coalesced/evictions as counters with a _total
+/// suffix, entries/bytes as gauges), named `<prefix><field>`. The caller
+/// sorts `out` before merging. Shared by the metrics scrape and the
+/// golden-name test, so the exported names cannot drift from the pinned
+/// set silently.
+void AppendCacheStatsMetrics(const CacheStats& stats,
+                             const std::string& prefix, MetricsSnapshot* out);
+
+/// \brief Renders one slow-query log line (the serve --slow-query-ms
+/// sink): tab-separated name=value fields — line number, total
+/// milliseconds (FormatRoundTripDouble), each recorded span in
+/// nanoseconds, then the raw request echoed through EscapeFieldValue so a
+/// hostile request cannot forge log structure. No trailing newline.
+std::string FormatSlowQueryLine(int64_t line_number,
+                                const std::string& raw_request,
+                                const ResponseTiming& timing);
 
 /// \brief Executes request batches against one engine and one catalog.
 ///
@@ -211,6 +309,20 @@ class QueryScheduler {
 
   const SchedulerOptions& options() const { return options_; }
 
+  /// \brief The owned instruments, or nullptr when metrics are disabled.
+  /// The sharded front-end records its front-end work (loads, routing
+  /// failures, stats/metrics ops) through this.
+  ServeInstruments* instruments() const { return instruments_.get(); }
+
+  /// \brief The injected clock (never null; defaults to SteadyClock).
+  const Clock* clock() const { return clock_; }
+
+  /// \brief The full metrics scrape: the registry's instruments plus the
+  /// engine's fold/arena counters and both caches' counters re-exported
+  /// under cpdb_rankdist_cache_* / cpdb_marginals_cache_*. Must not be
+  /// called when metrics are disabled (instruments() is nullptr).
+  MetricsSnapshot MetricsSnapshotNow() const;
+
  private:
   /// The rank distribution for one valid Top-k request: through the cache
   /// when enabled (single-flight, charged against the budget), nullptr
@@ -226,13 +338,39 @@ class QueryScheduler {
       const CatalogEntry& entry);
 
   Result<ServiceResponse> ExecuteWorld(const CatalogEntry& entry,
-                                       const ServiceRequest& request);
+                                       const ServiceRequest& request,
+                                       const Clock* clk,
+                                       ResponseTiming* timing);
+
+  /// The load path with stage spans: parse (read + parse the tree file)
+  /// and catalog (the insert). `clk` null means no spans are recorded.
+  Result<ServiceResponse> ExecuteLoadTimed(const ServiceRequest& request,
+                                           const Clock* clk,
+                                           ResponseTiming* timing);
+
+  Result<ServiceResponse> ExecuteMetricsOp(const ServiceRequest& request,
+                                           const Clock* clk);
 
   ServiceResponse StatsResponse() const;
+
+  /// The timing source for a unit of work: the injected clock when this
+  /// request must be timed (metrics on, or the request said trace=on),
+  /// nullptr — which makes every Stopwatch inert — otherwise.
+  const Clock* TimingClock(bool any_trace) const {
+    return (instruments_ != nullptr || any_trace) ? clock_ : nullptr;
+  }
+
+  /// Sums a finished request's spans into total_ns, records the op and
+  /// stage histograms (when metrics are on), and attaches trace output to
+  /// an ok response when the request asked for it.
+  void FinishTiming(const ServiceRequest& request, ResponseTiming* timing,
+                    Result<ServiceResponse>* response);
 
   const Engine* engine_;
   TreeCatalog* catalog_;
   SchedulerOptions options_;
+  const Clock* clock_;
+  std::unique_ptr<ServeInstruments> instruments_;
   RankDistCache cache_;
   MarginalsCache marginals_cache_;
 };

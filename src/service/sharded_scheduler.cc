@@ -27,7 +27,9 @@ void AccumulateCacheStats(CacheStats* total, const CacheStats& part) {
 
 ShardedScheduler::ShardedScheduler(int num_shards,
                                    const EngineOptions& engine_options,
-                                   SchedulerOptions options) {
+                                   SchedulerOptions options)
+    : clock_(options.clock != nullptr ? options.clock
+                                      : SteadyClock::Instance()) {
   const int n = std::max(num_shards, 1);
   shards_.reserve(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) {
@@ -81,7 +83,7 @@ Result<CatalogEntry> ShardedScheduler::Insert(const std::string& name,
 
 Result<CatalogEntry> ShardedScheduler::InsertCanonicalRouted(
     const std::string& name, AndXorTree tree, std::string canonical,
-    uint64_t fingerprint) {
+    uint64_t fingerprint, int* out_shard) {
   std::lock_guard<std::mutex> lock(mu_);
   // A bound name stays on its shard: re-inserting identical content lands
   // there anyway (same fingerprint, same shard), and different content
@@ -94,6 +96,7 @@ Result<CatalogEntry> ShardedScheduler::InsertCanonicalRouted(
   const int shard = it != directory_.end()
                         ? it->second
                         : ShardOfFingerprint(fingerprint, num_shards());
+  if (out_shard != nullptr) *out_shard = shard;
   Result<CatalogEntry> entry =
       shards_[static_cast<size_t>(shard)].catalog->InsertCanonical(
           name, std::move(tree), std::move(canonical), fingerprint);
@@ -172,19 +175,57 @@ Result<int> ShardedScheduler::ShardForName(const std::string& name) const {
 }
 
 Result<ServiceResponse> ShardedScheduler::ExecuteLoad(
-    const ServiceRequest& request) {
+    const ServiceRequest& request, const Clock* clk, ResponseTiming* timing,
+    int* out_shard) {
   // The shared front half (read + parse) runs here because routing needs
   // the content before any shard catalog is chosen; sharing it with the
   // single scheduler keeps the two paths' error statuses byte-identical
-  // by construction.
-  CPDB_ASSIGN_OR_RETURN(AndXorTree tree, LoadRequestTree(request));
-  CPDB_ASSIGN_OR_RETURN(CatalogEntry entry,
-                        Insert(request.load_name, std::move(tree)));
+  // by construction. Spans mirror the single scheduler's load path: parse
+  // (read + parse), catalog (the routed insert, serialization included —
+  // the single catalog serializes inside Insert too).
+  *out_shard = 0;
+  Stopwatch parse_watch(clk);
+  Result<AndXorTree> tree = LoadRequestTree(request);
+  if (parse_watch.enabled()) {
+    timing->spans.emplace_back("parse", parse_watch.ElapsedNanos());
+  }
+  if (!tree.ok()) return tree.status();
+  Stopwatch catalog_watch(clk);
+  Result<CatalogEntry> entry = [&]() -> Result<CatalogEntry> {
+    // Insert()'s body, with the owning shard surfaced for attribution.
+    if (request.load_name.empty()) {
+      return Status::InvalidArgument("catalog name must not be empty");
+    }
+    std::string canonical = FormatTree(*tree, /*indent=*/false);
+    const uint64_t fingerprint = Fnv1a64(canonical);
+    return InsertCanonicalRouted(request.load_name, std::move(*tree),
+                                 std::move(canonical), fingerprint, out_shard);
+  }();
+  if (catalog_watch.enabled()) {
+    timing->spans.emplace_back("catalog", catalog_watch.ElapsedNanos());
+  }
+  if (!entry.ok()) return entry.status();
   ServiceResponse response;
   response.op = ServiceRequest::Op::kLoad;
-  response.tree_name = entry.name;
-  response.fingerprint = entry.fingerprint;
+  response.tree_name = entry->name;
+  response.fingerprint = entry->fingerprint;
   return response;
+}
+
+void ShardedScheduler::RecordFrontend(size_t s, const ServiceRequest& request,
+                                      const ResponseTiming& timing,
+                                      bool ok) const {
+  ServeInstruments* instruments = ShardInstruments(s);
+  if (instruments == nullptr) return;
+  instruments->requests_total->Increment();
+  instruments->op_counter(request.op)->Increment();
+  instruments->op_latency(request.op)->Record(timing.total_ns);
+  for (const auto& [stage, nanos] : timing.spans) {
+    if (LatencyHistogram* hist = instruments->stage(stage)) {
+      hist->Record(nanos);
+    }
+  }
+  if (!ok) instruments->request_errors_total->Increment();
 }
 
 ServiceResponse ShardedScheduler::StatsResponse() const {
@@ -204,19 +245,41 @@ std::vector<Result<ServiceResponse>> ShardedScheduler::ExecuteBatch(
       requests.size(),
       Result<ServiceResponse>(Status::Internal("request not executed")));
 
+  // The front-end timing gate mirrors the per-shard schedulers': live when
+  // metrics are on or the batch asked for a trace, inert otherwise.
+  bool any_trace = false;
+  for (const ServiceRequest& request : requests) any_trace |= request.trace;
+  const Clock* clk = TimingClock(any_trace);
+
   // Loads first, in request order — the batch contract. Loads stay on the
   // front-end thread: they are rare, order-sensitive on names, and each
-  // one decides the routing for every query that follows.
+  // one decides the routing for every query that follows. Their metrics
+  // attribute to the shard that owns the loaded content, so the merged
+  // scrape matches a single scheduler's exactly.
   for (size_t i = 0; i < requests.size(); ++i) {
     if (requests[i].op == ServiceRequest::Op::kLoad) {
-      responses[i] = ExecuteLoad(requests[i]);
+      ResponseTiming timing;
+      int shard = 0;
+      responses[i] = ExecuteLoad(requests[i], clk, &timing, &shard);
+      for (const auto& [stage, nanos] : timing.spans) {
+        timing.total_ns += nanos;
+      }
+      RecordFrontend(static_cast<size_t>(shard), requests[i], timing,
+                     responses[i].ok());
+      if (responses[i].ok() && !timing.spans.empty()) {
+        timing.trace = requests[i].trace;
+        responses[i]->timing = std::move(timing);
+      }
     }
   }
 
   // Partition queries by owning shard, preserving slot order within each
   // sub-batch — per-key request order is what keeps each shard's cache
   // counters identical to the single scheduler's. Unknown names fail
-  // their slot here, exactly as the single scheduler's Lookup would.
+  // their slot here, exactly as the single scheduler's Lookup would —
+  // including the metrics trail such a failure leaves (a catalog span, an
+  // op-latency record, an error count), which lands on shard 0 since no
+  // shard owns the name.
   std::vector<std::vector<ServiceRequest>> sub_batches(shards_.size());
   std::vector<std::vector<size_t>> sub_slots(shards_.size());
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -225,8 +288,15 @@ std::vector<Result<ServiceResponse>> ShardedScheduler::ExecuteBatch(
         request.op != ServiceRequest::Op::kWorld) {
       continue;
     }
+    Stopwatch catalog_watch(clk);
     Result<int> shard = ShardForName(request.tree_name);
     if (!shard.ok()) {
+      ResponseTiming timing;
+      if (catalog_watch.enabled()) {
+        timing.total_ns = catalog_watch.ElapsedNanos();
+        timing.spans.emplace_back("catalog", timing.total_ns);
+      }
+      RecordFrontend(0, request, timing, /*ok=*/false);
       responses[i] = shard.status();
       continue;
     }
@@ -300,26 +370,133 @@ std::vector<Result<ServiceResponse>> ShardedScheduler::ExecuteBatch(
     }
   }
 
-  // Stats last: the aggregate describes the batch that just ran.
+  // Stats next-to-last: the aggregate describes the batch that just ran.
+  // The probe itself counts against shard 0, like every front-end op no
+  // shard owns.
   for (size_t i = 0; i < requests.size(); ++i) {
     if (requests[i].op == ServiceRequest::Op::kStats) {
-      responses[i] = StatsResponse();
+      Stopwatch stats_watch(clk);
+      ServiceResponse response = StatsResponse();
+      ResponseTiming timing;
+      if (stats_watch.enabled()) {
+        timing.total_ns = stats_watch.ElapsedNanos();
+        response.timing.total_ns = timing.total_ns;
+        response.timing.trace = requests[i].trace;
+      }
+      RecordFrontend(0, requests[i], timing, /*ok=*/true);
+      responses[i] = std::move(response);
+    }
+  }
+
+  // Metrics last of all, exactly like the single scheduler: the scrape
+  // answers for everything the batch did. By now every helper has joined,
+  // so the shard registries are quiescent and the merged snapshot is the
+  // sum of what a single scheduler would have recorded.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].op == ServiceRequest::Op::kMetrics) {
+      responses[i] = ExecuteMetricsOp(requests[i], clk);
     }
   }
   return responses;
 }
 
+Result<ServiceResponse> ShardedScheduler::ExecuteMetricsOp(
+    const ServiceRequest& request, const Clock* clk) {
+  ServeInstruments* instruments = ShardInstruments(0);
+  if (instruments == nullptr) {
+    // Byte-identical to the single scheduler's refusal.
+    return Status::InvalidArgument(
+        "op=metrics requires metrics enabled (serve without --metrics=off)");
+  }
+  // Count before scraping (the scrape includes this request, matching the
+  // single scheduler's count-at-entry); record the latency after.
+  instruments->requests_total->Increment();
+  instruments->metrics_requests->Increment();
+  Stopwatch watch(clk);
+  ServiceResponse response;
+  response.op = ServiceRequest::Op::kMetrics;
+  response.metrics_format = request.metrics_format;
+  response.metrics = MetricsSnapshotNow();
+  if (watch.enabled()) {
+    response.timing.total_ns = watch.ElapsedNanos();
+    response.timing.trace = request.trace;
+    instruments->metrics_latency->Record(response.timing.total_ns);
+  }
+  return response;
+}
+
+MetricsSnapshot ShardedScheduler::MetricsSnapshotNow() const {
+  MetricsSnapshot merged = shards_[0].scheduler->MetricsSnapshotNow();
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    merged.MergeFrom(shards_[s].scheduler->MetricsSnapshotNow());
+  }
+  return merged;
+}
+
+std::vector<MetricsSnapshot> ShardedScheduler::PerShardMetricsSnapshots()
+    const {
+  std::vector<MetricsSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    snapshots.push_back(shard.scheduler->MetricsSnapshotNow());
+  }
+  return snapshots;
+}
+
 Result<ServiceResponse> ShardedScheduler::ExecuteOne(
     const ServiceRequest& request) {
+  const Clock* clk = TimingClock(request.trace);
   switch (request.op) {
-    case ServiceRequest::Op::kLoad:
-      return ExecuteLoad(request);
-    case ServiceRequest::Op::kStats:
-      return StatsResponse();
+    case ServiceRequest::Op::kLoad: {
+      ResponseTiming timing;
+      int shard = 0;
+      Result<ServiceResponse> response =
+          ExecuteLoad(request, clk, &timing, &shard);
+      for (const auto& [stage, nanos] : timing.spans) {
+        timing.total_ns += nanos;
+      }
+      RecordFrontend(static_cast<size_t>(shard), request, timing,
+                     response.ok());
+      if (response.ok() && !timing.spans.empty()) {
+        timing.trace = request.trace;
+        response->timing = std::move(timing);
+      }
+      return response;
+    }
+    case ServiceRequest::Op::kStats: {
+      Stopwatch stats_watch(clk);
+      ServiceResponse response = StatsResponse();
+      ResponseTiming timing;
+      if (stats_watch.enabled()) {
+        timing.total_ns = stats_watch.ElapsedNanos();
+        response.timing.total_ns = timing.total_ns;
+        response.timing.trace = request.trace;
+      }
+      RecordFrontend(0, request, timing, /*ok=*/true);
+      return response;
+    }
+    case ServiceRequest::Op::kMetrics:
+      return ExecuteMetricsOp(request, clk);
     case ServiceRequest::Op::kTopK:
     case ServiceRequest::Op::kWorld: {
-      CPDB_ASSIGN_OR_RETURN(int shard, ShardForName(request.tree_name));
-      return shards_[static_cast<size_t>(shard)].scheduler->ExecuteOne(
+      Stopwatch catalog_watch(clk);
+      Result<int> shard = ShardForName(request.tree_name);
+      if (!shard.ok()) {
+        // The same metrics trail the single scheduler leaves for an
+        // unknown tree: a catalog span, an op-latency record, an error
+        // count — against shard 0, which fields every ownerless request.
+        ResponseTiming timing;
+        if (catalog_watch.enabled()) {
+          timing.total_ns = catalog_watch.ElapsedNanos();
+          timing.spans.emplace_back("catalog", timing.total_ns);
+        }
+        RecordFrontend(0, request, timing, /*ok=*/false);
+        return shard.status();
+      }
+      // The owning shard's scheduler does its own counting and timing, so
+      // the front-end lookup above deliberately records nothing on
+      // success — one request, one set of records.
+      return shards_[static_cast<size_t>(*shard)].scheduler->ExecuteOne(
           request);
     }
   }

@@ -148,6 +148,28 @@ class ShardedScheduler {
   /// \brief Per-shard counter snapshots, in shard order.
   std::vector<ShardCacheStats> PerShardStats() const;
 
+  /// \brief The fleet metrics scrape: the shards' snapshots merged
+  /// (counters and gauges sum, histograms merge bucket-wise) — a pure
+  /// function of the per-shard snapshots, independent of shard count or
+  /// merge order. This is what op=metrics answers when sharded. Must not
+  /// be called with metrics disabled.
+  MetricsSnapshot MetricsSnapshotNow() const;
+
+  /// \brief Each shard's own scrape, in shard order — the seam the parity
+  /// test uses to pin merged == bucket-wise sum of per-shard.
+  std::vector<MetricsSnapshot> PerShardMetricsSnapshots() const;
+
+  /// \brief The instruments front-end work records into (shard 0's — the
+  /// shard that fields every ownerless request), or nullptr when metrics
+  /// are off. The transport records its parse/format stages here, exactly
+  /// as it records into a single scheduler's instruments().
+  ServeInstruments* frontend_instruments() const {
+    return shards_[0].scheduler->instruments();
+  }
+
+  /// \brief The injected clock (never null; defaults to SteadyClock).
+  const Clock* clock() const { return clock_; }
+
  private:
   struct Shard {
     std::unique_ptr<Engine> engine;
@@ -155,17 +177,25 @@ class ShardedScheduler {
     std::unique_ptr<QueryScheduler> scheduler;
   };
 
-  Result<ServiceResponse> ExecuteLoad(const ServiceRequest& request);
+  /// Front-end load execution with stage spans (parse, catalog). Requests
+  /// and timing attribute to the shard owning the loaded content
+  /// (*out_shard; 0 when the load fails before routing) — so summing the
+  /// shards' registries reproduces the single scheduler's counts exactly.
+  Result<ServiceResponse> ExecuteLoad(const ServiceRequest& request,
+                                      const Clock* clk, ResponseTiming* timing,
+                                      int* out_shard);
 
   /// The shared back half of Insert and InstallSnapshot: routes by the
   /// directory (bound names stay on their shard) or the fingerprint
   /// partition, inserts via the shard catalog's InsertCanonical, and
   /// records the binding — all under mu_, so racing loads of one unbound
-  /// name cannot route to different shards.
+  /// name cannot route to different shards. `out_shard` (optional)
+  /// receives the shard the name routed to.
   Result<CatalogEntry> InsertCanonicalRouted(const std::string& name,
                                              AndXorTree tree,
                                              std::string canonical,
-                                             uint64_t fingerprint);
+                                             uint64_t fingerprint,
+                                             int* out_shard = nullptr);
 
   /// The shard bound to `name`, or NotFound with the same message
   /// TreeCatalog::Lookup reports — routing must not change error lines.
@@ -173,7 +203,34 @@ class ShardedScheduler {
 
   ServiceResponse StatsResponse() const;
 
+  /// The op=metrics answer: count the request against shard 0, build the
+  /// merged scrape, record its latency after. Mirrors
+  /// QueryScheduler::ExecuteMetricsOp, including its refusal when metrics
+  /// are off.
+  Result<ServiceResponse> ExecuteMetricsOp(const ServiceRequest& request,
+                                           const Clock* clk);
+
+  /// Shard `s`'s instruments (nullptr when metrics are off). Front-end
+  /// work — loads, routing failures, stats/metrics ops — is recorded here
+  /// against its owning shard (shard 0 when no shard owns it), keeping
+  /// "merged scrape == what a single scheduler would have recorded" exact.
+  ServeInstruments* ShardInstruments(size_t s) const {
+    return shards_[s].scheduler->instruments();
+  }
+
+  /// Counts one front-end request (and its optional error/latency/stage
+  /// records) into shard `s`'s registry; no-op when metrics are off.
+  void RecordFrontend(size_t s, const ServiceRequest& request,
+                      const ResponseTiming& timing, bool ok) const;
+
+  /// The front-end timing gate, same rule as the per-shard schedulers:
+  /// live when metrics are on or this batch asked for a trace.
+  const Clock* TimingClock(bool any_trace) const {
+    return (ShardInstruments(0) != nullptr || any_trace) ? clock_ : nullptr;
+  }
+
   std::vector<Shard> shards_;
+  const Clock* clock_;
   // Guards directory_: name -> owning shard. Names route to the shard
   // owning their content's fingerprint; the directory exists because
   // queries address trees by name and the fingerprint is only known to

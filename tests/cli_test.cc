@@ -764,5 +764,138 @@ TEST_F(CliTest, ErrorsOnBadUsage) {
   EXPECT_EQ(RunCliArgs({"validate", "/does/not/exist"}).code, 1);
 }
 
+// serve op=metrics end to end: the kv scrape answers in-band with the
+// request counters this very batch produced, and the prom scrape travels
+// as one escaped body= field that unescapes to a valid exposition.
+TEST_F(CliTest, ServeAnswersMetricsRequests) {
+  std::string requests_path = ::testing::TempDir() + "/cli_serve_metrics.txt";
+  ASSERT_TRUE(WriteStringToFile(
+                  requests_path,
+                  "op=load name=t file=" + tree_path_ + "\n"
+                  "op=topk tree=t k=2 metric=symdiff\n"
+                  "op=world tree=t\n"
+                  "op=metrics\n"
+                  "op=metrics format=prom\n")
+                  .ok());
+  CliResult r = RunCliArgs({"serve", requests_path});
+  EXPECT_EQ(r.code, 0) << r.err << r.out;
+
+  ResponseLine kv = FindResponse(r.out, {{"op", "metrics"}, {"format", "kv"}});
+  // Request counters describe the whole batch (counted before the scrape).
+  ASSERT_NE(kv.Find("cpdb_requests_total"), nullptr);
+  EXPECT_EQ(*kv.Find("cpdb_requests_total"), "5");
+  EXPECT_EQ(*kv.Find("cpdb_load_requests_total"), "1");
+  EXPECT_EQ(*kv.Find("cpdb_topk_requests_total"), "1");
+  EXPECT_EQ(*kv.Find("cpdb_world_requests_total"), "1");
+  EXPECT_EQ(*kv.Find("cpdb_metrics_requests_total"), "2");
+  EXPECT_EQ(*kv.Find("cpdb_request_errors_total"), "0");
+  EXPECT_EQ(*kv.Find("cpdb_topk_latency_nanoseconds_count"), "1");
+  // The queries paid real folds through the engine.
+  EXPECT_GT(std::stoll(*kv.Find("cpdb_fold_compiles_total")), 0);
+  ASSERT_NE(kv.Find("cpdb_poly_arena_highwater_bytes"), nullptr);
+  // The transport recorded its own stages.
+  EXPECT_EQ(*kv.Find("cpdb_stage_parse_latency_nanoseconds_count"), "6");
+
+  ResponseLine prom =
+      FindResponse(r.out, {{"op", "metrics"}, {"format", "prom"}});
+  ASSERT_NE(prom.Find("body"), nullptr);
+  const std::string& body = *prom.Find("body");
+  EXPECT_EQ(body.rfind("# HELP ", 0), 0u);
+  EXPECT_NE(body.find("# TYPE cpdb_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("cpdb_requests_total 5\n"), std::string::npos);
+  EXPECT_NE(body.find("cpdb_topk_latency_nanoseconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+
+  // trace=on surfaces side-band trace_* fields on that request's line.
+  std::string traced_path = ::testing::TempDir() + "/cli_serve_traced.txt";
+  ASSERT_TRUE(WriteStringToFile(
+                  traced_path,
+                  "op=load name=t file=" + tree_path_ + "\n"
+                  "op=topk tree=t k=2 metric=symdiff trace=on\n")
+                  .ok());
+  CliResult traced = RunCliArgs({"serve", traced_path});
+  EXPECT_EQ(traced.code, 0) << traced.err;
+  ResponseLine traced_topk = FindResponse(traced.out, {{"op", "topk"}});
+  EXPECT_NE(traced_topk.Find("trace_total_ns"), nullptr);
+  EXPECT_NE(traced_topk.Find("trace_fold_ns"), nullptr);
+}
+
+// --metrics=off and --slow-query-ms: answers never change (stdout parity
+// is byte-exact), the slow-query log goes to stderr only, and op=metrics
+// under --metrics=off is an in-band request error.
+TEST_F(CliTest, ServeMetricsOffParityAndSlowQueryLog) {
+  std::string requests_path = ::testing::TempDir() + "/cli_serve_sq.txt";
+  // Deterministic output only (no metrics scrape: its latency values
+  // differ run to run with the real clock).
+  ASSERT_TRUE(WriteStringToFile(
+                  requests_path,
+                  "op=load name=t file=" + tree_path_ + "\n"
+                  "op=topk tree=t k=2 metric=kendall\n"
+                  "op=world tree=t\n"
+                  "op=stats\n")
+                  .ok());
+  CliResult plain = RunCliArgs({"serve", requests_path});
+  EXPECT_EQ(plain.code, 0) << plain.err;
+  EXPECT_TRUE(plain.err.empty()) << plain.err;
+
+  CliResult off = RunCliArgs({"serve", requests_path, "--metrics=off"});
+  EXPECT_EQ(off.code, 0) << off.err;
+  EXPECT_EQ(off.out, plain.out);
+
+  // --slow-query-ms=0 logs every answered request to stderr; stdout bytes
+  // are untouched.
+  CliResult logged =
+      RunCliArgs({"serve", requests_path, "--slow-query-ms=0"});
+  EXPECT_EQ(logged.code, 0) << logged.err;
+  EXPECT_EQ(logged.out, plain.out);
+  EXPECT_NE(logged.err.find("slow-query\tline=2\t"), std::string::npos)
+      << logged.err;
+  EXPECT_NE(logged.err.find("total_ms="), std::string::npos);
+  EXPECT_NE(logged.err.find("fold_ns="), std::string::npos);
+  // The raw request rides escaped in a request= field.
+  EXPECT_NE(logged.err.find("request=op=topk tree=t k=2 metric=kendall"),
+            std::string::npos);
+  // Same in streaming mode.
+  CliResult streamed = RunCliArgs(
+      {"serve", requests_path, "--slow-query-ms=0", "--stream"});
+  EXPECT_EQ(streamed.code, 0) << streamed.err;
+  EXPECT_NE(streamed.err.find("slow-query\tline=2\t"), std::string::npos);
+  // A generous threshold logs nothing.
+  CliResult quiet =
+      RunCliArgs({"serve", requests_path, "--slow-query-ms=3600000"});
+  EXPECT_EQ(quiet.code, 0);
+  EXPECT_TRUE(quiet.err.empty()) << quiet.err;
+
+  // op=metrics with metrics disabled is an in-band request error.
+  std::string refused_path = ::testing::TempDir() + "/cli_serve_refused.txt";
+  ASSERT_TRUE(WriteStringToFile(refused_path, "op=metrics\n").ok());
+  CliResult refused =
+      RunCliArgs({"serve", refused_path, "--metrics=off"});
+  EXPECT_EQ(refused.code, 1);
+  EXPECT_NE(refused.out.find("error\tline=1\tmsg="), std::string::npos)
+      << refused.out;
+  EXPECT_NE(refused.out.find("op=metrics requires metrics enabled"),
+            std::string::npos);
+
+  // Flag hygiene, matching every other serve flag: strict values, strict
+  // range, serve-only scope, and the log's dependence on the instruments.
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--metrics=maybe"}).code, 2);
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--slow-query-ms=1x"}).code,
+            2);
+  EXPECT_EQ(RunCliArgs({"serve", requests_path, "--slow-query-ms=-1"}).code,
+            2);
+  CliResult scoped = RunCliArgs({"topk", tree_path_, "--k=2", "--metrics=off"});
+  EXPECT_EQ(scoped.code, 2);
+  EXPECT_NE(scoped.err.find("applies only to serve"), std::string::npos);
+  EXPECT_EQ(
+      RunCliArgs({"topk", tree_path_, "--k=2", "--slow-query-ms=5"}).code, 2);
+  CliResult needs_metrics = RunCliArgs(
+      {"serve", requests_path, "--metrics=off", "--slow-query-ms=5"});
+  EXPECT_EQ(needs_metrics.code, 2);
+  EXPECT_NE(needs_metrics.err.find("requires --metrics=on"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace cpdb

@@ -211,5 +211,41 @@ TEST(RequestProtocolTest, ParseResponseLineRejectsGarbage) {
   EXPECT_TRUE(ParseResponseLine("ok").ok());
 }
 
+// The slow-query log and the trace_* fields echo *request* text through
+// EscapeFieldValue — a hostile request must not be able to forge log or
+// response structure. Pin the round trip for the byte classes a request
+// line can smuggle in: tabs, newlines, backslashes, '=' signs, leading
+// '#', and the escape sequences themselves.
+TEST(RequestProtocolTest, HostileRequestEchoesRoundTrip) {
+  const std::string hostile_requests[] = {
+      "op=topk\ttree=a\tk=2",
+      "op=load\tname=x\tfile=/tmp/evil\nok\tforged=1",
+      "op=stats\t# trailing comment",
+      "op=metrics\tformat=kv\\n",
+      "tree=\\t\\\\\\n",
+      "op=topk tree=sp aces k=1=2",
+      std::string("binary\0payload", 14),
+  };
+  for (const std::string& raw : hostile_requests) {
+    const std::string escaped = EscapeFieldValue(raw);
+    // One line: the escape must remove every literal newline and tab.
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << raw;
+    EXPECT_EQ(escaped.find('\t'), std::string::npos) << raw;
+    auto unescaped = UnescapeFieldValue(escaped);
+    ASSERT_TRUE(unescaped.ok()) << raw;
+    EXPECT_EQ(*unescaped, raw);
+
+    // And embedded in a full response line (the trace/slow-query framing),
+    // the line parses back to exactly one field holding the raw bytes.
+    const std::string line =
+        FormatResponseLine({{"op", "topk"}, {"request", raw}});
+    auto parsed = ParseResponseLine(line);
+    ASSERT_TRUE(parsed.ok()) << raw;
+    ASSERT_EQ(parsed->fields.size(), 2u);
+    EXPECT_EQ(parsed->fields[1].name, "request");
+    EXPECT_EQ(parsed->fields[1].value, raw);
+  }
+}
+
 }  // namespace
 }  // namespace cpdb

@@ -781,5 +781,117 @@ TEST_F(QuerySchedulerTest, ResponsesRenderToProtocolFields) {
   EXPECT_NE(line.find("expected="), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Metrics registry surfaces
+// ---------------------------------------------------------------------------
+
+// The golden-name test: the cache-counter re-export names are wire
+// contract (dashboards and scrape configs key on them), so the exact set
+// for each prefix is pinned here. A rename must show up as a deliberate
+// edit to this list.
+TEST(CacheStatsMetricsTest, ExportedNamesAreGolden) {
+  for (const std::string prefix :
+       {std::string("cpdb_rankdist_cache_"),
+        std::string("cpdb_marginals_cache_")}) {
+    CacheStats stats;
+    stats.hits = 1;
+    stats.misses = 2;
+    stats.coalesced = 3;
+    stats.entries = 4;
+    stats.evictions = 5;
+    stats.bytes = 6;
+
+    MetricsSnapshot snapshot;
+    AppendCacheStatsMetrics(stats, prefix, &snapshot);
+    std::vector<std::pair<std::string, MetricSample::Kind>> got;
+    for (const MetricSample& sample : snapshot.samples) {
+      got.emplace_back(sample.name, sample.kind);
+    }
+    const std::vector<std::pair<std::string, MetricSample::Kind>> want = {
+        {prefix + "hits_total", MetricSample::Kind::kCounter},
+        {prefix + "misses_total", MetricSample::Kind::kCounter},
+        {prefix + "coalesced_total", MetricSample::Kind::kCounter},
+        {prefix + "evictions_total", MetricSample::Kind::kCounter},
+        {prefix + "entries", MetricSample::Kind::kGauge},
+        {prefix + "bytes", MetricSample::Kind::kGauge},
+    };
+    EXPECT_EQ(got, want) << prefix;
+  }
+}
+
+// op=stats and op=metrics read the same CacheStats structs; the values
+// they report must agree exactly.
+TEST_F(QuerySchedulerTest, MetricsScrapeAgreesWithStatsOp) {
+  Engine engine;
+  QueryScheduler scheduler(&engine, &catalog_);
+  std::vector<ServiceRequest> batch = {
+      TopKRequest("deep", 3, TopKMetric::kSymDiff),
+      TopKRequest("deep", 3, TopKMetric::kSymDiff),  // warm hit
+      TopKRequest("t", 2, TopKMetric::kKendall),
+  };
+  ServiceRequest world;
+  world.op = ServiceRequest::Op::kWorld;
+  world.tree_name = "deep";
+  batch.push_back(world);
+  ServiceRequest stats;
+  stats.op = ServiceRequest::Op::kStats;
+  batch.push_back(stats);
+  ServiceRequest metrics;
+  metrics.op = ServiceRequest::Op::kMetrics;
+  batch.push_back(metrics);
+
+  auto results = scheduler.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const auto& result : results) ASSERT_TRUE(result.ok());
+
+  const ServiceResponse& stats_response = *results[4];
+  const MetricsSnapshot& scrape = results[5]->metrics;
+  EXPECT_EQ(scrape.Find("cpdb_rankdist_cache_hits_total")->value,
+            stats_response.stats.hits);
+  EXPECT_EQ(scrape.Find("cpdb_rankdist_cache_misses_total")->value,
+            stats_response.stats.misses);
+  EXPECT_EQ(scrape.Find("cpdb_rankdist_cache_entries")->value,
+            stats_response.stats.entries);
+  EXPECT_EQ(scrape.Find("cpdb_rankdist_cache_bytes")->value,
+            stats_response.stats.bytes);
+  EXPECT_EQ(scrape.Find("cpdb_marginals_cache_hits_total")->value,
+            stats_response.marginals_stats.hits);
+  EXPECT_EQ(scrape.Find("cpdb_marginals_cache_misses_total")->value,
+            stats_response.marginals_stats.misses);
+
+  // The request counters describe this batch, metrics op included.
+  EXPECT_EQ(scrape.Find("cpdb_requests_total")->value, 6);
+  EXPECT_EQ(scrape.Find("cpdb_topk_requests_total")->value, 3);
+  EXPECT_EQ(scrape.Find("cpdb_world_requests_total")->value, 1);
+  EXPECT_EQ(scrape.Find("cpdb_stats_requests_total")->value, 1);
+  EXPECT_EQ(scrape.Find("cpdb_metrics_requests_total")->value, 1);
+  EXPECT_EQ(scrape.Find("cpdb_request_errors_total")->value, 0);
+  // The engine compiled at least one flat fold to answer the queries.
+  EXPECT_GT(scrape.Find("cpdb_fold_compiles_total")->value, 0);
+}
+
+// trace_* fields appear exactly when the request said trace=on — never
+// on a plain request, even with metrics recording enabled.
+TEST_F(QuerySchedulerTest, TraceFieldsGatedByRequest) {
+  Engine engine;
+  QueryScheduler scheduler(&engine, &catalog_);
+  ServiceRequest plain = TopKRequest("deep", 3, TopKMetric::kSymDiff);
+  ServiceRequest traced = plain;
+  traced.trace = true;
+
+  auto results = scheduler.ExecuteBatch({plain, traced});
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  const std::string plain_line =
+      FormatResponseLine(ResponseToFields(*results[0]));
+  const std::string traced_line =
+      FormatResponseLine(ResponseToFields(*results[1]));
+  EXPECT_EQ(plain_line.find("trace_"), std::string::npos);
+  EXPECT_NE(traced_line.find("\ttrace_total_ns="), std::string::npos);
+  // The answer prefix is byte-identical; trace fields are a pure suffix.
+  EXPECT_EQ(traced_line.substr(0, traced_line.find("\ttrace_")),
+            plain_line.substr(0, plain_line.size() - 1));
+}
+
 }  // namespace
 }  // namespace cpdb

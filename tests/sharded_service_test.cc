@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +23,8 @@
 #include "io/request_protocol.h"
 #include "io/table_io.h"
 #include "io/tree_text.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "workload/generators.h"
 
 namespace cpdb {
@@ -593,6 +596,213 @@ TEST_F(ShardedSchedulerTest, ConcurrentExecuteBatchCallsAgreeWithReference) {
     ExpectSameResponses(results, reference, /*compare_stats=*/false,
                         "concurrent");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: sharded scrapes vs the single scheduler
+// ---------------------------------------------------------------------------
+
+ServiceRequest MetricsRequest(const std::string& format = "kv") {
+  ServiceRequest request;
+  request.op = ServiceRequest::Op::kMetrics;
+  request.metrics_format = format;
+  return request;
+}
+
+// The scrape as a name -> value map, with the per-engine arena high-water
+// gauge dropped: it measures each engine's private scratch memory, so a
+// single 2-thread engine and four 2-thread shard engines legitimately
+// report different peaks. Every other sample is layout-independent.
+std::map<std::string, std::string> ComparableKv(const MetricsSnapshot& snap) {
+  std::map<std::string, std::string> map;
+  for (const auto& [name, value] : MetricsToKvPairs(snap)) {
+    if (name.rfind("cpdb_poly_arena", 0) == 0) continue;
+    map[name] = value;
+  }
+  return map;
+}
+
+// With a *fixed* FakeClock every recorded duration is exactly 0, so the
+// scrape — counters, error counts, histogram counts and values — must be
+// value-identical between the single scheduler and any shard count: the
+// sharded front-end attributes each request to exactly one shard's
+// registry, and the merged scrape is what one scheduler would have
+// recorded.
+TEST_F(ShardedSchedulerTest, MetricsScrapeParityAcrossShardCounts) {
+  FakeClock clock(1000);  // never advanced: all durations are 0
+  SchedulerOptions options;
+  options.clock = &clock;
+
+  std::vector<ServiceRequest> batch = DifferentialBatch(names_);
+  batch.push_back(MetricsRequest());
+
+  Engine engine(ReferenceEngineOptions());
+  TreeCatalog catalog;
+  Seed(nullptr, &catalog);
+  QueryScheduler reference(&engine, &catalog, options);
+  auto want_responses = reference.ExecuteBatch(batch);
+  const auto want = ComparableKv(reference.MetricsSnapshotNow());
+
+  for (int shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedScheduler sharded(shards, ReferenceEngineOptions(), options);
+    Seed(&sharded, nullptr);
+    auto got_responses = sharded.ExecuteBatch(batch);
+    // Aggregate stats counters match under an unbounded budget; the
+    // scrape comparison below is the real point.
+    ExpectSameResponses(got_responses, want_responses, /*compare_stats=*/true,
+                        "metrics parity");
+    const auto got = ComparableKv(sharded.MetricsSnapshotNow());
+    EXPECT_EQ(got, want);
+  }
+}
+
+// The merged scrape is exactly the bucket-wise sum of the per-shard
+// scrapes — in any merge order.
+TEST_F(ShardedSchedulerTest, MergedScrapeEqualsBucketwiseSumOfPerShard) {
+  ShardedScheduler sharded(3, ReferenceEngineOptions());
+  Seed(&sharded, nullptr);
+  auto results = sharded.ExecuteBatch(DifferentialBatch(names_));
+  ASSERT_FALSE(results.empty());
+
+  const std::vector<MetricsSnapshot> per_shard =
+      sharded.PerShardMetricsSnapshots();
+  ASSERT_EQ(per_shard.size(), 3u);
+  const MetricsSnapshot merged = sharded.MetricsSnapshotNow();
+
+  MetricsSnapshot forward = per_shard[0];
+  forward.MergeFrom(per_shard[1]);
+  forward.MergeFrom(per_shard[2]);
+  MetricsSnapshot reversed = per_shard[2];
+  reversed.MergeFrom(per_shard[1]);
+  reversed.MergeFrom(per_shard[0]);
+
+  for (const MetricsSnapshot* manual : {&forward, &reversed}) {
+    ASSERT_EQ(manual->samples.size(), merged.samples.size());
+    for (size_t i = 0; i < merged.samples.size(); ++i) {
+      SCOPED_TRACE(merged.samples[i].name);
+      EXPECT_EQ(manual->samples[i].name, merged.samples[i].name);
+      EXPECT_EQ(manual->samples[i].kind, merged.samples[i].kind);
+      EXPECT_EQ(manual->samples[i].value, merged.samples[i].value);
+      EXPECT_EQ(manual->samples[i].hist, merged.samples[i].hist);
+    }
+  }
+
+  // Spot-check the sum structurally: every request the batch carried is
+  // counted on exactly one shard.
+  int64_t per_shard_requests = 0;
+  for (const MetricsSnapshot& snap : per_shard) {
+    const MetricSample* sample = snap.Find("cpdb_requests_total");
+    ASSERT_NE(sample, nullptr);
+    per_shard_requests += sample->value;
+  }
+  EXPECT_EQ(per_shard_requests,
+            merged.Find("cpdb_requests_total")->value);
+  EXPECT_EQ(per_shard_requests,
+            static_cast<int64_t>(DifferentialBatch(names_).size()));
+}
+
+// The tentpole contract, pinned with the *real* clock: answer bytes are
+// identical whether metrics are on, off, traced, or the batch is served
+// by 1, 2, or 4 shards. Timing rides strictly side-band (trace_* fields),
+// so stripping those fields must recover the reference bytes exactly.
+TEST_F(ShardedSchedulerTest, WireBytesIdenticalAcrossMetricsTraceAndShards) {
+  const std::vector<ServiceRequest> batch = DifferentialBatch(names_);
+  std::vector<ServiceRequest> traced = batch;
+  for (ServiceRequest& request : traced) request.trace = true;
+
+  // Renders each slot the way serve does, with the two *declared*
+  // divergences stripped: trace_* fields (the side band under test) and
+  // the kStats per-shard breakdown (pinned separately by
+  // StatsResponseRendersShardBreakdownFields) — everything else must be
+  // bitwise stable.
+  auto render = [](const std::vector<Result<ServiceResponse>>& results) {
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        lines.push_back(FormatErrorLine(i + 1, results[i].status()));
+        continue;
+      }
+      std::string line = FormatResponseLine(ResponseToFields(*results[i]));
+      for (const char* side_band : {"\ttrace_", "\tshards="}) {
+        const size_t cut = line.find(side_band);
+        if (cut != std::string::npos) line = line.substr(0, cut) + "\n";
+      }
+      lines.push_back(line);
+    }
+    return lines;
+  };
+
+  Engine engine(ReferenceEngineOptions());
+  TreeCatalog catalog;
+  Seed(nullptr, &catalog);
+  QueryScheduler reference(&engine, &catalog, SchedulerOptions());
+  const std::vector<std::string> want = render(reference.ExecuteBatch(batch));
+
+  {
+    SCOPED_TRACE("metrics off");
+    Engine off_engine(ReferenceEngineOptions());
+    TreeCatalog off_catalog;
+    Seed(nullptr, &off_catalog);
+    SchedulerOptions off;
+    off.enable_metrics = false;
+    QueryScheduler scheduler(&off_engine, &off_catalog, off);
+    EXPECT_EQ(render(scheduler.ExecuteBatch(batch)), want);
+  }
+  {
+    SCOPED_TRACE("trace on");
+    Engine traced_engine(ReferenceEngineOptions());
+    TreeCatalog traced_catalog;
+    Seed(nullptr, &traced_catalog);
+    QueryScheduler scheduler(&traced_engine, &traced_catalog,
+                             SchedulerOptions());
+    EXPECT_EQ(render(scheduler.ExecuteBatch(traced)), want);
+  }
+  for (int shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    // Fresh front-ends per run: op=stats reports cumulative counters, so
+    // a second batch on a warm instance would legitimately differ.
+    ShardedScheduler sharded(shards, ReferenceEngineOptions());
+    Seed(&sharded, nullptr);
+    EXPECT_EQ(render(sharded.ExecuteBatch(batch)), want);
+    ShardedScheduler resharded(shards, ReferenceEngineOptions());
+    Seed(&resharded, nullptr);
+    EXPECT_EQ(render(resharded.ExecuteBatch(traced)), want);
+  }
+}
+
+// op=metrics speaks both formats through the sharded front-end, refuses
+// identically to the single scheduler when metrics are off, and the prom
+// body renders the merged scrape.
+TEST_F(ShardedSchedulerTest, MetricsOpFormatsAndDisabledRefusal) {
+  ShardedScheduler sharded(2, ReferenceEngineOptions());
+  Seed(&sharded, nullptr);
+  auto kv = sharded.ExecuteOne(MetricsRequest("kv"));
+  ASSERT_TRUE(kv.ok());
+  EXPECT_EQ(kv->metrics_format, "kv");
+  EXPECT_NE(kv->metrics.Find("cpdb_requests_total"), nullptr);
+
+  auto prom = sharded.ExecuteOne(MetricsRequest("prom"));
+  ASSERT_TRUE(prom.ok());
+  EXPECT_EQ(prom->metrics_format, "prom");
+  const std::string body = MetricsToPrometheusText(prom->metrics);
+  EXPECT_EQ(body.rfind("# HELP ", 0), 0u);
+
+  SchedulerOptions off;
+  off.enable_metrics = false;
+  ShardedScheduler disabled(2, ReferenceEngineOptions(), off);
+  auto refused = disabled.ExecuteOne(MetricsRequest());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+
+  Engine engine(ReferenceEngineOptions());
+  TreeCatalog catalog;
+  QueryScheduler single(&engine, &catalog, off);
+  auto single_refused = single.ExecuteOne(MetricsRequest());
+  ASSERT_FALSE(single_refused.ok());
+  // Refusal parity is wire parity: same code, same message.
+  EXPECT_EQ(single_refused.status().code(), refused.status().code());
+  EXPECT_EQ(single_refused.status().message(), refused.status().message());
 }
 
 }  // namespace

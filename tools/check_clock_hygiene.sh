@@ -1,0 +1,31 @@
+#!/bin/sh
+# Clock-hygiene lint: no std::chrono clock reads outside src/obs/.
+#
+# Every timing read on the serve path must go through the injectable
+# cpdb::Clock (src/obs/clock.h) so tests can pin histograms, trace fields,
+# and the slow-query log with a FakeClock. A direct
+# std::chrono::*_clock::now() call anywhere else is an untestable timing
+# source — this script fails the build when one appears in production code
+# (src/ and tools/). Tests and benchmarks may read wall clocks freely.
+#
+# Usage: tools/check_clock_hygiene.sh [repo-root]
+
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root"
+
+pattern='(steady_clock|system_clock|high_resolution_clock)[[:space:]]*::[[:space:]]*now'
+
+violations=$(grep -RnE "$pattern" src tools \
+  --include='*.h' --include='*.cc' \
+  | grep -v '^src/obs/' || true)
+
+if [ -n "$violations" ]; then
+  echo "clock-hygiene lint FAILED: direct std::chrono clock reads outside src/obs/." >&2
+  echo "Route timing through cpdb::Clock (src/obs/clock.h) instead:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+
+echo "clock hygiene OK: all std::chrono clock reads are inside src/obs/."

@@ -19,6 +19,7 @@
 #include "model/builders.h"
 #include "model/flat_tree.h"
 #include "model/possible_worlds.h"
+#include "obs/clock.h"
 #include "service/catalog_snapshot.h"
 #include "service/query_scheduler.h"
 #include "service/sharded_scheduler.h"
@@ -49,6 +50,10 @@ struct CliOptions {
   std::string catalog_path;       // serve: snapshot to load at startup
   std::string save_catalog_path;  // serve: snapshot to write at shutdown
   bool mmap = false;  // serve: load --catalog via mmap instead of read
+  bool metrics = true;      // serve: instruments + op=metrics on/off
+  bool metrics_set = false;  // --metrics given (serve only)
+  int64_t slow_query_ms = 0;      // serve: slow-query log threshold
+  bool slow_query_set = false;    // --slow-query-ms given (serve only)
 };
 
 // The evaluation engine configured by --threads. Results are independent of
@@ -170,6 +175,25 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
                                        "'");
       }
       opts.mmap = true;
+    } else if (name == "metrics") {
+      // Strict enum parse, same convention as --cache.
+      if (value == "on") {
+        opts.metrics = true;
+      } else if (value == "off") {
+        opts.metrics = false;
+      } else {
+        return Status::InvalidArgument("--metrics expects on or off, got '" +
+                                       value + "'");
+      }
+      opts.metrics_set = true;
+    } else if (name == "slow-query-ms") {
+      CPDB_ASSIGN_OR_RETURN(long long threshold, ParseIntFlag(name, value));
+      if (threshold < 0) {
+        return Status::InvalidArgument(
+            "--slow-query-ms must be >= 0, got '" + value + "'");
+      }
+      opts.slow_query_ms = threshold;
+      opts.slow_query_set = true;
     } else if (name == "stream") {
       // A boolean presence flag: "--stream=off" would invite the
       // silently-misread failure mode the strict parses exist to prevent.
@@ -212,6 +236,17 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
   }
   if (opts.mmap && opts.catalog_path.empty()) {
     return Status::InvalidArgument("--mmap requires --catalog");
+  }
+  if (opts.metrics_set && opts.command != "serve") {
+    return Status::InvalidArgument("--metrics applies only to serve");
+  }
+  if (opts.slow_query_set && opts.command != "serve") {
+    return Status::InvalidArgument("--slow-query-ms applies only to serve");
+  }
+  if (opts.slow_query_set && !opts.metrics) {
+    // The slow-query log reads the per-request timings the instruments
+    // produce; asking for it with metrics off would silently log nothing.
+    return Status::InvalidArgument("--slow-query-ms requires --metrics=on");
   }
   if (positional.size() > 1) opts.input_path = positional[1];
   if (positional.size() > 2) {
@@ -504,6 +539,7 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   SchedulerOptions scheduler_options;
   scheduler_options.use_cache = opts.cache;
   scheduler_options.cache_budget_bytes = opts.cache_budget;
+  scheduler_options.enable_metrics = opts.metrics;
 
   // One of the two back ends; the batch and streaming paths below
   // dispatch on which pointer is set. The plain QueryScheduler is the
@@ -554,6 +590,34 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     }
   }
 
+  // The transport's own instrumentation: parse and format stages record
+  // into the scheduler's registry (shard 0's when sharded — the same place
+  // every other front-end record lands), and the slow-query log reads the
+  // side-band timing off each answered response. All of it is inert when
+  // metrics are off.
+  ServeInstruments* instruments = sharded != nullptr
+                                      ? sharded->frontend_instruments()
+                                      : scheduler->instruments();
+  const Clock* clk = instruments != nullptr
+                         ? (sharded != nullptr ? sharded->clock()
+                                               : scheduler->clock())
+                         : nullptr;
+  const int64_t slow_nanos =
+      opts.slow_query_set ? opts.slow_query_ms * 1000000 : -1;
+  // Logs one stderr line for an answered request that ran longer than the
+  // threshold: line number, total and per-stage times, and the raw request
+  // echoed through EscapeFieldValue (a hostile request must not be able to
+  // forge log lines). Strictly side-band — stdout bytes never change.
+  auto maybe_log_slow = [&](size_t request_line_number,
+                            const std::string& raw_request,
+                            const ServiceResponse& response) {
+    if (slow_nanos < 0 || response.timing.total_ns <= slow_nanos) return;
+    std::fprintf(err, "%s\n",
+                 FormatSlowQueryLine(static_cast<int64_t>(request_line_number),
+                                     raw_request, response.timing)
+                     .c_str());
+  };
+
   int failed = 0;
   size_t line_number = 0;
   if (opts.stream) {
@@ -563,15 +627,20 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     // next line is read. `line_number` always names the line of the
     // request currently in flight, so emit's error lines attribute
     // correctly.
+    std::string current_raw;  // the in-flight request's text, for the log
     auto next = [&](ServiceRequest* request) -> bool {
       std::string text;
       while (ReadLine(in, &text)) {
         ++line_number;
+        Stopwatch parse_watch(clk);
         Result<RequestLine> line = ParseRequestLine(text);
         if (line.ok() && line->fields.empty()) continue;
         Result<ServiceRequest> mapped =
             line.ok() ? ServiceRequestFromLine(*line)
                       : Result<ServiceRequest>(line.status());
+        if (instruments != nullptr) {
+          instruments->stage_parse->Record(parse_watch.ElapsedNanos());
+        }
         if (!mapped.ok()) {
           std::fprintf(out, "%s",
                        FormatErrorLine(line_number, mapped.status()).c_str());
@@ -579,6 +648,7 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
           ++failed;
           continue;
         }
+        current_raw = text;
         *request = *std::move(mapped);
         return true;
       }
@@ -590,8 +660,14 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
                      FormatErrorLine(line_number, response.status()).c_str());
         ++failed;
       } else {
-        std::fprintf(out, "%s",
-                     FormatResponseLine(ResponseToFields(*response)).c_str());
+        Stopwatch format_watch(clk);
+        const std::string rendered =
+            FormatResponseLine(ResponseToFields(*response));
+        if (instruments != nullptr) {
+          instruments->stage_format->Record(format_watch.ElapsedNanos());
+        }
+        std::fprintf(out, "%s", rendered.c_str());
+        maybe_log_slow(line_number, current_raw, *response);
       }
       std::fflush(out);
     };
@@ -607,14 +683,20 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     // no response. Slots keep their input line number for error reporting.
     std::vector<size_t> line_numbers;
     std::vector<Result<ServiceRequest>> parsed;
+    std::vector<std::string> raw_lines;
     std::string text;
     while (ReadLine(in, &text)) {
       ++line_number;
+      Stopwatch parse_watch(clk);
       Result<RequestLine> line = ParseRequestLine(text);
       if (line.ok() && line->fields.empty()) continue;
       line_numbers.push_back(line_number);
+      raw_lines.push_back(text);
       parsed.push_back(line.ok() ? ServiceRequestFromLine(*line)
                                  : Result<ServiceRequest>(line.status()));
+      if (instruments != nullptr) {
+        instruments->stage_parse->Record(parse_watch.ElapsedNanos());
+      }
     }
 
     std::vector<ServiceRequest> batch;
@@ -641,8 +723,13 @@ int CmdServe(const CliOptions& opts, std::FILE* out, std::FILE* err) {
         ++failed;
         continue;
       }
-      std::fprintf(out, "%s",
-                   FormatResponseLine(ResponseToFields(*result)).c_str());
+      Stopwatch format_watch(clk);
+      const std::string rendered = FormatResponseLine(ResponseToFields(*result));
+      if (instruments != nullptr) {
+        instruments->stage_format->Record(format_watch.ElapsedNanos());
+      }
+      std::fprintf(out, "%s", rendered.c_str());
+      maybe_log_slow(line_numbers[i], raw_lines[i], *result);
     }
   }
   if (owned_in != nullptr) std::fclose(owned_in);
@@ -733,6 +820,10 @@ std::string CliUsage() {
       "                     op=topk tree=T k=K [metric=...] [answer=...]\n"
       "                     op=world tree=T [answer=mean|median]\n"
       "                     op=stats\n"
+      "                     op=metrics [format=kv|prom]\n"
+      "                   any request may add trace=on to receive side-band\n"
+      "                   trace_*_ns timing fields on its response line\n"
+      "                   (answer fields are bitwise identical either way);\n"
       "                   one tab-separated response line per request; rank\n"
       "                   distributions are cached by (tree fingerprint, k)\n"
       "                   and leaf marginals by fingerprint across requests.\n"
@@ -783,7 +874,16 @@ std::string CliUsage() {
       "                      batch hits warm) as a checksummed snapshot\n"
       "  --mmap              serve only, requires --catalog: map the\n"
       "                      snapshot read-only instead of streaming it\n"
-      "                      into memory; same validation, same answers\n";
+      "                      into memory; same validation, same answers\n"
+      "  --metrics=on|off    serve only: the metrics registry behind\n"
+      "                      op=metrics (default on; off disables all\n"
+      "                      timing reads and makes op=metrics an error;\n"
+      "                      answers are bitwise identical either way)\n"
+      "  --slow-query-ms=T   serve only, requires --metrics=on: log every\n"
+      "                      answered request slower than T milliseconds\n"
+      "                      to stderr with its per-stage timing and the\n"
+      "                      escaped request text (T=0 logs every request;\n"
+      "                      stdout bytes never change)\n";
 }
 
 int RunCli(const std::vector<std::string>& args, std::FILE* out,
