@@ -40,17 +40,28 @@
 //       which is the whole premise of partitioning by fingerprint. Answers
 //       are bitwise identical at every point on the curve
 //       (tests/sharded_service_test.cc).
+//
+// And the two-level-identity PR's dedup scenario:
+//
+//   BM_ServeDedupedCatalog — the BM_ServeTraceReplay request mix against a
+//       catalog of 8·D names holding commutative shuffles of 8 shapes.
+//       Structural keys collapse the duplicates to one compiled fold and
+//       one retained distribution per shape, so throughput stays flat as
+//       D grows (BENCH_serve_dedup.json).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <memory>
+#include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "engine/engine.h"
 #include "io/tree_text.h"
+#include "model/and_xor_tree.h"
 #include "service/catalog_snapshot.h"
 #include "service/query_scheduler.h"
 #include "service/sharded_scheduler.h"
@@ -510,6 +521,98 @@ void BM_ServeTraceReplay(benchmark::State& state) {
 BENCHMARK(BM_ServeTraceReplay)
     ->Args({0, 0})->Args({1, 0})->Args({1, 1})
     ->UseRealTime();
+
+// Rebuilds `id`'s subtree with every inner node's children in a random
+// order — a commutative shuffle: a different wire identity, the same
+// structural key.
+NodeId RebuildShuffledNode(const AndXorTree& in, NodeId id, Rng* rng,
+                           AndXorTree* out) {
+  const TreeNode& n = in.node(id);
+  if (n.kind == NodeKind::kLeaf) return out->AddLeaf(n.leaf);
+  std::vector<size_t> order(n.children.size());
+  std::iota(order.begin(), order.end(), 0u);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng->Next() % i]);
+  }
+  std::vector<NodeId> children;
+  std::vector<double> probs;
+  children.reserve(order.size());
+  for (size_t idx : order) {
+    children.push_back(RebuildShuffledNode(in, n.children[idx], rng, out));
+    if (n.kind == NodeKind::kXor) probs.push_back(n.edge_probs[idx]);
+  }
+  return n.kind == NodeKind::kAnd
+             ? out->AddAnd(std::move(children))
+             : out->AddXor(std::move(children), std::move(probs));
+}
+
+AndXorTree ShuffledCopy(const AndXorTree& tree, Rng* rng) {
+  AndXorTree out;
+  out.SetRoot(RebuildShuffledNode(tree, tree.root(), rng, &out));
+  return out;
+}
+
+// The two-level-identity acceptance benchmark: the mixed trace above,
+// replayed against a catalog of shuffled duplicates. Arg is the duplicate
+// factor D — the catalog binds 8·D names, where name i holds a random
+// commutative shuffle of shape i mod 8, and the 64-request trace cycles
+// over all 8·D names. Structural canonicalization keys every fold, cache
+// line, and compiled FlatTree by *shape*, so the counters pin the dedup
+// (shapes=8 and fold_compiles=8 at every D) and per-request throughput
+// stays flat as duplicates multiply: D=4 serves 32 names for the cost of 8
+// (BENCH_serve_dedup.json). Without the structural level every duplicate
+// would pay its own fold and its own retained distribution.
+void BM_ServeDedupedCatalog(benchmark::State& state) {
+  const int dups = static_cast<int>(state.range(0));
+  constexpr int kShapes = 8;
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 1;
+  engine_options.use_fast_bid_path = false;
+  Engine engine(engine_options);
+
+  // The same serving-sized shapes as BM_ServeTraceReplay (same generator
+  // seed), so the two benchmarks' per-request numbers are comparable.
+  Rng rng(77);
+  RandomTreeOptions tree_options;
+  tree_options.num_keys = 48;
+  tree_options.max_depth = 3;
+  tree_options.max_alternatives = 2;
+  std::vector<AndXorTree> shapes;
+  shapes.reserve(kShapes);
+  for (int t = 0; t < kShapes; ++t) {
+    shapes.push_back(*RandomAndXorTree(tree_options, &rng));
+  }
+
+  TreeCatalog catalog;
+  Rng shuffle_rng(123);
+  const int num_names = kShapes * dups;
+  for (int i = 0; i < num_names; ++i) {
+    AndXorTree tree = dups == 1
+                          ? shapes[static_cast<size_t>(i % kShapes)]
+                          : ShuffledCopy(shapes[static_cast<size_t>(i % kShapes)],
+                                         &shuffle_rng);
+    catalog.Insert("trace" + std::to_string(i), std::move(tree)).ValueOrDie();
+  }
+
+  QueryScheduler scheduler(&engine, &catalog);
+  const std::vector<ServiceRequest> trace = MixedTrace(num_names, false);
+  scheduler.ExecuteBatch(trace);  // warm: steady-state serving
+
+  for (auto _ : state) {
+    auto results = scheduler.ExecuteBatch(trace);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.size()));
+  const CatalogCounts counts = catalog.Counts();
+  state.counters["names"] = static_cast<double>(counts.names);
+  state.counters["shapes"] = static_cast<double>(counts.shapes);
+  state.counters["fold_compiles"] = static_cast<double>(catalog.fold_compiles());
+  state.counters["rankdist_entries"] =
+      static_cast<double>(scheduler.cache_stats().entries);
+}
+BENCHMARK(BM_ServeDedupedCatalog)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 }  // namespace cpdb

@@ -33,6 +33,73 @@ uint64_t Fnv1a64(const std::string& text);
 /// fingerprints take in protocol lines and logs.
 std::string HashToHex(uint64_t hash);
 
+// ---------------------------------------------------------------------------
+// Strong key types: the two identity spaces of the serving stack.
+//
+// ContentFp hashes a tree's exact canonical serialization — the wire-visible
+// identity (protocol fingerprint= fields, name binding, snapshot records).
+// StructKey hashes the serialization of the tree's canonical ORIENTATION
+// (commutative and/xor children sorted; see model/canonical.h) — the dedup
+// identity that caches, fold compiles, and shard routing key on.
+//
+// Both wrap a uint64_t but deliberately do not convert to or from it (or each
+// other) implicitly: a ContentFp handed to a StructKey consumer is a silent
+// cache-poisoning bug, so mixing the spaces must not compile. Construction
+// from a raw hash is explicit; `value()` is the escape hatch for encoding.
+// For a tree already in canonical orientation the two VALUES coincide
+// (same bytes hashed), which is what keeps shard routing and cache keys —
+// and therefore wire transcripts — unchanged for canonical inputs.
+// ---------------------------------------------------------------------------
+
+/// \brief Wire-visible identity: FNV-1a of the exact canonical serialization.
+class ContentFp {
+ public:
+  ContentFp() = default;
+  explicit ContentFp(uint64_t value) : value_(value) {}
+
+  uint64_t value() const { return value_; }
+
+  friend bool operator==(ContentFp a, ContentFp b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(ContentFp a, ContentFp b) {
+    return a.value_ != b.value_;
+  }
+  friend bool operator<(ContentFp a, ContentFp b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// \brief Structural identity: FNV-1a of the canonical ORIENTATION's
+/// serialization. Two trees equal modulo commutative child order share one
+/// StructKey.
+class StructKey {
+ public:
+  StructKey() = default;
+  explicit StructKey(uint64_t value) : value_(value) {}
+
+  uint64_t value() const { return value_; }
+
+  friend bool operator==(StructKey a, StructKey b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(StructKey a, StructKey b) {
+    return a.value_ != b.value_;
+  }
+  friend bool operator<(StructKey a, StructKey b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+inline std::string HashToHex(ContentFp fp) { return HashToHex(fp.value()); }
+inline std::string HashToHex(StructKey key) { return HashToHex(key.value()); }
+
 }  // namespace cpdb
 
 #endif  // CPDB_COMMON_HASH_H_

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "core/jaccard.h"  // IsBlockIndependent
@@ -75,18 +76,20 @@ Engine::~Engine() = default;
 
 int Engine::num_threads() const { return pool_.num_threads(); }
 
-RankDistribution Engine::ComputeRankDistribution(const AndXorTree& tree,
-                                                 int k) const {
+RankDistribution Engine::ComputeRankDistribution(
+    const AndXorTree& tree, int k, const FlatTree* program) const {
   if (options_.use_fast_bid_path && IsBlockIndependent(tree)) {
     Result<RankDistribution> fast = ComputeRankDistributionFast(tree, k);
     if (fast.ok()) return std::move(fast).ValueOrDie();
     // Fall through to the general path on any fast-path failure.
   }
 
-  // Compile the flat form once; the immutable FlatTree is shared read-only
-  // across all parallel leaf tasks, each of which folds over its own
-  // thread-local arena scratch.
-  const FlatTree flat = CompileCounted(tree);
+  // Compile the flat form once (or reuse the caller's shared program); the
+  // immutable FlatTree is shared read-only across all parallel leaf tasks,
+  // each of which folds over its own thread-local arena scratch.
+  std::optional<FlatTree> owned;
+  if (program == nullptr) owned.emplace(CompileCounted(tree));
+  const FlatTree& flat = program != nullptr ? *program : *owned;
   const int num_leaves = flat.num_leaves();
   std::vector<std::vector<double>> contributions(
       static_cast<size_t>(num_leaves));
@@ -140,13 +143,16 @@ std::vector<std::vector<double>> Engine::PerKeyColumns(
   return columns;
 }
 
-std::vector<double> Engine::LeafMarginals(const AndXorTree& tree) const {
+std::vector<double> Engine::LeafMarginals(const AndXorTree& tree,
+                                          const FlatTree* program) const {
   // FlatTree::Compile carries the root-to-leaf XOR edge product down its
   // single O(N) walk, multiplying in the exact order tree.LeafMarginal
   // does, so scattering the precomputed leaf-table marginals is bitwise
   // identical to the historical per-leaf pointer walks — and replaces L
-  // O(depth) walks with one pass.
-  const FlatTree flat = CompileCounted(tree);
+  // O(depth) walks with one pass (or zero, with a supplied program).
+  std::optional<FlatTree> owned;
+  if (program == nullptr) owned.emplace(CompileCounted(tree));
+  const FlatTree& flat = program != nullptr ? *program : *owned;
   std::vector<double> marginal(static_cast<size_t>(tree.NumNodes()), 0.0);
   for (const FlatLeaf& leaf : flat.leaves()) {
     marginal[static_cast<size_t>(leaf.node)] = leaf.marginal;
@@ -155,9 +161,12 @@ std::vector<double> Engine::LeafMarginals(const AndXorTree& tree) const {
 }
 
 std::vector<std::vector<double>> Engine::PairwiseOrderProbabilities(
-    const AndXorTree& tree, const std::vector<KeyId>& keys) const {
+    const AndXorTree& tree, const std::vector<KeyId>& keys,
+    const FlatTree* program) const {
   // One compiled tree shared read-only by all n^2 parallel cells.
-  const FlatTree flat = CompileCounted(tree);
+  std::optional<FlatTree> owned;
+  if (program == nullptr) owned.emplace(CompileCounted(tree));
+  const FlatTree& flat = program != nullptr ? *program : *owned;
   return PairwiseMatrix(keys.size(), [&](size_t i, size_t j) {
     return PrRanksBefore(flat, keys[i], keys[j]);
   });
@@ -204,19 +213,20 @@ Status Engine::ValidateConsensusRequest(TopKMetric metric, TopKAnswer answer) {
 }
 
 Result<TopKResult> Engine::ConsensusTopK(const AndXorTree& tree, int k,
-                                         TopKMetric metric,
-                                         TopKAnswer answer) const {
+                                         TopKMetric metric, TopKAnswer answer,
+                                         const FlatTree* program) const {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   Status valid = ValidateTopKRequest(metric, answer);
   if (!valid.ok()) return valid;
-  return ConsensusTopKWithDist(tree, ComputeRankDistribution(tree, k), metric,
-                               answer);
+  return ConsensusTopKWithDist(tree, ComputeRankDistribution(tree, k, program),
+                               metric, answer, program);
 }
 
 Result<TopKResult> Engine::ConsensusTopKWithDist(const AndXorTree& tree,
                                                  const RankDistribution& dist,
                                                  TopKMetric metric,
-                                                 TopKAnswer answer) const {
+                                                 TopKAnswer answer,
+                                                 const FlatTree* program) const {
   const int k = dist.k();
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   Status valid = ValidateTopKRequest(metric, answer);
@@ -287,7 +297,9 @@ Result<TopKResult> Engine::ConsensusTopKWithDist(const AndXorTree& tree,
       // schedule-deterministic), then build the footrule answer from
       // parallel cost columns and re-score it under d_K.
       std::vector<KeyId> keys = tree.Keys();
-      const FlatTree flat = CompileCounted(tree);
+      std::optional<FlatTree> owned;
+      if (program == nullptr) owned.emplace(CompileCounted(tree));
+      const FlatTree& flat = program != nullptr ? *program : *owned;
       std::vector<std::vector<double>> q =
           PairwiseMatrix(keys.size(), [&](size_t iu, size_t it) {
             return PrInTopKAndBefore(flat, keys[iu], keys[it], k);
@@ -331,12 +343,12 @@ std::vector<Result<TopKResult>> Engine::EvaluateConsensusBatch(
             "ConsensusQuery.dist was computed for a different k");
         return;
       }
-      results[static_cast<size_t>(i)] =
-          ConsensusTopKWithDist(*q.tree, *q.dist, q.metric, q.answer);
+      results[static_cast<size_t>(i)] = ConsensusTopKWithDist(
+          *q.tree, *q.dist, q.metric, q.answer, q.program);
       return;
     }
     results[static_cast<size_t>(i)] =
-        ConsensusTopK(*q.tree, q.k, q.metric, q.answer);
+        ConsensusTopK(*q.tree, q.k, q.metric, q.answer, q.program);
   });
   return results;
 }

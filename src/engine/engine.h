@@ -148,15 +148,24 @@ class Engine {
   /// tree), the result is that of ComputeRankDistributionFast — sequential
   /// and deterministic, but a numerically different (equally correct)
   /// algorithm than the general path, agreeing only to ~1e-9.
-  RankDistribution ComputeRankDistribution(const AndXorTree& tree,
-                                           int k) const;
+  ///
+  /// `program`, when non-null, must be FlatTree::Compile(tree) (the
+  /// serving catalog holds exactly that, one per distinct shape); the call
+  /// then skips its own compile. A compiled program is a pure function of
+  /// the tree, so the answer is bitwise identical either way — this and
+  /// the other `program` parameters below only move WHERE the one compile
+  /// happens (catalog insert vs. first query). Ignored on the fast BID
+  /// path, which never compiles.
+  RankDistribution ComputeRankDistribution(
+      const AndXorTree& tree, int k, const FlatTree* program = nullptr) const;
 
   /// \brief Parallel PairwiseOrderProbabilities: one task per ordered pair,
-  /// all sharing a single compiled FlatTree (the compile is paid once per
-  /// call, not once per cell).
+  /// all sharing a single compiled FlatTree (the compile — or the supplied
+  /// `program` — is shared across cells, never paid per cell).
   /// result[i][j] = Pr(r(keys[i]) < r(keys[j])); diagonal is 0.
   std::vector<std::vector<double>> PairwiseOrderProbabilities(
-      const AndXorTree& tree, const std::vector<KeyId>& keys) const;
+      const AndXorTree& tree, const std::vector<KeyId>& keys,
+      const FlatTree* program = nullptr) const;
 
   // -- Consensus Top-k (Section 5) ----------------------------------------
 
@@ -171,7 +180,8 @@ class Engine {
   /// InvalidArgument.
   Result<TopKResult> ConsensusTopK(const AndXorTree& tree, int k,
                                    TopKMetric metric,
-                                   TopKAnswer answer = TopKAnswer::kMean) const;
+                                   TopKAnswer answer = TopKAnswer::kMean,
+                                   const FlatTree* program = nullptr) const;
 
   /// \brief Validates a (metric, answer) combination without running a
   /// query — the same check ConsensusTopK performs before paying the
@@ -184,8 +194,8 @@ class Engine {
   /// \brief ConsensusTopK with the rank-distribution precompute supplied by
   /// the caller: the cache-aware entry point. `dist` must be the engine's
   /// ComputeRankDistribution(tree, dist.k()) — the serving layer's
-  /// RankDistCache memoizes exactly that value by (tree fingerprint, k), so
-  /// repeated queries against one tree skip the O(L^2 k) fold. Because the
+  /// RankDistCache memoizes exactly that value by (StructKey, k), so
+  /// repeated queries against one shape skip the O(L^2 k) fold. Because the
   /// fold is schedule-deterministic, answers are bitwise identical whether
   /// `dist` was computed fresh or served from a cache. The metric-specific
   /// tails (strata, columns, q matrix) still run through the pool. The
@@ -194,10 +204,11 @@ class Engine {
   /// *different tree over the identical key set* (say, re-built with new
   /// probabilities) passes undetected — content identity is the caller's
   /// contract, which is why the serving layer keys its RankDistCache by the
-  /// catalog's content fingerprint rather than by name or pointer.
+  /// catalog's structural key rather than by name or pointer.
   Result<TopKResult> ConsensusTopKWithDist(
       const AndXorTree& tree, const RankDistribution& dist, TopKMetric metric,
-      TopKAnswer answer = TopKAnswer::kMean) const;
+      TopKAnswer answer = TopKAnswer::kMean,
+      const FlatTree* program = nullptr) const;
 
   /// \brief One query of a consensus Top-k batch; `tree` (and `dist` when
   /// set) must stay alive for the duration of the EvaluateConsensusBatch
@@ -211,8 +222,12 @@ class Engine {
     /// ConsensusTopKWithDist. When set, its k() must equal `k` (the slot
     /// fails with InvalidArgument otherwise) and the query skips the
     /// rank-distribution fold; the QueryScheduler points several queries
-    /// sharing (tree fingerprint, k) at one cached instance.
+    /// sharing (StructKey, k) at one cached instance.
     const RankDistribution* dist = nullptr;
+    /// Optional precompiled fold program for `tree` — see
+    /// ComputeRankDistribution. Must be FlatTree::Compile(*tree) when set;
+    /// the serving catalog shares one per distinct shape.
+    const FlatTree* program = nullptr;
   };
 
   /// \brief Evaluates many consensus Top-k queries in one submission,
@@ -250,8 +265,11 @@ class Engine {
   /// walks); bitwise identical to tree.LeafMarginals(). Callers issuing
   /// several set-consensus operations against one tree (e.g. an answer
   /// plus its expected distance) compute this once and use the core
-  /// *FromMarginals functions, paying the compile a single time.
-  std::vector<double> LeafMarginals(const AndXorTree& tree) const;
+  /// *FromMarginals functions, paying the compile a single time. With a
+  /// non-null `program` (== FlatTree::Compile(tree)) no compile happens at
+  /// all: the marginals are read straight off the supplied leaf table.
+  std::vector<double> LeafMarginals(const AndXorTree& tree,
+                                    const FlatTree* program = nullptr) const;
 
   /// \brief A set-consensus world answer: the chosen world's leaves and its
   /// expected symmetric-difference distance.
@@ -269,7 +287,7 @@ class Engine {
   /// node count, so a stale vector from a *different tree with the same
   /// node count* passes undetected — content identity is the caller's
   /// contract, which is why the serving layer keys its MarginalsCache by
-  /// the catalog's content fingerprint. Everything downstream of the fold
+  /// the catalog's structural key. Everything downstream of the fold
   /// (filter, min-cost DP, distance sum) is sequential O(N), so the result
   /// is bitwise identical to MeanWorldSymDiff / MedianWorldSymDiff plus
   /// ExpectedSymDiffDistance, whether `marginals` was computed fresh or

@@ -1,0 +1,193 @@
+// Copyright 2026 The ConsensusDB Authors
+
+#include "model/canonical.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace cpdb {
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Hash helpers feed bytes in explicit little-endian order so the structural
+// hash — and therefore the canonical orientation it induces — is identical
+// across platforms, matching the portability contract of ContentFp.
+uint64_t HashByte(uint64_t h, unsigned char b) { return Fnv1a64(&b, 1, h); }
+
+uint64_t HashU32(uint64_t h, uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return Fnv1a64(b, sizeof(b), h);
+}
+
+uint64_t HashU64(uint64_t h, uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return Fnv1a64(b, sizeof(b), h);
+}
+
+// Bottom-up pass over one tree: for every reachable node, the structural
+// hash of its subtree and (for inner nodes) the canonical permutation of its
+// child positions.
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(const AndXorTree& tree)
+      : tree_(tree), info_(static_cast<size_t>(tree.NumNodes())) {}
+
+  void Visit(NodeId id) {
+    const TreeNode& n = tree_.node(id);
+    NodeInfo& ci = info_[static_cast<size_t>(id)];
+    if (n.kind == NodeKind::kLeaf) {
+      uint64_t h = HashByte(kFnv1a64OffsetBasis, 'L');
+      h = HashU32(h, static_cast<uint32_t>(n.leaf.key));
+      h = HashU64(h, DoubleBits(n.leaf.score));
+      ci.hash = HashU32(h, static_cast<uint32_t>(n.leaf.label));
+      return;
+    }
+    for (NodeId child : n.children) Visit(child);
+    ci.order.resize(n.children.size());
+    std::iota(ci.order.begin(), ci.order.end(), 0);
+    std::sort(ci.order.begin(), ci.order.end(), [&](int x, int y) {
+      const NodeId cx = n.children[static_cast<size_t>(x)];
+      const NodeId cy = n.children[static_cast<size_t>(y)];
+      const uint64_t hx = info_[static_cast<size_t>(cx)].hash;
+      const uint64_t hy = info_[static_cast<size_t>(cy)].hash;
+      if (hx != hy) return hx < hy;
+      const int c = Compare(cx, cy);
+      if (c != 0) return c < 0;
+      if (n.kind == NodeKind::kXor) {
+        const uint64_t px = DoubleBits(n.edge_probs[static_cast<size_t>(x)]);
+        const uint64_t py = DoubleBits(n.edge_probs[static_cast<size_t>(y)]);
+        if (px != py) return px < py;
+      }
+      // Identical (probability, subtree) pairs: keep input order, making the
+      // sort the identity permutation on an already-canonical node.
+      return x < y;
+    });
+    uint64_t h = HashByte(kFnv1a64OffsetBasis,
+                          n.kind == NodeKind::kAnd ? 'A' : 'X');
+    for (int idx : ci.order) {
+      if (n.kind == NodeKind::kXor) {
+        h = HashU64(h, DoubleBits(n.edge_probs[static_cast<size_t>(idx)]));
+      }
+      h = HashU64(h, info_[static_cast<size_t>(
+                              n.children[static_cast<size_t>(idx)])].hash);
+    }
+    ci.hash = h;
+  }
+
+  uint64_t hash(NodeId id) const {
+    return info_[static_cast<size_t>(id)].hash;
+  }
+
+  // Rebuilds the subtree rooted at `id` into `out` in canonical child order,
+  // adding nodes strictly post-order (every child before its parent) — the
+  // same numbering ParseTree assigns, so re-serializing and re-parsing the
+  // canonical orientation reproduces this exact tree, NodeIds included.
+  NodeId Rebuild(NodeId id, AndXorTree* out) const {
+    const TreeNode& n = tree_.node(id);
+    if (n.kind == NodeKind::kLeaf) return out->AddLeaf(n.leaf);
+    std::vector<NodeId> children;
+    std::vector<double> probs;
+    children.reserve(n.children.size());
+    for (int idx : info_[static_cast<size_t>(id)].order) {
+      children.push_back(
+          Rebuild(n.children[static_cast<size_t>(idx)], out));
+      if (n.kind == NodeKind::kXor) {
+        probs.push_back(n.edge_probs[static_cast<size_t>(idx)]);
+      }
+    }
+    return n.kind == NodeKind::kAnd
+               ? out->AddAnd(std::move(children))
+               : out->AddXor(std::move(children), std::move(probs));
+  }
+
+ private:
+  struct NodeInfo {
+    uint64_t hash = 0;
+    std::vector<int> order;  // canonical permutation of child positions
+  };
+
+  // Deterministic total order on subtrees in canonical orientation; returns
+  // 0 only for structurally identical subtrees (same canonical bytes), so a
+  // hash tie between distinct structures still sorts deterministically.
+  int Compare(NodeId a, NodeId b) const {
+    const TreeNode& na = tree_.node(a);
+    const TreeNode& nb = tree_.node(b);
+    if (na.kind != nb.kind) {
+      return static_cast<int>(na.kind) < static_cast<int>(nb.kind) ? -1 : 1;
+    }
+    if (na.kind == NodeKind::kLeaf) {
+      if (na.leaf.key != nb.leaf.key) {
+        return na.leaf.key < nb.leaf.key ? -1 : 1;
+      }
+      const uint64_t sa = DoubleBits(na.leaf.score);
+      const uint64_t sb = DoubleBits(nb.leaf.score);
+      if (sa != sb) return sa < sb ? -1 : 1;
+      if (na.leaf.label != nb.leaf.label) {
+        return na.leaf.label < nb.leaf.label ? -1 : 1;
+      }
+      return 0;
+    }
+    if (na.children.size() != nb.children.size()) {
+      return na.children.size() < nb.children.size() ? -1 : 1;
+    }
+    const std::vector<int>& oa = info_[static_cast<size_t>(a)].order;
+    const std::vector<int>& ob = info_[static_cast<size_t>(b)].order;
+    for (size_t i = 0; i < na.children.size(); ++i) {
+      const int c = Compare(na.children[static_cast<size_t>(oa[i])],
+                            nb.children[static_cast<size_t>(ob[i])]);
+      if (c != 0) return c;
+      if (na.kind == NodeKind::kXor) {
+        const uint64_t pa = DoubleBits(na.edge_probs[static_cast<size_t>(oa[i])]);
+        const uint64_t pb = DoubleBits(nb.edge_probs[static_cast<size_t>(ob[i])]);
+        if (pa != pb) return pa < pb ? -1 : 1;
+      }
+    }
+    return 0;
+  }
+
+  const AndXorTree& tree_;
+  std::vector<NodeInfo> info_;
+};
+
+}  // namespace
+
+Result<AndXorTree> CanonicalizeTree(const AndXorTree& tree) {
+  if (tree.root() == kInvalidNode) {
+    return Status::InvalidArgument(
+        "cannot canonicalize a tree with no root");
+  }
+  // Validate on a copy: CanonicalizeTree takes a const view, and validation
+  // (re)computes the leaf index as a side effect.
+  AndXorTree input = tree;
+  CPDB_RETURN_NOT_OK(input.Validate());
+  Canonicalizer canon(input);
+  canon.Visit(input.root());
+  AndXorTree out;
+  out.SetRoot(canon.Rebuild(input.root(), &out));
+  Status st = out.Validate();
+  if (!st.ok()) {
+    return Status::Internal("canonicalized tree failed validation: " +
+                            st.message());
+  }
+  return out;
+}
+
+uint64_t StructuralHash(const AndXorTree& tree, NodeId node) {
+  Canonicalizer canon(tree);
+  canon.Visit(node);
+  return canon.hash(node);
+}
+
+}  // namespace cpdb

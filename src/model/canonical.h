@@ -1,0 +1,59 @@
+// Copyright 2026 The ConsensusDB Authors
+//
+// Structural canonicalization: the orientation-normal form underneath the
+// two-level identity model.
+//
+// AND and XOR are commutative — permuting an AND node's children, or an XOR
+// node's (probability, child) pairs, does not change the distribution over
+// possible worlds — yet the canonical *serialization* (io/tree_text.h) is
+// order-sensitive, so permuted presentations of one structure hash to
+// distinct ContentFps. CanonicalizeTree rewrites a tree into a deterministic
+// canonical ORIENTATION: every commutative child list is sorted by a
+// bottom-up structural hash of the subtree, with hash ties broken by a
+// recursive structural comparison (kind, leaf fields, probabilities, and
+// children in canonical order). The comparison returns "equal" only for
+// structurally identical subtrees — the same criterion as comparing
+// canonical subtree bytes (FormatTree is injective on validated trees) —
+// so the induced order is a deterministic total order without
+// materializing the bytes per node.
+//
+// Properties (pinned by tests/canonical_test.cc):
+//  * orbit collapse — any commutative permutation of a tree canonicalizes
+//    to the same orientation, hence the same serialization;
+//  * sensitivity — changing any leaf key/score/label, edge probability, or
+//    the shape itself changes the canonical serialization;
+//  * idempotence — Canonicalize(Canonicalize(t)) == Canonicalize(t);
+//  * answer preservation — the possible-worlds distribution is untouched,
+//    and for an input already in canonical orientation the rebuilt tree has
+//    identical NodeIds (nodes are re-added in ParseTree's post-order), so
+//    folds over it are bitwise identical to folds over the input.
+//
+// StructKey (common/hash.h) is defined as the content fingerprint OF THIS
+// ORIENTATION: Fnv1a64(FormatTree(CanonicalizeTree(t), /*indent=*/false)).
+// The catalog computes it via TreeCatalog::ComputeIdentity.
+
+#ifndef CPDB_MODEL_CANONICAL_H_
+#define CPDB_MODEL_CANONICAL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "model/and_xor_tree.h"
+
+namespace cpdb {
+
+/// \brief Rewrites `tree` into its canonical orientation: commutative AND /
+/// XOR child lists sorted by bottom-up structural hash (ties broken by
+/// structural comparison). The input must be a valid Definition 1 tree
+/// (Validate() is run on a copy and its error propagated); the returned
+/// tree is validated and its nodes are numbered in serialization post-order.
+Result<AndXorTree> CanonicalizeTree(const AndXorTree& tree);
+
+/// \brief Bottom-up structural hash of the subtree rooted at `node` —
+/// invariant under commutative child permutations. Exposed for tests; the
+/// identity the stack keys on is StructKey, not this value.
+uint64_t StructuralHash(const AndXorTree& tree, NodeId node);
+
+}  // namespace cpdb
+
+#endif  // CPDB_MODEL_CANONICAL_H_

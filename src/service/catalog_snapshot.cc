@@ -13,6 +13,7 @@
 #include "io/mmap_file.h"
 #include "io/table_io.h"
 #include "io/tree_text.h"
+#include "model/canonical.h"
 #include "service/query_scheduler.h"
 
 namespace cpdb {
@@ -23,8 +24,10 @@ constexpr size_t kChecksumBytes = 8;   // trailing u64
 // The smallest possible record of each kind — the divisor that lets the
 // decoder reject a forged count before iterating: `count` records need at
 // least count * minimum bytes, so a count exceeding remaining/minimum can
-// never fit, however the records are shaped.
-constexpr size_t kMinTreeRecordBytes = 4 + 8 + 8;   // empty name/canonical
+// never fit, however the records are shaped. v2 tree records carry one
+// extra u64 (the structural key) over v1's.
+constexpr size_t kMinTreeRecordBytesV1 = 4 + 8 + 8;      // empty name/content
+constexpr size_t kMinTreeRecordBytesV2 = 4 + 8 + 8 + 8;  // + struct key
 constexpr size_t kMinDistRecordBytes = 8 + 4 + 8;   // zero keys
 constexpr size_t kMinKeyBlockBytes = 4 + 8;         // key id + one double
 constexpr int kMaxSnapshotK = 1 << 20;  // the scheduler's own k ceiling
@@ -125,8 +128,8 @@ std::string EncodeCatalogSnapshot(const CatalogSnapshot& snapshot) {
   }
   std::sort(dists.begin(), dists.end(),
             [](const SnapshotDistribution* a, const SnapshotDistribution* b) {
-              if (a->fingerprint != b->fingerprint) {
-                return a->fingerprint < b->fingerprint;
+              if (a->struct_key != b->struct_key) {
+                return a->struct_key < b->struct_key;
               }
               return a->k < b->k;
             });
@@ -141,13 +144,14 @@ std::string EncodeCatalogSnapshot(const CatalogSnapshot& snapshot) {
   for (const SnapshotTree* t : trees) {
     AppendU32(&out, static_cast<uint32_t>(t->name.size()));
     out.append(t->name);
-    AppendU64(&out, t->fingerprint);
-    AppendU64(&out, static_cast<uint64_t>(t->canonical.size()));
-    out.append(t->canonical);
+    AppendU64(&out, t->content_fp.value());
+    AppendU64(&out, t->struct_key.value());
+    AppendU64(&out, static_cast<uint64_t>(t->content.size()));
+    out.append(t->content);
   }
 
   for (const SnapshotDistribution* d : dists) {
-    AppendU64(&out, d->fingerprint);
+    AppendU64(&out, d->struct_key.value());
     AppendU32(&out, static_cast<uint32_t>(d->k));
     const std::vector<KeyId>& keys = d->dist->keys();
     AppendU64(&out, static_cast<uint64_t>(keys.size()));
@@ -228,8 +232,10 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size) {
   // 5. Counts vs payload: a record count whose minimum encoding exceeds the
   // remaining bytes is forged — reject before looping (this is the
   // entry-count-overflow defense; the division cannot overflow).
+  const size_t min_tree_record_bytes =
+      version >= 2 ? kMinTreeRecordBytesV2 : kMinTreeRecordBytesV1;
   const size_t payload_remaining = reader.remaining();
-  if (tree_count > payload_remaining / kMinTreeRecordBytes) {
+  if (tree_count > payload_remaining / min_tree_record_bytes) {
     return Status::ParseError(
         "catalog snapshot tree count " + std::to_string(tree_count) +
         " cannot fit in the remaining " + std::to_string(payload_remaining) +
@@ -245,7 +251,16 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size) {
   CatalogSnapshot snapshot;
   snapshot.trees.reserve(static_cast<size_t>(tree_count));
   std::set<std::string> seen_names;
-  std::map<uint64_t, const SnapshotTree*> by_fingerprint;
+  // v1 dist records address trees by content fingerprint; v2 by structural
+  // key. Both maps note whether the stored content is already canonical —
+  // the condition under which a v1 fingerprint-keyed fold may legally be
+  // remapped to the shape key.
+  struct TreeRef {
+    const SnapshotTree* record;
+    bool content_is_canonical;
+  };
+  std::map<uint64_t, TreeRef> by_fingerprint;
+  std::map<uint64_t, TreeRef> by_struct_key;
 
   for (uint64_t index = 0; index < tree_count; ++index) {
     const std::string where = "tree record " + std::to_string(index);
@@ -255,22 +270,26 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size) {
       return Truncated(where + " name");
     }
     reader.ReadBytes(name_len, &record.name);
-    uint64_t canonical_len = 0;
-    if (!reader.ReadU64(&record.fingerprint) ||
-        !reader.ReadU64(&canonical_len)) {
+    uint64_t fingerprint = 0;
+    uint64_t stored_struct_key = 0;
+    uint64_t content_len = 0;
+    if (!reader.ReadU64(&fingerprint) ||
+        (version >= 2 && !reader.ReadU64(&stored_struct_key)) ||
+        !reader.ReadU64(&content_len)) {
       return Truncated(where);
     }
-    if (canonical_len > reader.remaining()) {
-      return Truncated(where + " canonical tree text");
+    if (content_len > reader.remaining()) {
+      return Truncated(where + " tree text");
     }
-    reader.ReadBytes(static_cast<size_t>(canonical_len), &record.canonical);
+    reader.ReadBytes(static_cast<size_t>(content_len), &record.content);
 
     // Semantic validation. Names and content go through exactly the checks
     // line-by-line loading applies, plus the format's own invariants: the
-    // fingerprint must hash the canonical bytes, and the bytes must be the
-    // canonical serialization of the tree they parse to (InsertCanonical's
-    // contract — a hand-crafted non-canonical record would corrupt the
-    // catalog's content dedup).
+    // fingerprint must hash the content bytes, the bytes must be the
+    // round-trip serialization of the tree they parse to (so ContentFp
+    // stays injective over formatted texts — a hand-crafted denormalized
+    // record would corrupt the catalog's content dedup), and in v2 the
+    // stored structural key must hash the canonical re-orientation.
     if (record.name.empty()) {
       return Status::ParseError(where + ": catalog name must not be empty");
     }
@@ -278,27 +297,48 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size) {
       return Status::ParseError(where + ": duplicate catalog name '" +
                                 record.name + "'");
     }
-    if (record.fingerprint != Fnv1a64(record.canonical)) {
+    if (fingerprint != Fnv1a64(record.content)) {
       return Status::ParseError(
           where + " ('" + record.name +
           "'): stored fingerprint does not hash the stored tree text");
     }
-    Result<AndXorTree> parsed = ParseTree(record.canonical);
+    record.content_fp = ContentFp(fingerprint);
+    Result<AndXorTree> parsed = ParseTree(record.content);
     if (!parsed.ok()) {
       return Status::ParseError(where + " ('" + record.name +
                                 "'): embedded tree does not parse: " +
                                 parsed.status().message());
     }
-    if (FormatTree(*parsed, /*indent=*/false) != record.canonical) {
+    if (FormatTree(*parsed, /*indent=*/false) != record.content) {
       return Status::ParseError(
           where + " ('" + record.name +
           "'): stored tree text is not in canonical form");
     }
+    // The structural key is never trusted: recompute it from the parsed
+    // tree (v1 has nothing else to go by; in v2 a forged key would route
+    // the binding to the wrong shard and the wrong cache lines).
+    Result<AndXorTree> canonical = CanonicalizeTree(*parsed);
+    if (!canonical.ok()) {
+      return Status::ParseError(where + " ('" + record.name +
+                                "'): embedded tree does not canonicalize: " +
+                                canonical.status().message());
+    }
+    const std::string canonical_bytes =
+        FormatTree(*canonical, /*indent=*/false);
+    const bool content_is_canonical = canonical_bytes == record.content;
+    record.struct_key = StructKey(Fnv1a64(canonical_bytes));
+    if (version >= 2 && stored_struct_key != record.struct_key.value()) {
+      return Status::ParseError(
+          where + " ('" + record.name +
+          "'): stored structural key does not hash the canonical form of "
+          "the stored tree");
+    }
     record.tree =
         std::make_shared<const AndXorTree>(std::move(parsed).ValueOrDie());
     snapshot.trees.push_back(std::move(record));
-    by_fingerprint.emplace(snapshot.trees.back().fingerprint,
-                           &snapshot.trees.back());
+    const TreeRef ref{&snapshot.trees.back(), content_is_canonical};
+    by_fingerprint.emplace(fingerprint, ref);
+    by_struct_key.emplace(snapshot.trees.back().struct_key.value(), ref);
   }
 
   snapshot.distributions.reserve(static_cast<size_t>(dist_count));
@@ -306,10 +346,10 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size) {
 
   for (uint64_t index = 0; index < dist_count; ++index) {
     const std::string where = "distribution record " + std::to_string(index);
-    uint64_t fingerprint = 0;
+    uint64_t dist_key = 0;
     uint32_t k = 0;
     uint64_t key_count = 0;
-    if (!reader.ReadU64(&fingerprint) || !reader.ReadU32(&k) ||
+    if (!reader.ReadU64(&dist_key) || !reader.ReadU32(&k) ||
         !reader.ReadU64(&key_count)) {
       return Truncated(where);
     }
@@ -324,16 +364,23 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size) {
       return Truncated(where + ": key count " + std::to_string(key_count) +
                        " cannot fit in the remaining payload");
     }
-    auto tree_it = by_fingerprint.find(fingerprint);
-    if (tree_it == by_fingerprint.end()) {
+    // v1 addresses the owning tree by content fingerprint, v2 by
+    // structural key; a dangling reference is a defect in both.
+    const std::map<uint64_t, TreeRef>& dist_index =
+        version >= 2 ? by_struct_key : by_fingerprint;
+    auto tree_it = dist_index.find(dist_key);
+    if (tree_it == dist_index.end()) {
       return Status::ParseError(
-          where + ": distribution for fingerprint " + HashToHex(fingerprint) +
+          where + ": distribution for " +
+          std::string(version >= 2 ? "structural key " : "fingerprint ") +
+          HashToHex(dist_key) +
           ", which no tree record in this snapshot carries");
     }
-    if (!seen_dists.emplace(fingerprint, static_cast<int>(k)).second) {
-      return Status::ParseError(where + ": duplicate (fingerprint, k) = (" +
-                                HashToHex(fingerprint) + ", " +
-                                std::to_string(k) + ")");
+    if (!seen_dists.emplace(dist_key, static_cast<int>(k)).second) {
+      return Status::ParseError(
+          where + ": duplicate (" +
+          std::string(version >= 2 ? "structural key" : "fingerprint") +
+          ", k) = (" + HashToHex(dist_key) + ", " + std::to_string(k) + ")");
     }
 
     RankDistributionBuilder builder(static_cast<int>(k));
@@ -364,15 +411,25 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size) {
       }
     }
     // The distribution must cover exactly its tree's keys: a mismatched set
-    // would serve zeros for keys the engine would rank.
+    // would serve zeros for keys the engine would rank. (Canonicalization
+    // permutes children, never leaves, so the key set is orientation-
+    // independent and this check is valid under both addressings.)
     RankDistribution dist = std::move(builder).Build();
-    if (dist.keys() != tree_it->second->tree->Keys()) {
+    if (dist.keys() != tree_it->second.record->tree->Keys()) {
       return Status::ParseError(
           where + ": distribution keys do not match the keys of its tree ('" +
-          tree_it->second->name + "')");
+          tree_it->second.record->name + "')");
+    }
+    if (version < 2 && !tree_it->second.content_is_canonical) {
+      // A v1 fold persisted for a non-canonical orientation: the re-keyed
+      // cache serves only canonical-orientation folds, and remapping this
+      // one could differ in the last bit. Fully validated above, then
+      // dropped — the restarted replica recomputes it on first use.
+      continue;
     }
     SnapshotDistribution record;
-    record.fingerprint = fingerprint;
+    record.struct_key = version >= 2 ? StructKey(dist_key)
+                                     : tree_it->second.record->struct_key;
     record.k = static_cast<int>(k);
     record.dist = std::make_shared<const RankDistribution>(std::move(dist));
     snapshot.distributions.push_back(std::move(record));
@@ -393,14 +450,21 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size) {
 CatalogSnapshot BuildCatalogSnapshot(const TreeCatalog& catalog,
                                      const QueryScheduler* scheduler) {
   CatalogSnapshot snapshot;
-  std::set<uint64_t> fingerprints;
+  std::set<uint64_t> struct_keys;
   for (CatalogEntry& entry : catalog.SnapshotEntries()) {
     SnapshotTree record;
     record.name = std::move(entry.name);
-    record.fingerprint = entry.fingerprint;
-    record.canonical = FormatTree(*entry.tree, /*indent=*/false);
+    record.content_fp = entry.content_fp;
+    record.struct_key = entry.struct_key;
+    // The stored bytes are the binding's wire identity — what kLoad
+    // carried, which ContentFp hashes — not the canonical orientation the
+    // entry's shared tree holds; the catalog retains them for exactly this
+    // round trip.
+    Result<std::string> content = catalog.ContentBytes(entry.content_fp);
+    if (!content.ok()) continue;  // unreachable for a live entry
+    record.content = std::move(content).ValueOrDie();
     record.tree = std::move(entry.tree);
-    fingerprints.insert(record.fingerprint);
+    struct_keys.insert(record.struct_key.value());
     snapshot.trees.push_back(std::move(record));
   }
   if (scheduler != nullptr) {
@@ -409,9 +473,9 @@ CatalogSnapshot BuildCatalogSnapshot(const TreeCatalog& catalog,
       // The cache can only hold keys of catalog content, but be defensive:
       // the decoder rejects a distribution with no tree record, so never
       // write one.
-      if (fingerprints.count(entry.fingerprint) == 0) continue;
+      if (struct_keys.count(entry.struct_key.value()) == 0) continue;
       SnapshotDistribution record;
-      record.fingerprint = entry.fingerprint;
+      record.struct_key = entry.struct_key;
       record.k = entry.k;
       record.dist = std::move(entry.dist);
       snapshot.distributions.push_back(std::move(record));
@@ -425,16 +489,18 @@ Status InstallCatalogSnapshot(const CatalogSnapshot& snapshot,
                               QueryScheduler* scheduler) {
   for (const SnapshotTree& record : snapshot.trees) {
     // Through InsertCanonical — the seam every line-by-line load ends in —
-    // so fingerprints, dedup, and AlreadyExists/rebind semantics are the
-    // catalog's own, not a snapshot-specific reimplementation.
-    Result<CatalogEntry> inserted = catalog->InsertCanonical(
-        record.name, AndXorTree(*record.tree), record.canonical,
-        record.fingerprint);
+    // so identities, dedup, and AlreadyExists/rebind semantics are the
+    // catalog's own, not a snapshot-specific reimplementation. The content
+    // bytes carry the wire identity; the catalog re-canonicalizes the tree
+    // itself, so the record's orientation does not matter.
+    Result<CatalogEntry> inserted =
+        catalog->InsertCanonical(record.name, AndXorTree(*record.tree),
+                                 record.content, record.content_fp);
     if (!inserted.ok()) return inserted.status();
   }
   if (scheduler != nullptr) {
     for (const SnapshotDistribution& record : snapshot.distributions) {
-      scheduler->SeedRankDistribution(record.fingerprint, record.k,
+      scheduler->SeedRankDistribution(record.struct_key, record.k,
                                       record.dist);
     }
   }

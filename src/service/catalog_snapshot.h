@@ -6,12 +6,16 @@
 //
 //   * a magic + format-version header (unknown version => refuse, never
 //     guess — the untangle basetree.h BASETREE_MAGIC discipline);
-//   * one record per catalog binding: (name, content fingerprint, canonical
-//     tree serialization). The canonical text is the format's source of
-//     truth: the fingerprint is definitionally Fnv1a64 over it, so a loaded
-//     catalog's fingerprints are byte-identical to a cold catalog's by
-//     construction, not by trust in the file;
-//   * optional precomputed (fingerprint, k) rank-distribution sections —
+//   * one record per catalog binding: (name, content fingerprint,
+//     structural key, content serialization). The content text is the
+//     format's source of truth: ContentFp is definitionally Fnv1a64 over
+//     it, and StructKey is Fnv1a64 over the canonical re-orientation of
+//     the tree it parses to, so a loaded catalog's identities are
+//     byte-identical to a cold catalog's by construction, not by trust in
+//     the file (the stored StructKey is verified against the recomputed
+//     one — it exists in the file so operators and tools can read the
+//     dedup identity without re-canonicalizing);
+//   * optional precomputed (StructKey, k) rank-distribution sections —
 //     the serving layer's most expensive derived state (the O(L^2 k) fold),
 //     persisted so a restarted replica's first Top-k batch hits warm;
 //   * a whole-file FNV-1a checksum.
@@ -25,24 +29,33 @@
 // catalog (tests/catalog_snapshot_test.cc runs the corruption torture
 // matrix under ASan/UBSan).
 //
-// Format v1, all integers little-endian:
+// Format v2 (the version this build writes), all integers little-endian:
 //
 //   offset 0   8 bytes   magic "CPDBSNAP"
-//   offset 8   u32       format version (1)
-//   offset 12  u32       reserved (must be 0 in v1)
+//   offset 8   u32       format version (2)
+//   offset 12  u32       reserved (must be 0)
 //   offset 16  u64       tree record count
 //   offset 24  u64       distribution record count
 //   ...        tree records, then distribution records (layouts below)
 //   size-8     u64       FNV-1a checksum over bytes [0, size-8)
 //
-//   tree record:  u32 name length, name bytes, u64 fingerprint,
-//                 u64 canonical length, canonical bytes
-//   dist record:  u64 tree fingerprint, u32 k, u64 key count, then per key:
+//   tree record:  u32 name length, name bytes, u64 content fingerprint,
+//                 u64 structural key, u64 content length, content bytes
+//   dist record:  u64 structural key, u32 k, u64 key count, then per key:
 //                 i32 key id, then k doubles (raw IEEE-754 bits, little-
 //                 endian): Pr(r(key) = i) for i = 1..k
 //
+// Format v1 (still readable) differs in two ways: tree records carry no
+// structural key (it is recomputed on load by canonicalizing the parsed
+// tree), and dist records are keyed by content fingerprint. A v1 dist
+// record is remapped to its tree's StructKey only when the stored content
+// is already in canonical orientation — otherwise it is dropped (still
+// fully validated) rather than seeded, because the persisted fold ran over
+// an orientation the re-keyed cache will never serve, and a last-bit
+// mismatch there would break bitwise determinism.
+//
 // Records are written in sorted order (trees by name, distributions by
-// (fingerprint, k)), so encoding is a pure function of the logical content:
+// (StructKey, k)), so encoding is a pure function of the logical content:
 // save -> load -> save reproduces the file byte for byte, independent of
 // catalog load order or cache LRU history.
 
@@ -55,6 +68,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/result.h"
 #include "core/rank_distribution.h"
 #include "model/and_xor_tree.h"
@@ -71,22 +85,27 @@ inline constexpr char kCatalogSnapshotMagic[8] = {'C', 'P', 'D', 'B',
 /// \brief The newest format version this build reads and the only one it
 /// writes. A file stamped with a larger version is refused outright — a
 /// newer format may carry semantics this decoder would silently drop.
-inline constexpr uint32_t kCatalogSnapshotVersion = 1;
+/// Version 1 (pre-structural-key) files are still read; see the format
+/// notes above for how their records map into the two-level identity.
+inline constexpr uint32_t kCatalogSnapshotVersion = 2;
 
-/// \brief One persisted catalog binding. `tree` is the parsed, validated
-/// form of `canonical`; `fingerprint` is Fnv1a64(canonical) (both are
-/// verified on decode, supplied by the catalog on save).
+/// \brief One persisted catalog binding. `content` is the wire-visible
+/// serialization (what a kLoad of this binding carried); `tree` is its
+/// parsed, validated form; `content_fp` is Fnv1a64(content) and
+/// `struct_key` hashes the canonical re-orientation (all verified on
+/// decode, supplied by the catalog on save).
 struct SnapshotTree {
   std::string name;
-  uint64_t fingerprint = 0;
-  std::string canonical;
+  ContentFp content_fp;
+  StructKey struct_key;
+  std::string content;
   std::shared_ptr<const AndXorTree> tree;
 };
 
 /// \brief One persisted precomputed rank distribution, keyed exactly like
-/// RankDistCache: (tree content fingerprint, k).
+/// RankDistCache: (structural key, k).
 struct SnapshotDistribution {
-  uint64_t fingerprint = 0;
+  StructKey struct_key;
   int k = 0;
   std::shared_ptr<const RankDistribution> dist;
 };
@@ -97,38 +116,39 @@ struct CatalogSnapshot {
   std::vector<SnapshotDistribution> distributions;
 };
 
-/// \brief Serializes a snapshot to the v1 byte format. Deterministic:
+/// \brief Serializes a snapshot to the v2 byte format. Deterministic:
 /// records are emitted in sorted order (trees by name, distributions by
-/// (fingerprint, k)) whatever order the vectors hold, so the bytes are a
+/// (StructKey, k)) whatever order the vectors hold, so the bytes are a
 /// pure function of the logical content.
 std::string EncodeCatalogSnapshot(const CatalogSnapshot& snapshot);
 
-/// \brief Parses and fully validates `size` bytes of snapshot. On any
-/// defect — truncation, bad magic, unsupported future version, checksum
-/// mismatch, counts or lengths overflowing the payload, an embedded tree
-/// that fails ParseTree or is not in canonical form, a fingerprint that
-/// does not hash its bytes, duplicate or dangling records, non-finite
-/// probabilities, trailing garbage — returns a typed Status describing the
-/// first defect found. Never aborts, never returns a partially valid
-/// snapshot.
+/// \brief Parses and fully validates `size` bytes of snapshot (v1 or v2).
+/// On any defect — truncation, bad magic, unsupported future version,
+/// checksum mismatch, counts or lengths overflowing the payload, an
+/// embedded tree that fails ParseTree or whose stored text is not the
+/// round-trip serialization, a fingerprint that does not hash its bytes, a
+/// structural key that does not hash the canonical re-orientation,
+/// duplicate or dangling records, non-finite probabilities, trailing
+/// garbage — returns a typed Status describing the first defect found.
+/// Never aborts, never returns a partially valid snapshot.
 Result<CatalogSnapshot> DecodeCatalogSnapshot(const void* data, size_t size);
 
-/// \brief Captures the live serving state: every catalog binding, plus —
-/// when `scheduler` is non-null — the retained entries of its
-/// rank-distribution cache (filtered to fingerprints the catalog holds) as
-/// the precomputed sections. Pass a null scheduler for a trees-only
-/// snapshot.
+/// \brief Captures the live serving state: every catalog binding (with its
+/// stored wire-visible content bytes), plus — when `scheduler` is non-null
+/// — the retained entries of its rank-distribution cache (filtered to
+/// structural keys the catalog holds) as the precomputed sections. Pass a
+/// null scheduler for a trees-only snapshot.
 CatalogSnapshot BuildCatalogSnapshot(const TreeCatalog& catalog,
                                      const QueryScheduler* scheduler);
 
 /// \brief Installs a decoded snapshot: inserts every tree through
 /// TreeCatalog::InsertCanonical — the same seam line-by-line loading ends
-/// in, so fingerprints and AlreadyExists/rebind semantics are byte-identical
-/// to feeding the canonical texts as individual loads — and, when
-/// `scheduler` is non-null, seeds its rank-distribution cache with the
-/// snapshot's precomputed sections. Into a fresh catalog this cannot fail
-/// (decode already validated everything); into a pre-populated catalog a
-/// name bound to different content fails with the catalog's own
+/// in, so identities, dedup, and AlreadyExists/rebind semantics are
+/// byte-identical to feeding the content texts as individual loads — and,
+/// when `scheduler` is non-null, seeds its rank-distribution cache with
+/// the snapshot's precomputed sections. Into a fresh catalog this cannot
+/// fail (decode already validated everything); into a pre-populated
+/// catalog a name bound to different content fails with the catalog's own
 /// AlreadyExists, leaving earlier entries installed — exactly as the same
 /// sequence of loads would.
 Status InstallCatalogSnapshot(const CatalogSnapshot& snapshot,

@@ -20,14 +20,14 @@ MarginalsCache::MarginalsCache(int64_t byte_budget)
     : cache_(byte_budget, MarginalVectorBytes) {}
 
 std::shared_ptr<const std::vector<double>> MarginalsCache::GetOrCompute(
-    uint64_t fingerprint,
+    StructKey struct_key,
     const std::function<std::vector<double>()>& compute) {
-  return cache_.GetOrCompute(fingerprint, compute);
+  return cache_.GetOrCompute(struct_key.value(), compute);
 }
 
 std::shared_ptr<const std::vector<double>> MarginalsCache::Peek(
-    uint64_t fingerprint) const {
-  return cache_.Peek(fingerprint);
+    StructKey struct_key) const {
+  return cache_.Peek(struct_key.value());
 }
 
 CacheStats MarginalsCache::stats() const { return cache_.stats(); }

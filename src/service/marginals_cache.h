@@ -2,8 +2,10 @@
 //
 // MarginalsCache — the sibling of RankDistCache for set-consensus traffic:
 // memoizes Engine::LeafMarginals, the one tree fold every `world` query
-// begins with, keyed by tree fingerprint alone (marginals do not depend on
-// k). Before this cache the scheduler re-folded the marginals per request;
+// begins with, keyed by StructKey alone (marginals do not depend on k, and
+// — like every fold — they run over the canonical orientation, so permuted
+// duplicates share one entry). Before this cache the scheduler re-folded
+// the marginals per request;
 // with it, every mean/median world and expected-distance computation
 // against one tree shares a single fold, exactly as Top-k queries share
 // their rank distribution.
@@ -22,29 +24,30 @@
 #include <memory>
 #include <vector>
 
+#include "common/hash.h"
 #include "service/lru_cache.h"
 
 namespace cpdb {
 
-/// \brief Thread-safe fingerprint -> leaf-marginal-vector memo with
+/// \brief Thread-safe StructKey -> leaf-marginal-vector memo with
 /// single-flight computation and byte-budgeted LRU eviction. The cached
-/// vector is indexed by NodeId, as produced by Engine::LeafMarginals /
-/// AndXorTree::LeafMarginals.
+/// vector is indexed by NodeId of the CANONICAL orientation, as produced by
+/// Engine::LeafMarginals over the catalog's shared tree handle.
 class MarginalsCache {
  public:
   explicit MarginalsCache(int64_t byte_budget = kUnboundedCacheBytes);
 
-  /// \brief The marginal vector for `fingerprint`, invoking `compute` on a
+  /// \brief The marginal vector for `struct_key`, invoking `compute` on a
   /// miss — at most once across concurrent callers — and retaining the
   /// result under the budget. The handle stays valid after eviction or
   /// Clear (shared ownership).
   std::shared_ptr<const std::vector<double>> GetOrCompute(
-      uint64_t fingerprint,
+      StructKey struct_key,
       const std::function<std::vector<double>()>& compute);
 
   /// \brief The retained entry, or nullptr without computing; no stats or
   /// LRU effect.
-  std::shared_ptr<const std::vector<double>> Peek(uint64_t fingerprint) const;
+  std::shared_ptr<const std::vector<double>> Peek(StructKey struct_key) const;
 
   /// \brief Counter snapshot; bytes <= byte_budget() in every snapshot.
   CacheStats stats() const;

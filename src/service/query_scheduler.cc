@@ -220,6 +220,18 @@ std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
       // reading only the totals never notice the shard layout.
       AppendCacheFields(response.stats, "", &fields);
       AppendCacheFields(response.marginals_stats, "marg_", &fields);
+      // The two-level-identity fields: distinct shapes behind the bound
+      // names, and contents-per-shape — the catalog's duplication factor
+      // (1 for a duplicate-free catalog). Documented-additive, like the
+      // marg_* block was when the marginals cache landed.
+      fields.push_back({"shapes", std::to_string(response.catalog.shapes)});
+      fields.push_back(
+          {"dedup_ratio",
+           FormatRoundTripDouble(
+               response.catalog.shapes == 0
+                   ? 1.0
+                   : static_cast<double>(response.catalog.contents) /
+                         static_cast<double>(response.catalog.shapes))});
       if (!response.shard_stats.empty()) {
         fields.push_back(
             {"shards", std::to_string(response.shard_stats.size())});
@@ -229,6 +241,9 @@ std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
                             &fields);
           AppendCacheFields(response.shard_stats[s].marginals,
                             prefix + "marg_", &fields);
+          fields.push_back(
+              {prefix + "shapes",
+               std::to_string(response.shard_stats[s].catalog.shapes)});
         }
       }
       break;
@@ -427,7 +442,7 @@ Result<ServiceResponse> QueryScheduler::ExecuteLoadTimed(
   ServiceResponse response;
   response.op = ServiceRequest::Op::kLoad;
   response.tree_name = entry->name;
-  response.fingerprint = entry->fingerprint;
+  response.fingerprint = entry->content_fp;
   return response;
 }
 
@@ -441,10 +456,14 @@ std::shared_ptr<const RankDistribution> QueryScheduler::DistFor(
       !Engine::ValidateConsensusRequest(request.metric, request.answer).ok()) {
     return nullptr;
   }
+  // Keyed by struct_key: permuted duplicates resolve to one entry. The
+  // fold itself runs over the catalog's canonical tree with the catalog's
+  // precompiled per-shape program, so a miss pays the O(L^2 k) fold but
+  // never a compile.
   const AndXorTree& tree = *entry.tree;
   const int k = request.k;
-  return cache_.GetOrCompute(entry.fingerprint, k, [this, &tree, k] {
-    return engine_->ComputeRankDistribution(tree, k);
+  return cache_.GetOrCompute(entry.struct_key, k, [this, &tree, k, &entry] {
+    return engine_->ComputeRankDistribution(tree, k, entry.program.get());
   });
 }
 
@@ -453,10 +472,10 @@ std::shared_ptr<const std::vector<double>> QueryScheduler::MarginalsFor(
   const AndXorTree& tree = *entry.tree;
   if (!options_.use_cache) {
     return std::make_shared<const std::vector<double>>(
-        engine_->LeafMarginals(tree));
+        engine_->LeafMarginals(tree, entry.program.get()));
   }
-  return marginals_cache_.GetOrCompute(entry.fingerprint, [this, &tree] {
-    return engine_->LeafMarginals(tree);
+  return marginals_cache_.GetOrCompute(entry.struct_key, [this, &tree, &entry] {
+    return engine_->LeafMarginals(tree, entry.program.get());
   });
 }
 
@@ -494,6 +513,7 @@ ServiceResponse QueryScheduler::StatsResponse() const {
   response.op = ServiceRequest::Op::kStats;
   response.stats = cache_.stats();
   response.marginals_stats = marginals_cache_.stats();
+  response.catalog = catalog_->Counts();
   return response;
 }
 
@@ -504,12 +524,29 @@ MetricsSnapshot QueryScheduler::MetricsSnapshotNow() const {
   // the same scrape, so one op=metrics answer covers the whole shard.
   MetricsSnapshot extra;
   const EngineObsCounters engine_counters = engine_->obs_counters();
+  const CatalogCounts catalog_counts = catalog_->Counts();
   MetricSample fold_compiles;
   fold_compiles.name = "cpdb_fold_compiles_total";
-  fold_compiles.help = "FlatTree compilations performed by the engine.";
+  fold_compiles.help =
+      "FlatTree compilations performed: the catalog's one-per-shape compiles "
+      "plus the engine's on-demand ones.";
   fold_compiles.kind = MetricSample::Kind::kCounter;
-  fold_compiles.value = engine_counters.fold_compiles;
+  fold_compiles.value =
+      engine_counters.fold_compiles + catalog_->fold_compiles();
   extra.samples.push_back(std::move(fold_compiles));
+  MetricSample catalog_entries;
+  catalog_entries.name = "cpdb_catalog_entries";
+  catalog_entries.help = "Names bound in the tree catalog.";
+  catalog_entries.kind = MetricSample::Kind::kGauge;
+  catalog_entries.value = catalog_counts.names;
+  extra.samples.push_back(std::move(catalog_entries));
+  MetricSample catalog_shapes;
+  catalog_shapes.name = "cpdb_catalog_shapes";
+  catalog_shapes.help =
+      "Distinct tree structures (canonical orientations) in the catalog.";
+  catalog_shapes.kind = MetricSample::Kind::kGauge;
+  catalog_shapes.value = catalog_counts.shapes;
+  extra.samples.push_back(std::move(catalog_shapes));
   MetricSample arena_highwater;
   arena_highwater.name = "cpdb_poly_arena_highwater_bytes";
   arena_highwater.help =
@@ -650,7 +687,8 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
   for (size_t j = 0; j < topk_slots.size(); ++j) {
     const ServiceRequest& request = requests[topk_slots[j]];
     queries[j] = {topk_entries[j].tree.get(), request.k, request.metric,
-                  request.answer, dists[j].get()};
+                  request.answer, dists[j].get(),
+                  topk_entries[j].program.get()};
   }
   Stopwatch fold_watch(clk);
   std::vector<Result<TopKResult>> results =
@@ -784,10 +822,11 @@ Result<ServiceResponse> QueryScheduler::ExecuteOne(
         Result<TopKResult> result =
             dist != nullptr
                 ? engine_->ConsensusTopKWithDist(*entry->tree, *dist,
-                                                 request.metric,
-                                                 request.answer)
+                                                 request.metric, request.answer,
+                                                 entry->program.get())
                 : engine_->ConsensusTopK(*entry->tree, request.k,
-                                         request.metric, request.answer);
+                                         request.metric, request.answer,
+                                         entry->program.get());
         AddSpan(&timing, "fold", fold_watch);
         Result<ServiceResponse> response(Status::Internal("unset"));
         if (!result.ok()) {

@@ -10,10 +10,12 @@
 //      any query — a batch is a unit of work, not a transcript: queries may
 //      reference trees loaded later in the same batch);
 //   2. resolves query trees by name and routes the shared precomputes
-//      through the two owned caches — rank distributions by (tree
-//      fingerprint, k) for Top-k queries, leaf marginals by fingerprint for
-//      world queries — so queries sharing a fingerprint, within this batch
-//      or with any earlier one, pay the fold once;
+//      through the two owned caches — rank distributions by (StructKey, k)
+//      for Top-k queries, leaf marginals by StructKey for world queries —
+//      so queries sharing a structural key (permuted duplicates included),
+//      within this batch or with any earlier one, pay the fold once; the
+//      folds themselves reuse the catalog's precompiled per-shape program,
+//      so the steady-state query path never compiles;
 //   3. fans the remaining per-query work (strata, Hungarian columns, q
 //      matrices) through Engine::EvaluateConsensusBatch, and answers world
 //      queries through Engine::ConsensusWorldWithMarginals.
@@ -104,6 +106,7 @@ Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line);
 struct ShardCacheStats {
   CacheStats rank_dist;   ///< the shard's RankDistCache counters
   CacheStats marginals;   ///< the shard's MarginalsCache counters
+  CatalogCounts catalog;  ///< the shard's catalog name/content/shape counts
 };
 
 /// \brief Side-band timing for one request — never part of the answer.
@@ -123,7 +126,7 @@ struct ResponseTiming {
 struct ServiceResponse {
   ServiceRequest::Op op = ServiceRequest::Op::kTopK;
   std::string tree_name;     // kTopK/kWorld echo; kLoad: the bound name
-  uint64_t fingerprint = 0;  // kLoad
+  ContentFp fingerprint;     // kLoad: the wire-visible content identity
   int k = 0;                 // kTopK echo
   std::string metric;        // kTopK/kWorld echo (textual)
   std::string answer;        // kTopK/kWorld echo (textual)
@@ -132,6 +135,11 @@ struct ServiceResponse {
   CacheStats stats;                // kStats: rank-distribution cache
                                    // (aggregated totals when sharded)
   CacheStats marginals_stats;      // kStats: marginals cache (ditto)
+  /// kStats: catalog name/content/shape counts (summed across shards when
+  /// sharded — StructKey routing keeps shard catalogs disjoint at every
+  /// level, so the sums are exact). Rendered as the `shapes=` and
+  /// `dedup_ratio=` fields.
+  CatalogCounts catalog;
   /// kStats via a ShardedScheduler: one entry per shard, in shard order,
   /// summing to the two aggregate members above. Empty for the
   /// single-engine QueryScheduler, whose wire output stays byte-identical
@@ -288,14 +296,14 @@ class QueryScheduler {
   /// warm instead of re-folding. No-op (returns false) when caching is
   /// disabled or the entry is not retained (existing entry, over-budget);
   /// never changes answers, exactly like every other cache path.
-  bool SeedRankDistribution(uint64_t fingerprint, int k,
+  bool SeedRankDistribution(StructKey struct_key, int k,
                             std::shared_ptr<const RankDistribution> dist) {
     if (!options_.use_cache) return false;
-    return cache_.Seed(fingerprint, k, std::move(dist));
+    return cache_.Seed(struct_key, k, std::move(dist));
   }
 
   /// \brief The rank-distribution cache's retained entries, in
-  /// (fingerprint, k) order — what a snapshot save persists as the
+  /// (struct_key, k) order — what a snapshot save persists as the
   /// precomputed-distributions section.
   std::vector<RankDistCache::RetainedEntry> RetainedRankDistributions() const {
     return cache_.RetainedEntries();
@@ -318,9 +326,13 @@ class QueryScheduler {
   const Clock* clock() const { return clock_; }
 
   /// \brief The full metrics scrape: the registry's instruments plus the
-  /// engine's fold/arena counters and both caches' counters re-exported
-  /// under cpdb_rankdist_cache_* / cpdb_marginals_cache_*. Must not be
-  /// called when metrics are disabled (instruments() is nullptr).
+  /// fold/arena counters (cpdb_fold_compiles_total counts the catalog's
+  /// per-shape compiles together with the engine's on-demand ones), the
+  /// catalog's identity gauges (cpdb_catalog_entries = bound names,
+  /// cpdb_catalog_shapes = distinct structures), and both caches' counters
+  /// re-exported under cpdb_rankdist_cache_* / cpdb_marginals_cache_*.
+  /// Must not be called when metrics are disabled (instruments() is
+  /// nullptr).
   MetricsSnapshot MetricsSnapshotNow() const;
 
  private:

@@ -9,26 +9,27 @@ RankDistCache::RankDistCache(int64_t byte_budget)
              [](const RankDistribution& dist) { return dist.ApproxBytes(); }) {}
 
 std::shared_ptr<const RankDistribution> RankDistCache::GetOrCompute(
-    uint64_t fingerprint, int k,
+    StructKey struct_key, int k,
     const std::function<RankDistribution()>& compute) {
-  return cache_.GetOrCompute(Key(fingerprint, k), compute);
+  return cache_.GetOrCompute(Key(struct_key.value(), k), compute);
 }
 
 std::shared_ptr<const RankDistribution> RankDistCache::Peek(
-    uint64_t fingerprint, int k) const {
-  return cache_.Peek(Key(fingerprint, k));
+    StructKey struct_key, int k) const {
+  return cache_.Peek(Key(struct_key.value(), k));
 }
 
-bool RankDistCache::Seed(uint64_t fingerprint, int k,
+bool RankDistCache::Seed(StructKey struct_key, int k,
                          std::shared_ptr<const RankDistribution> dist) {
-  return cache_.Put(Key(fingerprint, k), std::move(dist));
+  return cache_.Put(Key(struct_key.value(), k), std::move(dist));
 }
 
 std::vector<RankDistCache::RetainedEntry> RankDistCache::RetainedEntries()
     const {
   std::vector<RetainedEntry> entries;
   for (auto& [key, dist] : cache_.Entries()) {
-    entries.push_back(RetainedEntry{key.first, key.second, std::move(dist)});
+    entries.push_back(
+        RetainedEntry{StructKey(key.first), key.second, std::move(dist)});
   }
   return entries;
 }

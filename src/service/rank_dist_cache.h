@@ -2,9 +2,11 @@
 //
 // RankDistCache — memoizes the rank-distribution fold, the shared O(L^2 k)
 // precompute behind every consensus Top-k metric, across queries that hit
-// the same tree. Keys are (tree fingerprint, k): the fingerprint comes from
-// the TreeCatalog's stable content hash, so cache identity follows tree
-// *content*, never names or pointers. Because the engine's fold is
+// the same tree SHAPE. Keys are (StructKey, k): the structural key comes
+// from the TreeCatalog's two-level identity (the content hash of the
+// canonical orientation), so cache identity follows tree *structure* —
+// never names, pointers, or commutative child order; permuted duplicates
+// share one entry. Because the engine's fold is
 // schedule-deterministic, a cached distribution is bit-for-bit the one a
 // fresh computation would produce — serving from the cache can change
 // latency only, never answers (tests/service_test.cc pins this for all
@@ -26,12 +28,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "core/rank_distribution.h"
 #include "service/lru_cache.h"
 
 namespace cpdb {
 
-/// \brief Thread-safe (fingerprint, k) -> RankDistribution memo with
+/// \brief Thread-safe (StructKey, k) -> RankDistribution memo with
 /// single-flight computation and byte-budgeted LRU eviction.
 class RankDistCache {
  public:
@@ -41,39 +44,39 @@ class RankDistCache {
   /// concurrent computes.
   explicit RankDistCache(int64_t byte_budget = kUnboundedCacheBytes);
 
-  /// \brief The distribution for (fingerprint, k), invoking `compute` on a
+  /// \brief The distribution for (struct_key, k), invoking `compute` on a
   /// miss — at most once across concurrent callers for one key — and
   /// retaining the result under the budget. The returned handle stays
   /// valid after eviction or Clear (shared ownership).
   std::shared_ptr<const RankDistribution> GetOrCompute(
-      uint64_t fingerprint, int k,
+      StructKey struct_key, int k,
       const std::function<RankDistribution()>& compute);
 
   /// \brief The retained entry, or nullptr without computing. Does not
   /// count toward the stats and does not touch the LRU order (a probe, not
   /// a query).
-  std::shared_ptr<const RankDistribution> Peek(uint64_t fingerprint,
+  std::shared_ptr<const RankDistribution> Peek(StructKey struct_key,
                                                int k) const;
 
-  /// \brief Retains a precomputed distribution for (fingerprint, k) — the
+  /// \brief Retains a precomputed distribution for (struct_key, k) — the
   /// warm-restart seam catalog snapshots use to seed a fresh cache. The
   /// caller vouches that `dist` is exactly what the engine would compute
   /// for that key (snapshot loading rebuilds it from values saved off a
   /// live cache, so the promise is structural). Charged and evicted like a
   /// computed entry; no hit/miss counter moves; an existing entry wins.
   /// Returns whether the distribution was retained.
-  bool Seed(uint64_t fingerprint, int k,
+  bool Seed(StructKey struct_key, int k,
             std::shared_ptr<const RankDistribution> dist);
 
-  /// \brief One retained entry: its (fingerprint, k) key and the shared
+  /// \brief One retained entry: its (struct_key, k) key and the shared
   /// distribution handle.
   struct RetainedEntry {
-    uint64_t fingerprint = 0;
+    StructKey struct_key;
     int k = 0;
     std::shared_ptr<const RankDistribution> dist;
   };
 
-  /// \brief All retained entries in (fingerprint, k) order — deterministic
+  /// \brief All retained entries in (struct_key, k) order — deterministic
   /// regardless of LRU history, which is what makes a snapshot saved from
   /// a live cache byte-stable. Handles share ownership.
   std::vector<RetainedEntry> RetainedEntries() const;

@@ -7,7 +7,6 @@
 #include <utility>
 
 #include "common/hash.h"
-#include "io/tree_text.h"
 #include "service/catalog_snapshot.h"
 
 namespace cpdb {
@@ -42,12 +41,12 @@ ShardedScheduler::ShardedScheduler(int num_shards,
   }
 }
 
-int ShardedScheduler::ShardOfFingerprint(uint64_t fingerprint,
-                                         int num_shards) {
+int ShardedScheduler::ShardOfKey(StructKey key, int num_shards) {
   // SplitMix64 finalizer: a bijective remix, so the partition stays a pure
-  // deterministic function of the fingerprint while spreading any residual
-  // structure in the FNV-1a value across all 64 bits before the modulo.
-  uint64_t x = fingerprint;
+  // deterministic function of the structural key while spreading any
+  // residual structure in the FNV-1a value across all 64 bits before the
+  // modulo.
+  uint64_t x = key.value();
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;
   x ^= x >> 33;
@@ -73,20 +72,19 @@ Result<CatalogEntry> ShardedScheduler::Insert(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("catalog name must not be empty");
   }
-  // Serialize and hash once, outside the directory lock; the catalog
-  // reuses both via InsertCanonical instead of recomputing them.
-  std::string canonical = FormatTree(tree, /*indent=*/false);
-  const uint64_t fingerprint = Fnv1a64(canonical);
-  return InsertCanonicalRouted(name, std::move(tree), std::move(canonical),
-                               fingerprint);
+  // Serialize, hash, and canonicalize once, outside the directory lock;
+  // the catalog reuses the identity via InsertWithIdentity instead of
+  // recomputing it.
+  CPDB_ASSIGN_OR_RETURN(TreeIdentity identity,
+                        TreeCatalog::ComputeIdentity(std::move(tree)));
+  return InsertIdentityRouted(name, identity);
 }
 
-Result<CatalogEntry> ShardedScheduler::InsertCanonicalRouted(
-    const std::string& name, AndXorTree tree, std::string canonical,
-    uint64_t fingerprint, int* out_shard) {
+Result<CatalogEntry> ShardedScheduler::InsertIdentityRouted(
+    const std::string& name, const TreeIdentity& identity, int* out_shard) {
   std::lock_guard<std::mutex> lock(mu_);
   // A bound name stays on its shard: re-inserting identical content lands
-  // there anyway (same fingerprint, same shard), and different content
+  // there anyway (same structural key, same shard), and different content
   // must reach the catalog that holds the name so the rebind is rejected
   // with exactly the AlreadyExists the single catalog reports. The
   // catalog insert runs under mu_ so two racing loads of one unbound name
@@ -95,11 +93,11 @@ Result<CatalogEntry> ShardedScheduler::InsertCanonicalRouted(
   auto it = directory_.find(name);
   const int shard = it != directory_.end()
                         ? it->second
-                        : ShardOfFingerprint(fingerprint, num_shards());
+                        : ShardOfKey(identity.struct_key, num_shards());
   if (out_shard != nullptr) *out_shard = shard;
   Result<CatalogEntry> entry =
-      shards_[static_cast<size_t>(shard)].catalog->InsertCanonical(
-          name, std::move(tree), std::move(canonical), fingerprint);
+      shards_[static_cast<size_t>(shard)].catalog->InsertWithIdentity(
+          name, identity);
   if (entry.ok()) directory_.emplace(name, shard);
   return entry;
 }
@@ -112,20 +110,24 @@ Status ShardedScheduler::InstallSnapshot(const CatalogSnapshot& snapshot) {
     if (record.name.empty()) {
       return Status::InvalidArgument("catalog name must not be empty");
     }
-    // Through the same routed InsertCanonical path kLoad takes — the
-    // directory learns every binding, so queries route; fingerprints and
-    // AlreadyExists/rebind semantics are the catalog's own.
-    Result<CatalogEntry> entry =
-        InsertCanonicalRouted(record.name, AndXorTree(*record.tree),
-                              record.canonical, record.fingerprint);
+    // Through the same routed identity path kLoad takes — the directory
+    // learns every binding, so queries route; keys and
+    // AlreadyExists/rebind semantics are the catalog's own. ComputeIdentity
+    // re-derives the wire identity from the decoded tree: the decoder
+    // already verified the stored fingerprint hashes the stored bytes, and
+    // FormatTree(ParseTree(bytes)) == bytes, so the identity matches the
+    // record's — including struct_key, which the v2 decoder checks.
+    CPDB_ASSIGN_OR_RETURN(TreeIdentity identity,
+                          TreeCatalog::ComputeIdentity(AndXorTree(*record.tree)));
+    Result<CatalogEntry> entry = InsertIdentityRouted(record.name, identity);
     if (!entry.ok()) return entry.status();
   }
   for (const SnapshotDistribution& record : snapshot.distributions) {
-    // Each (fingerprint, k) cache key lives on exactly one shard — seed it
-    // there, the shard every query for that fingerprint reaches.
-    const int shard = ShardOfFingerprint(record.fingerprint, num_shards());
+    // Each (StructKey, k) cache key lives on exactly one shard — seed it
+    // there, the shard every query for that shape reaches.
+    const int shard = ShardOfKey(record.struct_key, num_shards());
     shards_[static_cast<size_t>(shard)].scheduler->SeedRankDistribution(
-        record.fingerprint, record.k, record.dist);
+        record.struct_key, record.k, record.dist);
   }
   return Status::OK();
 }
@@ -145,7 +147,7 @@ CatalogSnapshot ShardedScheduler::BuildSnapshot(
     }
   }
   // Merge order must not leak the shard count: names are disjoint across
-  // shards and (fingerprint, k) keys live on exactly one shard, so sorting
+  // shards and (StructKey, k) keys live on exactly one shard, so sorting
   // yields one canonical order whatever N was (the encoder would re-sort
   // anyway; sorting here makes the in-memory snapshot deterministic too).
   std::sort(snapshot.trees.begin(), snapshot.trees.end(),
@@ -154,8 +156,8 @@ CatalogSnapshot ShardedScheduler::BuildSnapshot(
             });
   std::sort(snapshot.distributions.begin(), snapshot.distributions.end(),
             [](const SnapshotDistribution& a, const SnapshotDistribution& b) {
-              if (a.fingerprint != b.fingerprint) {
-                return a.fingerprint < b.fingerprint;
+              if (a.struct_key != b.struct_key) {
+                return a.struct_key < b.struct_key;
               }
               return a.k < b.k;
             });
@@ -196,10 +198,9 @@ Result<ServiceResponse> ShardedScheduler::ExecuteLoad(
     if (request.load_name.empty()) {
       return Status::InvalidArgument("catalog name must not be empty");
     }
-    std::string canonical = FormatTree(*tree, /*indent=*/false);
-    const uint64_t fingerprint = Fnv1a64(canonical);
-    return InsertCanonicalRouted(request.load_name, std::move(*tree),
-                                 std::move(canonical), fingerprint, out_shard);
+    CPDB_ASSIGN_OR_RETURN(TreeIdentity identity,
+                          TreeCatalog::ComputeIdentity(std::move(*tree)));
+    return InsertIdentityRouted(request.load_name, identity, out_shard);
   }();
   if (catalog_watch.enabled()) {
     timing->spans.emplace_back("catalog", catalog_watch.ElapsedNanos());
@@ -208,7 +209,7 @@ Result<ServiceResponse> ShardedScheduler::ExecuteLoad(
   ServiceResponse response;
   response.op = ServiceRequest::Op::kLoad;
   response.tree_name = entry->name;
-  response.fingerprint = entry->fingerprint;
+  response.fingerprint = entry->content_fp;
   return response;
 }
 
@@ -235,6 +236,12 @@ ServiceResponse ShardedScheduler::StatsResponse() const {
   for (const ShardCacheStats& shard : response.shard_stats) {
     AccumulateCacheStats(&response.stats, shard.rank_dist);
     AccumulateCacheStats(&response.marginals_stats, shard.marginals);
+    // Exact sums: StructKey routing makes names, contents, and shapes all
+    // disjoint across shards, so the fleet-wide dedup ratio is the ratio
+    // of the sums.
+    response.catalog.names += shard.catalog.names;
+    response.catalog.contents += shard.catalog.contents;
+    response.catalog.shapes += shard.catalog.shapes;
   }
   return response;
 }
@@ -536,7 +543,8 @@ std::vector<ShardCacheStats> ShardedScheduler::PerShardStats() const {
   stats.reserve(shards_.size());
   for (const Shard& shard : shards_) {
     stats.push_back(ShardCacheStats{shard.scheduler->cache_stats(),
-                                    shard.scheduler->marginals_stats()});
+                                    shard.scheduler->marginals_stats(),
+                                    shard.catalog->Counts()});
   }
   return stats;
 }

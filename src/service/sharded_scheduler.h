@@ -2,15 +2,18 @@
 //
 // ShardedScheduler — the partitioned serving front-end, the first step from
 // one process toward replicated serving. The observation it exploits is
-// that consensus answers are embarrassingly partitionable by tree: every
-// expensive precompute (the rank-distribution fold, the leaf-marginal fold)
-// is keyed by tree *fingerprint*, so requests against disjoint fingerprints
-// never share state. The front-end therefore owns N shard contexts — each a
-// private Engine (with its own thread pool), TreeCatalog, and
-// QueryScheduler (with its own RankDistCache / MarginalsCache) — and:
+// that consensus answers are embarrassingly partitionable by tree shape:
+// every expensive precompute (the rank-distribution fold, the leaf-marginal
+// fold) is keyed by *structural key* — the canonical-orientation hash — so
+// requests against disjoint shapes never share state, and permuted
+// duplicates of one shape always land on the same shard, where they share
+// one fold program and one set of cache lines. The front-end therefore owns
+// N shard contexts — each a private Engine (with its own thread pool),
+// TreeCatalog, and QueryScheduler (with its own RankDistCache /
+// MarginalsCache) — and:
 //
 //   * routes every kLoad to the shard owning the loaded content's
-//     fingerprint (deterministic fingerprint-hash partitioning; a name
+//     structural key (deterministic key-hash partitioning; a name
 //     already bound stays on its shard so rebind conflicts surface exactly
 //     as the single catalog reports them);
 //   * routes every kTopK / kWorld to the shard owning its tree, fanning the
@@ -20,8 +23,8 @@
 //   * answers kStats with the *sum* of the shards' cache counters plus the
 //     per-shard breakdown (ServiceResponse::shard_stats).
 //
-// Determinism: because the partitioning is a pure function of content
-// fingerprints, every (fingerprint, k) cache key lives on exactly one
+// Determinism: because the partitioning is a pure function of structural
+// keys, every (StructKey, k) cache key lives on exactly one
 // shard, and requests for it arrive there in the same slot order the
 // single-engine QueryScheduler would process them. Combined with the
 // engine's schedule determinism, answers are bitwise identical to a
@@ -74,12 +77,14 @@ class ShardedScheduler {
   ShardedScheduler(int num_shards, const EngineOptions& engine_options,
                    SchedulerOptions options = SchedulerOptions());
 
-  /// \brief The shard owning `fingerprint`: a deterministic pure function
-  /// of (fingerprint, num_shards), identical across processes and runs.
-  /// The fingerprint — already a content hash — is remixed through a
+  /// \brief The shard owning structural key `key`: a deterministic pure
+  /// function of (key, num_shards), identical across processes and runs.
+  /// The key — already a canonical-orientation hash — is remixed through a
   /// finalizer before the modulo so shard balance never leans on FNV-1a's
-  /// low-bit behavior.
-  static int ShardOfFingerprint(uint64_t fingerprint, int num_shards);
+  /// low-bit behavior. Routing by StructKey (not ContentFp) pins every
+  /// permuted duplicate of one shape to one shard, so the whole fleet
+  /// compiles each shape once and shares its cache entries.
+  static int ShardOfKey(StructKey key, int num_shards);
 
   /// \brief The per-shard engine-thread count for a total budget:
   /// max(1, total / num_shards), with total < 1 first resolved to the
@@ -98,10 +103,10 @@ class ShardedScheduler {
 
   /// \brief Installs a decoded catalog snapshot (service/catalog_snapshot.h)
   /// across the shards: every tree routes to the shard owning its
-  /// fingerprint through the same directory-updating path kLoad takes — so
-  /// query routing, dedup, and AlreadyExists/rebind semantics are identical
-  /// to loading the same trees line-by-line — and every persisted rank
-  /// distribution seeds the cache of the shard that owns its fingerprint.
+  /// structural key through the same directory-updating path kLoad takes —
+  /// so query routing, dedup, and AlreadyExists/rebind semantics are
+  /// identical to loading the same trees line-by-line — and every persisted
+  /// rank distribution seeds the cache of the shard that owns its key.
   /// The per-shard placement is a pure function of content, so a snapshot
   /// saved at --shards=M restores correctly at --shards=N for any M, N.
   Status InstallSnapshot(const CatalogSnapshot& snapshot);
@@ -110,7 +115,8 @@ class ShardedScheduler {
   /// snapshot: the union of the shard catalogs (disjoint by construction —
   /// each name lives on exactly one shard) plus, when
   /// `include_distributions` is set, the union of the shards' retained
-  /// rank-distribution caches. The result is independent of shard count:
+  /// rank-distribution caches (disjoint too: each (StructKey, k) lives on
+  /// one shard). The result is independent of shard count:
   /// entries are merged and sorted, so saving at --shards=M and at
   /// --shards=N produces byte-identical files for the same logical state.
   CatalogSnapshot BuildSnapshot(bool include_distributions) const;
@@ -185,17 +191,17 @@ class ShardedScheduler {
                                       const Clock* clk, ResponseTiming* timing,
                                       int* out_shard);
 
-  /// The shared back half of Insert and InstallSnapshot: routes by the
-  /// directory (bound names stay on their shard) or the fingerprint
-  /// partition, inserts via the shard catalog's InsertCanonical, and
-  /// records the binding — all under mu_, so racing loads of one unbound
-  /// name cannot route to different shards. `out_shard` (optional)
-  /// receives the shard the name routed to.
-  Result<CatalogEntry> InsertCanonicalRouted(const std::string& name,
-                                             AndXorTree tree,
-                                             std::string canonical,
-                                             uint64_t fingerprint,
-                                             int* out_shard = nullptr);
+  /// The shared back half of Insert, ExecuteLoad, and InstallSnapshot:
+  /// routes by the directory (bound names stay on their shard) or the
+  /// StructKey partition, inserts via the shard catalog's
+  /// InsertWithIdentity, and records the binding — all under mu_, so
+  /// racing loads of one unbound name cannot route to different shards.
+  /// The identity is computed once on the front end (outside mu_) so the
+  /// locked section does only map work plus the catalog's own insert.
+  /// `out_shard` (optional) receives the shard the name routed to.
+  Result<CatalogEntry> InsertIdentityRouted(const std::string& name,
+                                            const TreeIdentity& identity,
+                                            int* out_shard = nullptr);
 
   /// The shard bound to `name`, or NotFound with the same message
   /// TreeCatalog::Lookup reports — routing must not change error lines.
@@ -232,9 +238,9 @@ class ShardedScheduler {
   std::vector<Shard> shards_;
   const Clock* clock_;
   // Guards directory_: name -> owning shard. Names route to the shard
-  // owning their content's fingerprint; the directory exists because
-  // queries address trees by name and the fingerprint is only known to
-  // the shard that loaded it.
+  // owning their content's structural key; the directory exists because
+  // queries address trees by name and the key is only known to the shard
+  // that loaded it.
   mutable std::mutex mu_;
   std::map<std::string, int> directory_;
 };

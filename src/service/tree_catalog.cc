@@ -4,68 +4,131 @@
 
 #include <utility>
 
-#include "common/hash.h"
 #include "io/tree_text.h"
+#include "model/canonical.h"
 
 namespace cpdb {
 
-uint64_t TreeCatalog::FingerprintTree(const AndXorTree& tree) {
+ContentFp TreeCatalog::FingerprintTree(const AndXorTree& tree) {
   // The canonical single-line serialization, not the user's input text:
   // formatting differences must not split identical trees into distinct
   // fingerprints.
-  return Fnv1a64(FormatTree(tree, /*indent=*/false));
+  return ContentFp(Fnv1a64(FormatTree(tree, /*indent=*/false)));
+}
+
+Result<TreeIdentity> TreeCatalog::ComputeIdentity(AndXorTree tree) {
+  CPDB_RETURN_NOT_OK(tree.Validate());
+  TreeIdentity identity;
+  identity.content_bytes = FormatTree(tree, /*indent=*/false);
+  identity.content_fp = ContentFp(Fnv1a64(identity.content_bytes));
+  CPDB_ASSIGN_OR_RETURN(AndXorTree canonical, CanonicalizeTree(tree));
+  identity.canonical_bytes = FormatTree(canonical, /*indent=*/false);
+  identity.struct_key = StructKey(Fnv1a64(identity.canonical_bytes));
+  identity.canonical_tree =
+      std::make_shared<const AndXorTree>(std::move(canonical));
+  return identity;
 }
 
 Result<CatalogEntry> TreeCatalog::Insert(const std::string& name,
                                          AndXorTree tree) {
-  // Check the name before paying the O(tree) serialization below
-  // (InsertCanonical re-checks for its direct callers).
+  // Check the name before paying the O(tree) identity computation below
+  // (InsertWithIdentity re-checks for its direct callers).
   if (name.empty()) {
     return Status::InvalidArgument("catalog name must not be empty");
   }
-  std::string canonical = FormatTree(tree, /*indent=*/false);
-  uint64_t fingerprint = Fnv1a64(canonical);
-  return InsertCanonical(name, std::move(tree), std::move(canonical),
-                         fingerprint);
+  CPDB_ASSIGN_OR_RETURN(TreeIdentity identity,
+                        ComputeIdentity(std::move(tree)));
+  return InsertWithIdentity(name, identity);
 }
 
-Result<CatalogEntry> TreeCatalog::InsertCanonical(const std::string& name,
-                                                  AndXorTree tree,
-                                                  std::string canonical,
-                                                  uint64_t fingerprint) {
+Result<CatalogEntry> TreeCatalog::InsertWithIdentity(
+    const std::string& name, const TreeIdentity& identity) {
   if (name.empty()) {
     return Status::InvalidArgument("catalog name must not be empty");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  // Whenever a fingerprint matches existing content, confirm the bytes
-  // match too: the hash is 64-bit and non-cryptographic, and both the
-  // dedup below and the (fingerprint, k) caches keyed on it would silently
-  // serve the wrong tree's answers on a collision. The compare runs only
-  // on the fingerprint-equal path, so honest traffic pays one
-  // serialization per load.
+  return InsertWithIdentityLocked(name, identity);
+}
+
+Result<CatalogEntry> TreeCatalog::InsertWithIdentityLocked(
+    const std::string& name, const TreeIdentity& identity) {
+  // Whenever a hash matches existing state — at the name, content, or shape
+  // level — confirm the bytes match too: the hashes are 64-bit and
+  // non-cryptographic, and the dedup below plus the (StructKey, k) caches
+  // keyed on it would silently serve the wrong tree's answers on a
+  // collision. The compares run only on the hash-equal paths, so honest
+  // traffic pays one serialization + canonicalization per load.
   auto named = by_name_.find(name);
   if (named != by_name_.end()) {
-    if (named->second.fingerprint == fingerprint &&
-        FormatTree(*named->second.tree, /*indent=*/false) == canonical) {
+    auto content = by_content_.find(named->second.content_fp);
+    if (named->second.content_fp == identity.content_fp &&
+        content != by_content_.end() &&
+        content->second.bytes == identity.content_bytes) {
       return named->second;  // idempotent re-load of identical content
     }
     return Status::AlreadyExists("catalog name '" + name +
                                  "' is bound to different content");
   }
-  std::shared_ptr<const AndXorTree>& shared = by_fingerprint_[fingerprint];
-  if (shared != nullptr &&
-      FormatTree(*shared, /*indent=*/false) != canonical) {
+  auto content = by_content_.find(identity.content_fp);
+  if (content != by_content_.end() &&
+      content->second.bytes != identity.content_bytes) {
     return Status::Internal("fingerprint collision: '" + name +
                             "' hashes like existing content it does not "
                             "equal; rename is no workaround — the content "
                             "cannot be cached safely");
   }
-  if (shared == nullptr) {
-    shared = std::make_shared<const AndXorTree>(std::move(tree));
+  auto shape = by_shape_.find(identity.struct_key);
+  if (shape != by_shape_.end() &&
+      shape->second.canonical_bytes != identity.canonical_bytes) {
+    return Status::Internal("structural key collision: '" + name +
+                            "' canonicalizes like an existing shape it does "
+                            "not equal; the two cannot share a fold program "
+                            "or cache lines safely");
   }
-  CatalogEntry entry{name, fingerprint, shared};
+  if (shape == by_shape_.end()) {
+    // First time this shape enters the catalog: compile its fold program
+    // once. Every future load of any orientation of this shape — and every
+    // query against it — reuses the program through the shared_ptr.
+    ShapeRecord record;
+    record.tree = identity.canonical_tree;
+    record.program = std::make_shared<const FlatTree>(
+        FlatTree::Compile(*identity.canonical_tree));
+    record.canonical_bytes = identity.canonical_bytes;
+    ++fold_compiles_;
+    shape = by_shape_.emplace(identity.struct_key, std::move(record)).first;
+  }
+  if (content == by_content_.end()) {
+    by_content_.emplace(identity.content_fp,
+                        ContentRecord{identity.struct_key,
+                                      identity.content_bytes});
+  }
+  CatalogEntry entry{name, identity.content_fp, identity.struct_key,
+                     shape->second.tree, shape->second.program};
   by_name_.emplace(name, entry);
   return entry;
+}
+
+Result<CatalogEntry> TreeCatalog::InsertCanonical(const std::string& name,
+                                                  AndXorTree tree,
+                                                  std::string content_bytes,
+                                                  ContentFp content_fp) {
+  if (name.empty()) {
+    return Status::InvalidArgument("catalog name must not be empty");
+  }
+  // The caller owns the wire identity (content bytes + fingerprint); derive
+  // only the structural level here. `tree` may be any orientation of the
+  // content — canonicalization collapses it to the shape's one orientation.
+  CPDB_RETURN_NOT_OK(tree.Validate());
+  TreeIdentity identity;
+  identity.content_bytes = std::move(content_bytes);
+  identity.content_fp = content_fp;
+  CPDB_ASSIGN_OR_RETURN(AndXorTree canonical,
+                        CanonicalizeTree(std::move(tree)));
+  identity.canonical_bytes = FormatTree(canonical, /*indent=*/false);
+  identity.struct_key = StructKey(Fnv1a64(identity.canonical_bytes));
+  identity.canonical_tree =
+      std::make_shared<const AndXorTree>(std::move(canonical));
+  return InsertWithIdentity(name, identity);
 }
 
 Result<CatalogEntry> TreeCatalog::InsertFromText(const std::string& name,
@@ -90,6 +153,30 @@ Result<CatalogEntry> TreeCatalog::Lookup(const std::string& name) const {
 size_t TreeCatalog::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return by_name_.size();
+}
+
+CatalogCounts TreeCatalog::Counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CatalogCounts counts;
+  counts.names = static_cast<int64_t>(by_name_.size());
+  counts.contents = static_cast<int64_t>(by_content_.size());
+  counts.shapes = static_cast<int64_t>(by_shape_.size());
+  return counts;
+}
+
+int64_t TreeCatalog::fold_compiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fold_compiles_;
+}
+
+Result<std::string> TreeCatalog::ContentBytes(ContentFp content_fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_content_.find(content_fp);
+  if (it == by_content_.end()) {
+    return Status::NotFound("no catalog content with fingerprint " +
+                            HashToHex(content_fp));
+  }
+  return it->second.bytes;
 }
 
 std::vector<CatalogEntry> TreeCatalog::SnapshotEntries() const {

@@ -1,14 +1,26 @@
 // Copyright 2026 The ConsensusDB Authors
 //
-// TreeCatalog — the serving layer's store of loaded trees. Each tree is
-// parsed and validated once, fingerprinted by a stable 64-bit content hash
-// over its *canonical* serialization (FormatTree of the parsed tree, so two
-// inputs that differ only in whitespace or formatting collide on purpose),
-// and handed out as a shared immutable handle. Queries address trees by
-// name; caches key derived work by fingerprint, so renaming or re-loading
-// identical content never duplicates cached state. Modeled on fingerprinted
-// structure stores in production database systems: the catalog is the only
-// service component that owns tree lifetime.
+// TreeCatalog — the serving layer's store of loaded trees, and the owner of
+// the stack's TWO-LEVEL IDENTITY model:
+//
+//   name  ──►  ContentFp  ──►  StructKey  ──►  one shared canonical tree
+//                                              + one shared FlatTree program
+//
+// ContentFp (common/hash.h) hashes the exact canonical serialization of the
+// loaded tree — the wire-visible identity (protocol fingerprint= fields,
+// name binding, AlreadyExists semantics, snapshot records). StructKey hashes
+// the serialization of the tree's canonical ORIENTATION (model/canonical.h:
+// commutative and/xor children sorted) — the dedup identity. Two loads that
+// differ only in commutative child order get distinct ContentFps but one
+// StructKey, and therefore share one tree handle, one compiled fold program,
+// and (because caches key on StructKey) one set of cache lines.
+//
+// The catalog compiles the FlatTree program for each NEW shape exactly once
+// at insert time; query paths reuse it via CatalogEntry::program, so the
+// steady-state serve path never compiles. For a tree already in canonical
+// orientation ContentFp and StructKey hash the same bytes and are therefore
+// numerically equal — which is what keeps cache keys, shard routing, and
+// hence wire transcripts unchanged for canonical inputs.
 
 #ifndef CPDB_SERVICE_TREE_CATALOG_H_
 #define CPDB_SERVICE_TREE_CATALOG_H_
@@ -20,57 +32,109 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/result.h"
 #include "model/and_xor_tree.h"
+#include "model/flat_tree.h"
 
 namespace cpdb {
 
-/// \brief An immutable catalog entry: the shared tree plus its identity.
+/// \brief An immutable catalog entry: the shared tree plus both identities.
 /// Handles remain valid after the catalog drops or replaces the name —
-/// in-flight queries keep the tree alive through the shared_ptr.
+/// in-flight queries keep the tree and program alive through shared_ptrs.
+///
+/// `tree` is the CANONICAL ORIENTATION of the loaded content (not the
+/// as-loaded child order): every query for any member of a commutative
+/// permutation orbit runs over the same tree object, so duplicates return
+/// byte-identical answers by construction.
 struct CatalogEntry {
   std::string name;
-  /// Fnv1a64 over FormatTree(tree): stable across processes, load order,
-  /// and input formatting. Two entries share a fingerprint iff their
-  /// canonical serializations are byte-identical.
-  uint64_t fingerprint = 0;
+  /// Wire-visible identity: Fnv1a64 over FormatTree of the loaded tree.
+  ContentFp content_fp;
+  /// Structural identity: Fnv1a64 over FormatTree of the canonical
+  /// orientation. Shared by all commutative permutations of one shape.
+  StructKey struct_key;
+  /// The canonical orientation, shared per StructKey.
   std::shared_ptr<const AndXorTree> tree;
+  /// The compiled fold program for `tree`, shared per StructKey; compiled
+  /// once when the shape first enters the catalog.
+  std::shared_ptr<const FlatTree> program;
 };
 
-/// \brief Thread-safe name -> tree store with content-hash deduplication.
+/// \brief The full identity of one tree, computed once and reusable across
+/// catalogs (ShardedScheduler computes it on the front end, routes by
+/// struct_key, then inserts into the target shard without re-serializing).
+struct TreeIdentity {
+  ContentFp content_fp;
+  StructKey struct_key;
+  /// FormatTree(loaded tree, indent=false) — the bytes ContentFp hashes.
+  std::string content_bytes;
+  /// FormatTree(canonical orientation, indent=false) — the bytes StructKey
+  /// hashes. Equal to content_bytes iff the input was already canonical.
+  std::string canonical_bytes;
+  std::shared_ptr<const AndXorTree> canonical_tree;
+};
+
+/// \brief Sizes of the three identity levels; names >= contents >= shapes.
+/// contents / shapes is the catalog's duplication factor (the `dedup_ratio`
+/// stats field).
+struct CatalogCounts {
+  int64_t names = 0;
+  int64_t contents = 0;
+  int64_t shapes = 0;
+};
+
+/// \brief Thread-safe name -> tree store with two-level content/structure
+/// deduplication.
 ///
 /// Concurrency: all members may be called from any thread. Lookups return
-/// shared immutable state; the internal mutex only guards the maps (no
-/// user code runs under it).
+/// shared immutable state. The internal mutex guards the maps; the only
+/// non-trivial work under it is the one-time FlatTree compile when a NEW
+/// shape arrives (bounded by tree size, and exactly once per shape).
 class TreeCatalog {
  public:
-  /// \brief The fingerprint `tree` would be stored under: the stable hash
-  /// of its canonical serialization. Exposed so callers can compute cache
-  /// keys for trees that never enter a catalog.
-  static uint64_t FingerprintTree(const AndXorTree& tree);
+  /// \brief The wire-visible fingerprint `tree` would be stored under: the
+  /// stable hash of its canonical serialization. Exposed so callers can
+  /// compute identities for trees that never enter a catalog.
+  static ContentFp FingerprintTree(const AndXorTree& tree);
+
+  /// \brief Computes the full two-level identity of `tree`: content bytes
+  /// and ContentFp of the given orientation, plus the canonical orientation
+  /// (model/canonical.h) with its bytes and StructKey. Validates the tree;
+  /// the returned canonical_tree is validated and ready to compile.
+  static Result<TreeIdentity> ComputeIdentity(AndXorTree tree);
 
   /// \brief Registers `tree` under `name` and returns its entry.
   /// Idempotent for identical content: inserting the same name again
   /// succeeds iff the content matches (returning the existing entry); a
   /// different tree under an existing name is AlreadyExists — replacing a
   /// served tree in place would silently change answers mid-stream.
-  /// Content already present under another name shares the same
-  /// shared_ptr<const AndXorTree>, so equal trees are stored once. Equal
-  /// fingerprints are confirmed by byte comparison of the canonical
-  /// serializations, so a 64-bit hash collision surfaces as an Internal
-  /// error instead of silently serving another tree's answers.
+  /// Content already present under another name shares its ContentFp
+  /// record; any member of an already-present commutative orbit shares the
+  /// existing shape's tree handle and fold program. Equal hashes at either
+  /// level are confirmed by byte comparison, so a 64-bit collision surfaces
+  /// as an Internal error instead of silently serving another tree's
+  /// answers.
   Result<CatalogEntry> Insert(const std::string& name, AndXorTree tree);
 
-  /// \brief Insert with the canonical serialization and fingerprint
-  /// precomputed by the caller — `canonical` MUST equal
-  /// FormatTree(tree, /*indent=*/false) and `fingerprint` its Fnv1a64 (a
-  /// mismatch corrupts the content dedup). Exists so a routing layer that
-  /// already serialized the tree to pick a shard (ShardedScheduler) does
-  /// not pay the O(tree) serialization twice per load; Insert is this
-  /// with the two values computed here.
+  /// \brief Insert with the identity precomputed by ComputeIdentity. Exists
+  /// so a routing layer that already computed the identity to pick a shard
+  /// (ShardedScheduler) does not pay the serialization + canonicalization
+  /// twice per load; Insert is ComputeIdentity + this.
+  Result<CatalogEntry> InsertWithIdentity(const std::string& name,
+                                          const TreeIdentity& identity);
+
+  /// \brief Insert with the wire identity precomputed by the caller:
+  /// `content_bytes` MUST be the canonical serialization the caller loaded
+  /// (FormatTree of the orientation `content_fp` fingerprints) and
+  /// `content_fp` its Fnv1a64 — a mismatch corrupts the content dedup.
+  /// `tree` may be any orientation of that content (snapshot install hands
+  /// in the canonical orientation; live loads the as-parsed one): it is
+  /// canonicalized here to derive the structural level.
   Result<CatalogEntry> InsertCanonical(const std::string& name,
-                                       AndXorTree tree, std::string canonical,
-                                       uint64_t fingerprint);
+                                       AndXorTree tree,
+                                       std::string content_bytes,
+                                       ContentFp content_fp);
 
   /// \brief Parses `text` (the s-expression tree format) and inserts it.
   Result<CatalogEntry> InsertFromText(const std::string& name,
@@ -89,6 +153,20 @@ class TreeCatalog {
   /// \brief Number of registered names.
   size_t size() const;
 
+  /// \brief Sizes of all three identity levels, read atomically.
+  CatalogCounts Counts() const;
+
+  /// \brief Number of FlatTree programs compiled by this catalog — exactly
+  /// the number of distinct shapes ever inserted. Feeds the
+  /// cpdb_fold_compiles_total metric alongside the engine's own counter.
+  int64_t fold_compiles() const;
+
+  /// \brief The stored content bytes for a ContentFp (the exact
+  /// serialization its wire identity hashes), or NotFound. Snapshot
+  /// building reads this so v2 records persist the content orientation,
+  /// not the canonical one.
+  Result<std::string> ContentBytes(ContentFp content_fp) const;
+
   /// \brief Every entry, in name order — deterministic regardless of load
   /// order, which is what makes a catalog snapshot saved from live state
   /// byte-stable (service/catalog_snapshot.h walks this). Entries share
@@ -97,12 +175,28 @@ class TreeCatalog {
   std::vector<CatalogEntry> SnapshotEntries() const;
 
  private:
+  /// Second identity level: one per distinct content serialization.
+  struct ContentRecord {
+    StructKey struct_key;
+    std::string bytes;  // the serialization content_fp hashes
+  };
+  /// Third identity level: one per distinct shape; owns the shared state.
+  struct ShapeRecord {
+    std::shared_ptr<const AndXorTree> tree;      // canonical orientation
+    std::shared_ptr<const FlatTree> program;     // compiled once
+    std::string canonical_bytes;                 // collision defense
+  };
+
+  Result<CatalogEntry> InsertWithIdentityLocked(const std::string& name,
+                                                const TreeIdentity& identity);
+
   mutable std::mutex mu_;
   std::map<std::string, CatalogEntry> by_name_;
-  // fingerprint -> the shared tree, so identical content under several
-  // names is stored once. weak_ptr would allow eviction; entries are
-  // currently immortal, matching a serving process's lifetime.
-  std::map<uint64_t, std::shared_ptr<const AndXorTree>> by_fingerprint_;
+  // Entries at both levels are currently immortal, matching a serving
+  // process's lifetime (weak_ptr would allow eviction).
+  std::map<ContentFp, ContentRecord> by_content_;
+  std::map<StructKey, ShapeRecord> by_shape_;
+  int64_t fold_compiles_ = 0;
 };
 
 }  // namespace cpdb

@@ -58,7 +58,7 @@ AndXorTree RandomTree(uint64_t seed, int num_keys = 6) {
 // feeding a probe entry through an unbounded cache.
 int64_t MeasuredMarginalCost(size_t n) {
   MarginalsCache probe;
-  probe.GetOrCompute(1, [n] { return std::vector<double>(n, 0.5); });
+  probe.GetOrCompute(StructKey(1), [n] { return std::vector<double>(n, 0.5); });
   return probe.stats().bytes;
 }
 
@@ -83,14 +83,14 @@ TEST(CacheEvictionTest, EvictsLeastRecentlyUsedFirst) {
   const int64_t cost = MeasuredMarginalCost(8);
   MarginalsCache cache(2 * cost);  // room for exactly two entries
   auto vec = [](double fill) { return std::vector<double>(8, fill); };
-  cache.GetOrCompute(1, [&] { return vec(0.1); });
-  cache.GetOrCompute(2, [&] { return vec(0.2); });
+  cache.GetOrCompute(StructKey(1), [&] { return vec(0.1); });
+  cache.GetOrCompute(StructKey(2), [&] { return vec(0.2); });
   // Touch 1: now 2 is the least recently used.
-  EXPECT_NE(cache.GetOrCompute(1, [&] { return vec(9.9); }), nullptr);
-  cache.GetOrCompute(3, [&] { return vec(0.3); });  // evicts 2, not 1
-  EXPECT_NE(cache.Peek(1), nullptr);
-  EXPECT_EQ(cache.Peek(2), nullptr);
-  EXPECT_NE(cache.Peek(3), nullptr);
+  EXPECT_NE(cache.GetOrCompute(StructKey(1), [&] { return vec(9.9); }), nullptr);
+  cache.GetOrCompute(StructKey(3), [&] { return vec(0.3); });  // evicts 2, not 1
+  EXPECT_NE(cache.Peek(StructKey(1)), nullptr);
+  EXPECT_EQ(cache.Peek(StructKey(2)), nullptr);
+  EXPECT_NE(cache.Peek(StructKey(3)), nullptr);
   CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 2);
   EXPECT_EQ(stats.evictions, 1);
@@ -102,16 +102,16 @@ TEST(CacheEvictionTest, OversizedEntryIsServedButNeverRetained) {
   const int64_t cost = MeasuredMarginalCost(64);
   MarginalsCache cache(cost - 1);  // no single entry fits
   auto handle =
-      cache.GetOrCompute(7, [] { return std::vector<double>(64, 0.25); });
+      cache.GetOrCompute(StructKey(7), [] { return std::vector<double>(64, 0.25); });
   ASSERT_NE(handle, nullptr);  // the caller still gets its value...
   EXPECT_EQ((*handle)[0], 0.25);
-  EXPECT_EQ(cache.Peek(7), nullptr);  // ...but nothing was retained
+  EXPECT_EQ(cache.Peek(StructKey(7)), nullptr);  // ...but nothing was retained
   CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 0);
   EXPECT_EQ(stats.bytes, 0);
   EXPECT_EQ(stats.evictions, 0);  // never retained, so never "evicted"
   // The next call recomputes: a miss, not a hit.
-  cache.GetOrCompute(7, [] { return std::vector<double>(64, 0.25); });
+  cache.GetOrCompute(StructKey(7), [] { return std::vector<double>(64, 0.25); });
   EXPECT_EQ(cache.stats().misses, 2);
 }
 
@@ -119,16 +119,19 @@ TEST(CacheEvictionTest, HandlesSurviveEvictionAndClear) {
   AndXorTree tree = *ParseTree(kTreeText);
   RankDistCache probe;  // measure one entry's charge
   auto first =
-      probe.GetOrCompute(1, 2, [&] { return ComputeRankDistribution(tree, 2); });
+      probe.GetOrCompute(StructKey(1), 2,
+                         [&] { return ComputeRankDistribution(tree, 2); });
   const int64_t cost = probe.stats().bytes;
 
   RankDistCache cache(cost);  // exactly one entry fits
   auto a =
-      cache.GetOrCompute(1, 2, [&] { return ComputeRankDistribution(tree, 2); });
+      cache.GetOrCompute(StructKey(1), 2,
+                         [&] { return ComputeRankDistribution(tree, 2); });
   auto b =
-      cache.GetOrCompute(2, 2, [&] { return ComputeRankDistribution(tree, 2); });
+      cache.GetOrCompute(StructKey(2), 2,
+                         [&] { return ComputeRankDistribution(tree, 2); });
   EXPECT_EQ(cache.stats().evictions, 1);  // a's entry was pushed out
-  EXPECT_EQ(cache.Peek(1, 2), nullptr);
+  EXPECT_EQ(cache.Peek(StructKey(1), 2), nullptr);
   // The evicted handle still works and still carries the right bits.
   ExpectSameDist(*a, *first);
   cache.Clear();
@@ -153,7 +156,7 @@ TEST(CacheEvictionTest, ZeroBudgetStillCoalescesConcurrentComputes) {
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
-      handles[t] = cache.GetOrCompute(5, 2, [&] {
+      handles[t] = cache.GetOrCompute(StructKey(5), 2, [&] {
         ++computes;
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
         return ComputeRankDistribution(tree, 2);
@@ -182,14 +185,14 @@ TEST(CacheEvictionTest, ZeroBudgetStillCoalescesConcurrentComputes) {
 TEST(CacheEvictionTest, ThrowingComputeWakesWaitersAndLeavesKeyUsable) {
   MarginalsCache cache;
   EXPECT_THROW(cache.GetOrCompute(
-                   3,
+                   StructKey(3),
                    []() -> std::vector<double> {
                      throw std::runtime_error("transient");
                    }),
                std::runtime_error);
   // The key recovered: the next call is an ordinary miss that computes.
   auto handle =
-      cache.GetOrCompute(3, [] { return std::vector<double>(4, 0.5); });
+      cache.GetOrCompute(StructKey(3), [] { return std::vector<double>(4, 0.5); });
   ASSERT_NE(handle, nullptr);
   EXPECT_EQ((*handle)[0], 0.5);
   EXPECT_EQ(cache.stats().misses, 2);
@@ -211,7 +214,7 @@ TEST(CacheEvictionTest, ThrowingComputeWakesWaitersAndLeavesKeyUsable) {
     workers.emplace_back([&, t] {
       for (;;) {
         try {
-          handles[t] = cache.GetOrCompute(9, flaky);
+          handles[t] = cache.GetOrCompute(StructKey(9), flaky);
           return;
         } catch (const std::runtime_error&) {
           // The transient failure surfaced in this caller; try again.
@@ -248,7 +251,7 @@ TEST(CacheEvictionTest, BudgetHoldsAndAnswersStayBitwiseUnderChurnRaces) {
   int64_t second = 0;
   for (int i = 0; i < kKeys; ++i) {
     RankDistCache one;
-    one.GetOrCompute(1, 2, [&] { return references[i]; });
+    one.GetOrCompute(StructKey(1), 2, [&] { return references[i]; });
     int64_t cost = one.stats().bytes;
     if (cost >= largest) {
       second = largest;
@@ -268,7 +271,7 @@ TEST(CacheEvictionTest, BudgetHoldsAndAnswersStayBitwiseUnderChurnRaces) {
         const int i = static_cast<int>(rng.Next() % kKeys);
         const int k = 2 + i % 3;
         auto handle = cache.GetOrCompute(
-            static_cast<uint64_t>(i), k,
+            StructKey(static_cast<uint64_t>(i)), k,
             [&] { return ComputeRankDistribution(trees[i], k); });
         ASSERT_NE(handle, nullptr);
         ExpectSameDist(*handle, references[i]);
@@ -306,7 +309,7 @@ TEST(CacheEvictionTest, MarginalsCacheChurnKeepsBudgetAndBits) {
       for (int op = 0; op < kOpsPerThread; ++op) {
         const int i = static_cast<int>(rng.Next() % kKeys);
         auto handle = cache.GetOrCompute(
-            static_cast<uint64_t>(i),
+            StructKey(static_cast<uint64_t>(i)),
             [&] { return trees[i].LeafMarginals(); });
         ASSERT_NE(handle, nullptr);
         ASSERT_EQ(*handle, references[i]);  // vector == is bitwise here

@@ -25,6 +25,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "engine/engine.h"
 #include "io/table_io.h"
 #include "io/tree_text.h"
+#include "model/canonical.h"
 #include "service/query_scheduler.h"
 #include "service/tree_catalog.h"
 #include "workload/generators.h"
@@ -62,11 +64,22 @@ AndXorTree Tree(const std::string& text) {
 }
 
 SnapshotTree MakeTreeRecord(const std::string& name,
-                            const std::string& canonical) {
+                            const std::string& content) {
   SnapshotTree record;
   record.name = name;
-  record.canonical = canonical;
-  record.fingerprint = Fnv1a64(canonical);
+  record.content = content;
+  record.content_fp = ContentFp(Fnv1a64(content));
+  // A correct structural key whenever the bytes parse: corruption tests
+  // that target earlier validation stages still need the later fields
+  // well-formed, so the stage under test is the one that fires.
+  Result<AndXorTree> parsed = ParseTree(content);
+  if (parsed.ok()) {
+    Result<AndXorTree> canonical = CanonicalizeTree(*parsed);
+    if (canonical.ok()) {
+      record.struct_key =
+          StructKey(Fnv1a64(FormatTree(*canonical, /*indent=*/false)));
+    }
+  }
   // Encoding never consults `tree`, which is what lets these tests craft
   // records whose bytes a live catalog could not produce.
   return record;
@@ -326,9 +339,23 @@ TEST(CatalogSnapshotCorruptionTest, NonCanonicalTreeTextIsRejected) {
 TEST(CatalogSnapshotCorruptionTest, FingerprintNotHashingItsBytesIsRejected) {
   CatalogSnapshot snapshot;
   snapshot.trees.push_back(CatalogTreeRecord("t", kTreeText));
-  snapshot.trees[0].fingerprint ^= 1;
+  snapshot.trees[0].content_fp =
+      ContentFp(snapshot.trees[0].content_fp.value() ^ 1);
   ExpectRejected(EncodeCatalogSnapshot(snapshot), StatusCode::kParseError,
                  "does not hash", "flipped fingerprint");
+}
+
+TEST(CatalogSnapshotCorruptionTest, ForgedStructuralKeyIsRejected) {
+  // A v2 record whose stored structural key is not the hash of the
+  // canonical re-orientation: accepting it would route the binding to the
+  // wrong shard and the wrong cache lines, so the decoder recomputes and
+  // compares.
+  CatalogSnapshot snapshot;
+  snapshot.trees.push_back(CatalogTreeRecord("t", kTreeText));
+  snapshot.trees[0].struct_key =
+      StructKey(snapshot.trees[0].struct_key.value() ^ 1);
+  ExpectRejected(EncodeCatalogSnapshot(snapshot), StatusCode::kParseError,
+                 "structural key", "flipped structural key");
 }
 
 TEST(CatalogSnapshotCorruptionTest, DuplicateAndEmptyNamesAreRejected) {
@@ -351,15 +378,16 @@ TEST(CatalogSnapshotCorruptionTest, DistributionRecordDefectsAreRejected) {
 
   // Dangling: a distribution whose fingerprint no tree record carries.
   CatalogSnapshot dangling = valid;
-  dangling.distributions[0].fingerprint ^= 1;
+  dangling.distributions[0].struct_key =
+      StructKey(dangling.distributions[0].struct_key.value() ^ 1);
   ExpectRejected(EncodeCatalogSnapshot(dangling), StatusCode::kParseError,
-                 "no tree record", "dangling fingerprint");
+                 "no tree record", "dangling structural key");
 
   // Duplicate (fingerprint, k).
   CatalogSnapshot duplicate = valid;
   duplicate.distributions.push_back(duplicate.distributions[0]);
   ExpectRejected(EncodeCatalogSnapshot(duplicate), StatusCode::kParseError,
-                 "duplicate (fingerprint, k)", "duplicate dist");
+                 "duplicate (structural key, k)", "duplicate dist");
 
   // Non-finite and out-of-range probabilities.
   for (double bad : {std::nan(""), 2.0, -0.5}) {
@@ -371,7 +399,7 @@ TEST(CatalogSnapshotCorruptionTest, DistributionRecordDefectsAreRejected) {
     CatalogSnapshot poisoned;
     poisoned.trees.push_back(valid.trees[0]);
     SnapshotDistribution dist;
-    dist.fingerprint = valid.trees[0].fingerprint;
+    dist.struct_key = valid.trees[0].struct_key;
     dist.k = 2;
     dist.dist = std::make_shared<const RankDistribution>(
         std::move(builder).Build());
@@ -386,7 +414,7 @@ TEST(CatalogSnapshotCorruptionTest, DistributionRecordDefectsAreRejected) {
   CatalogSnapshot mismatched;
   mismatched.trees.push_back(valid.trees[0]);
   SnapshotDistribution wrong_keys;
-  wrong_keys.fingerprint = valid.trees[0].fingerprint;
+  wrong_keys.struct_key = valid.trees[0].struct_key;
   wrong_keys.k = 2;
   wrong_keys.dist =
       std::make_shared<const RankDistribution>(std::move(builder).Build());
@@ -399,7 +427,7 @@ TEST(CatalogSnapshotCorruptionTest, DistributionRecordDefectsAreRejected) {
   CatalogSnapshot zero;
   zero.trees.push_back(valid.trees[0]);
   SnapshotDistribution zero_dist;
-  zero_dist.fingerprint = valid.trees[0].fingerprint;
+  zero_dist.struct_key = valid.trees[0].struct_key;
   zero_dist.k = 0;
   zero_dist.dist =
       std::make_shared<const RankDistribution>(std::move(zero_k).Build());
@@ -495,9 +523,10 @@ TEST(CatalogSnapshotRoundTripTest, GeneratedTreesSurviveSaveLoadSave) {
     // Every loaded tree re-fingerprints to the original value — the loaded
     // catalog's identity map is the cold catalog's by construction.
     for (size_t i = 0; i < decoded->trees.size(); ++i) {
-      EXPECT_EQ(decoded->trees[i].fingerprint,
+      EXPECT_EQ(decoded->trees[i].content_fp,
                 TreeCatalog::FingerprintTree(*decoded->trees[i].tree));
-      EXPECT_EQ(decoded->trees[i].fingerprint, original.trees[i].fingerprint);
+      EXPECT_EQ(decoded->trees[i].content_fp, original.trees[i].content_fp);
+      EXPECT_EQ(decoded->trees[i].struct_key, original.trees[i].struct_key);
       EXPECT_EQ(decoded->trees[i].name, original.trees[i].name);
     }
 
@@ -553,7 +582,7 @@ TEST(CatalogSnapshotRoundTripTest, LoadedDistributionsAreBitwiseExact) {
   for (const SnapshotDistribution& dist : decoded->distributions) {
     std::shared_ptr<const RankDistribution> retained;
     for (const auto& entry : live.scheduler.RetainedRankDistributions()) {
-      if (entry.fingerprint == dist.fingerprint && entry.k == dist.k) {
+      if (entry.struct_key == dist.struct_key && entry.k == dist.k) {
         retained = entry.dist;
       }
     }
@@ -568,6 +597,151 @@ TEST(CatalogSnapshotRoundTripTest, LoadedDistributionsAreBitwiseExact) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// v1 compatibility
+// ---------------------------------------------------------------------------
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xffffffffULL));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+// Encodes the pre-structural-key v1 layout: tree records carry no struct
+// key, and distribution records are addressed by content fingerprint.
+std::string EncodeV1Snapshot(
+    const std::vector<std::pair<std::string, std::string>>& trees,
+    const std::vector<std::pair<std::string, const RankDistribution*>>&
+        dists_by_text,
+    int k) {
+  std::string out;
+  out.append(kCatalogSnapshotMagic, sizeof(kCatalogSnapshotMagic));
+  AppendU32(&out, 1);  // version
+  AppendU32(&out, 0);  // reserved
+  AppendU64(&out, trees.size());
+  AppendU64(&out, dists_by_text.size());
+  for (const auto& [name, text] : trees) {
+    AppendU32(&out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+    AppendU64(&out, Fnv1a64(text));
+    AppendU64(&out, text.size());
+    out.append(text);
+  }
+  for (const auto& [text, dist] : dists_by_text) {
+    AppendU64(&out, Fnv1a64(text));
+    AppendU32(&out, static_cast<uint32_t>(k));
+    AppendU64(&out, dist->keys().size());
+    for (KeyId key : dist->keys()) {
+      AppendU32(&out, static_cast<uint32_t>(key));
+      for (int i = 1; i <= k; ++i) {
+        double pr = dist->PrRankEq(key, i);
+        uint64_t bits = 0;
+        std::memcpy(&bits, &pr, sizeof(bits));
+        AppendU64(&out, bits);
+      }
+    }
+  }
+  AppendU64(&out, Fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+// A v1 file loads through the same decode + InsertCanonical seam, with
+// structural keys recomputed from the stored content. Distributions keyed
+// by content fingerprint remap to their tree's StructKey only when the
+// stored orientation is already canonical; a non-canonical orientation's
+// fold is dropped, because the re-keyed cache serves only canonical-
+// orientation folds.
+TEST(CatalogSnapshotV1CompatTest, V1FilesLoadWithRecomputedKeys) {
+  // Two orientations of one shape: exactly one is the canonical one.
+  AndXorTree ab = Tree(
+      "(and (xor 0.6 (leaf key=1 score=8) 0.3 (leaf key=1 score=5))"
+      " (xor 0.7 (leaf key=2 score=9)))");
+  AndXorTree ba = Tree(
+      "(and (xor 0.7 (leaf key=2 score=9))"
+      " (xor 0.6 (leaf key=1 score=8) 0.3 (leaf key=1 score=5)))");
+  const std::string ab_text = FormatTree(ab, /*indent=*/false);
+  const std::string ba_text = FormatTree(ba, /*indent=*/false);
+  ASSERT_NE(ab_text, ba_text);
+  const std::string canon_text =
+      FormatTree(*CanonicalizeTree(ab), /*indent=*/false);
+  ASSERT_EQ(canon_text, FormatTree(*CanonicalizeTree(ba), /*indent=*/false));
+  const std::string other_text = ab_text == canon_text ? ba_text : ab_text;
+  const StructKey shape_key(Fnv1a64(canon_text));
+
+  Engine dist_engine(TestEngineOptions());
+  const RankDistribution canon_dist =
+      dist_engine.ComputeRankDistribution(Tree(canon_text), 2);
+  const RankDistribution other_dist =
+      dist_engine.ComputeRankDistribution(Tree(other_text), 2);
+  const std::string bytes = EncodeV1Snapshot(
+      {{"canon", canon_text}, {"perm", other_text}},
+      {{canon_text, &canon_dist}, {other_text, &other_dist}}, /*k=*/2);
+
+  Result<CatalogSnapshot> decoded =
+      DecodeCatalogSnapshot(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->trees.size(), 2u);
+  for (const SnapshotTree& record : decoded->trees) {
+    // Content identity is preserved verbatim; the structural key is
+    // recomputed, and both orientations collapse to one shape.
+    EXPECT_EQ(record.content_fp, ContentFp(Fnv1a64(record.content)));
+    EXPECT_EQ(record.struct_key, shape_key);
+  }
+  // Only the canonical orientation's fold survives the re-keying.
+  ASSERT_EQ(decoded->distributions.size(), 1u);
+  EXPECT_EQ(decoded->distributions[0].struct_key, shape_key);
+  EXPECT_EQ(decoded->distributions[0].k, 2);
+
+  // Installing lands both names on one shared shape, with the persisted
+  // fold pre-seeded for it.
+  Engine engine(TestEngineOptions());
+  TreeCatalog catalog;
+  QueryScheduler scheduler(&engine, &catalog);
+  ASSERT_TRUE(InstallCatalogSnapshot(*decoded, &catalog, &scheduler).ok());
+  const CatalogCounts counts = catalog.Counts();
+  EXPECT_EQ(counts.names, 2);
+  EXPECT_EQ(counts.contents, 2);
+  EXPECT_EQ(counts.shapes, 1);
+  EXPECT_EQ(scheduler.cache_stats().entries, 1);
+
+  // Re-saving writes the current version; the upgraded file round-trips
+  // byte-identically from then on.
+  const std::string upgraded =
+      EncodeCatalogSnapshot(BuildCatalogSnapshot(catalog, &scheduler));
+  Result<CatalogSnapshot> reloaded =
+      DecodeCatalogSnapshot(upgraded.data(), upgraded.size());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(EncodeCatalogSnapshot(*reloaded), upgraded);
+}
+
+// v1 files get the same adversarial treatment as v2: a fingerprint that
+// does not hash its bytes, or a dangling distribution, is rejected with
+// the same typed errors.
+TEST(CatalogSnapshotV1CompatTest, CorruptV1FilesAreRejected) {
+  AndXorTree tree = Tree(kTreeText);
+  const std::string text = FormatTree(tree, /*indent=*/false);
+  Engine dist_engine(TestEngineOptions());
+  const RankDistribution dist = dist_engine.ComputeRankDistribution(tree, 2);
+
+  std::string forged_fp =
+      EncodeV1Snapshot({{"t", text}}, {}, /*k=*/2);
+  // Flip a fingerprint bit (offset: header 32 + u32 name len 4 + name).
+  const size_t fp_offset = 32 + 4 + 1;
+  forged_fp[fp_offset] = static_cast<char>(forged_fp[fp_offset] ^ 1);
+  ExpectRejected(Restamped(std::move(forged_fp)), StatusCode::kParseError,
+                 "does not hash", "v1 forged fingerprint");
+
+  const std::string missing_tree =
+      EncodeV1Snapshot({}, {{text, &dist}}, /*k=*/2);
+  ExpectRejected(missing_tree, StatusCode::kParseError, "no tree record",
+                 "v1 dangling fingerprint");
 }
 
 }  // namespace

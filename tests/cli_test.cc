@@ -140,6 +140,52 @@ TEST_F(CliTest, DumpFlatPrintsTheCompiledRecordTable) {
   EXPECT_EQ(RunCliArgs({"dump-flat", "/does/not/exist"}).code, 1);
 }
 
+TEST_F(CliTest, DumpCanonPrintsTheTwoLevelIdentity) {
+  // A second file holding the fixture tree with its commutative AND
+  // children rotated: a different wire identity, the same shape.
+  std::string permuted_path = ::testing::TempDir() + "/cli_tree_perm.sexp";
+  ASSERT_TRUE(WriteStringToFile(
+                  permuted_path,
+                  "(and (xor 0.5 (leaf key=3 score=7 label=1)"
+                  "          0.5 (leaf key=3 score=6 label=0))"
+                  " (xor 0.7 (leaf key=2 score=9 label=0))"
+                  " (xor 0.6 (leaf key=1 score=8 label=0)"
+                  "          0.3 (leaf key=1 score=5 label=1)))")
+                  .ok());
+
+  CliResult original = RunCliArgs({"dump-canon", tree_path_});
+  ASSERT_EQ(original.code, 0) << original.err;
+  CliResult permuted = RunCliArgs({"dump-canon", permuted_path});
+  ASSERT_EQ(permuted.code, 0) << permuted.err;
+
+  auto field = [](const CliResult& r, const std::string& name) {
+    const std::string prefix = name + " ";
+    size_t start = r.out.find(prefix);
+    EXPECT_NE(start, std::string::npos) << name << " in:\n" << r.out;
+    if (start == std::string::npos) return std::string();
+    start += prefix.size();
+    return r.out.substr(start, r.out.find('\n', start) - start);
+  };
+
+  // Different wire identities, one structural identity.
+  EXPECT_NE(field(original, "content_fp"), field(permuted, "content_fp"));
+  EXPECT_EQ(field(original, "struct_key"), field(permuted, "struct_key"));
+  EXPECT_EQ(field(original, "canonical"), field(permuted, "canonical"));
+
+  // The printed canonical line is a valid tree whose one-line form is
+  // itself (canonicalization is idempotent through the printer).
+  auto canonical = ParseTree(field(original, "canonical"));
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_EQ(FormatTree(*canonical, /*indent=*/false),
+            field(original, "canonical"));
+  // The content line round-trips the input's wire-normalized form.
+  auto tree = ParseTree(*ReadFileToString(tree_path_));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(field(original, "content"), FormatTree(*tree, /*indent=*/false));
+
+  EXPECT_EQ(RunCliArgs({"dump-canon", "/does/not/exist"}).code, 1);
+}
+
 TEST_F(CliTest, WorldsSumToOne) {
   CliResult r = RunCliArgs({"worlds", tree_path_});
   EXPECT_EQ(r.code, 0);

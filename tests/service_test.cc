@@ -22,6 +22,7 @@
 #include "core/set_consensus.h"
 #include "io/table_io.h"
 #include "io/tree_text.h"
+#include "model/canonical.h"
 #include "model/possible_worlds.h"
 #include "service/rank_dist_cache.h"
 #include "service/tree_catalog.h"
@@ -70,9 +71,9 @@ TEST(TreeCatalogTest, FingerprintIsStableAcrossLoadOrderAndFormatting) {
   ASSERT_TRUE(backward.InsertFromText("a", kTreeTextReformatted).ok());
 
   // Same content, regardless of insertion order or input formatting.
-  EXPECT_EQ(forward.Lookup("a")->fingerprint, backward.Lookup("a")->fingerprint);
-  EXPECT_EQ(forward.Lookup("b")->fingerprint, backward.Lookup("b")->fingerprint);
-  EXPECT_NE(forward.Lookup("a")->fingerprint, forward.Lookup("b")->fingerprint);
+  EXPECT_EQ(forward.Lookup("a")->content_fp, backward.Lookup("a")->content_fp);
+  EXPECT_EQ(forward.Lookup("b")->content_fp, backward.Lookup("b")->content_fp);
+  EXPECT_NE(forward.Lookup("a")->content_fp, forward.Lookup("b")->content_fp);
 }
 
 TEST(TreeCatalogTest, IdenticalContentUnderTwoNamesSharesOneTree) {
@@ -81,7 +82,7 @@ TEST(TreeCatalogTest, IdenticalContentUnderTwoNamesSharesOneTree) {
   auto alias = catalog.InsertFromText("alias", kTreeTextReformatted);
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(alias.ok());
-  EXPECT_EQ(first->fingerprint, alias->fingerprint);
+  EXPECT_EQ(first->content_fp, alias->content_fp);
   // Shared immutable handle: the same allocation, not an equal copy.
   EXPECT_EQ(first->tree.get(), alias->tree.get());
   EXPECT_EQ(catalog.size(), 2u);
@@ -125,7 +126,7 @@ TEST(TreeCatalogTest, ConcurrentInsertsAndLookupsShareOneTree) {
                                          kTreeTextReformatted);
       EXPECT_TRUE(mine.ok());
       if (shared.ok() && mine.ok()) {
-        EXPECT_EQ(mine->fingerprint, shared->fingerprint);
+        EXPECT_EQ(mine->content_fp, shared->content_fp);
       }
       EXPECT_TRUE(catalog.Lookup("shared").ok());
     });
@@ -143,7 +144,7 @@ TEST(TreeCatalogTest, FingerprintTreeMatchesCanonicalHash) {
   auto tree = ParseTree(kTreeText);
   ASSERT_TRUE(tree.ok());
   EXPECT_EQ(TreeCatalog::FingerprintTree(*tree),
-            Fnv1a64(FormatTree(*tree, /*indent=*/false)));
+            ContentFp(Fnv1a64(FormatTree(*tree, /*indent=*/false))));
 }
 
 // ---------------------------------------------------------------------------
@@ -158,13 +159,14 @@ TEST(RankDistCacheTest, CountsHitsAndMissesPerKey) {
     ++computes;
     return ComputeRankDistribution(tree, 2);
   };
-  auto a = cache.GetOrCompute(1, 2, compute);
-  auto b = cache.GetOrCompute(1, 2, compute);
+  auto a = cache.GetOrCompute(StructKey(1), 2, compute);
+  auto b = cache.GetOrCompute(StructKey(1), 2, compute);
   EXPECT_EQ(computes, 1);
   EXPECT_EQ(a.get(), b.get());  // shared handle, not a copy
   // Different k and different fingerprint are distinct entries.
-  cache.GetOrCompute(1, 3, [&] { return ComputeRankDistribution(tree, 3); });
-  cache.GetOrCompute(2, 2, compute);
+  cache.GetOrCompute(StructKey(1), 3,
+                     [&] { return ComputeRankDistribution(tree, 3); });
+  cache.GetOrCompute(StructKey(2), 2, compute);
   CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1);
   EXPECT_EQ(stats.misses, 3);
@@ -174,17 +176,18 @@ TEST(RankDistCacheTest, CountsHitsAndMissesPerKey) {
   EXPECT_EQ(cache.byte_budget(), kUnboundedCacheBytes);
   EXPECT_EQ(stats.evictions, 0);
   EXPECT_EQ(stats.bytes, a->ApproxBytes() +
-                             cache.Peek(1, 3)->ApproxBytes() +
-                             cache.Peek(2, 2)->ApproxBytes());
+                             cache.Peek(StructKey(1), 3)->ApproxBytes() +
+                             cache.Peek(StructKey(2), 2)->ApproxBytes());
 }
 
 TEST(RankDistCacheTest, PeekDoesNotCountAndClearResets) {
   AndXorTree tree = *ParseTree(kTreeText);
   RankDistCache cache;
-  EXPECT_EQ(cache.Peek(1, 2), nullptr);
+  EXPECT_EQ(cache.Peek(StructKey(1), 2), nullptr);
   auto handle =
-      cache.GetOrCompute(1, 2, [&] { return ComputeRankDistribution(tree, 2); });
-  EXPECT_EQ(cache.Peek(1, 2).get(), handle.get());
+      cache.GetOrCompute(StructKey(1), 2,
+                         [&] { return ComputeRankDistribution(tree, 2); });
+  EXPECT_EQ(cache.Peek(StructKey(1), 2).get(), handle.get());
   CacheStats before = cache.stats();
   EXPECT_EQ(before.hits, 0);
   EXPECT_EQ(before.misses, 1);
@@ -192,7 +195,7 @@ TEST(RankDistCacheTest, PeekDoesNotCountAndClearResets) {
   CacheStats after = cache.stats();
   EXPECT_EQ(after.misses, 0);
   EXPECT_EQ(after.entries, 0);
-  EXPECT_EQ(cache.Peek(1, 2), nullptr);
+  EXPECT_EQ(cache.Peek(StructKey(1), 2), nullptr);
   // Handles outlive Clear (shared ownership).
   EXPECT_EQ(handle->k(), 2);
 }
@@ -211,13 +214,13 @@ TEST(RankDistCacheTest, ConcurrentGetOrComputeFoldsOncePerKey) {
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&cache, &tree, &handles, &computes, t] {
-      handles[t] = cache.GetOrCompute(7, 2, [&] {
+      handles[t] = cache.GetOrCompute(StructKey(7), 2, [&] {
         ++computes;
         // Widen the race window so coalescing actually happens under TSan.
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
         return ComputeRankDistribution(tree, 2);
       });
-      cache.Peek(7, 2);
+      cache.Peek(StructKey(7), 2);
       cache.stats();
     });
   }
@@ -302,7 +305,10 @@ class QuerySchedulerTest : public ::testing::Test {
  protected:
   void SetUp() override {
     ASSERT_TRUE(catalog_.InsertFromText("t", kTreeText).ok());
-    deep_ = RandomDeepTree(101);
+    // The serving path folds over the canonical orientation, so the
+    // fixture pre-canonicalizes its reference tree: direct engine calls on
+    // deep_ are then bitwise comparable with scheduler answers.
+    deep_ = *CanonicalizeTree(RandomDeepTree(101));
     ASSERT_TRUE(catalog_.Insert("deep", deep_).ok());
   }
 
@@ -563,7 +569,7 @@ TEST_F(QuerySchedulerTest, LoadsApplyBeforeQueriesInTheSameBatch) {
       scheduler.ExecuteBatch({query, load, load_bid, load_missing});
   ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
   ASSERT_TRUE(results[1].ok());
-  EXPECT_NE(results[1]->fingerprint, 0u);
+  EXPECT_NE(results[1]->fingerprint.value(), 0u);
   ASSERT_TRUE(results[2].ok());
   EXPECT_FALSE(results[3].ok());
   EXPECT_EQ(catalog_.size(), 4u);  // t, deep, late, late_bid

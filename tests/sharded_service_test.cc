@@ -187,21 +187,20 @@ class ShardedSchedulerTest : public ::testing::Test {
 // Routing primitives
 // ---------------------------------------------------------------------------
 
-TEST(ShardRoutingTest, ShardOfFingerprintIsDeterministicAndInRange) {
+TEST(ShardRoutingTest, ShardOfKeyIsDeterministicAndInRange) {
   Rng rng(5);
   for (int shards : {1, 2, 3, 8, 64}) {
     std::vector<int> population(static_cast<size_t>(shards), 0);
     for (int i = 0; i < 4096; ++i) {
-      uint64_t fingerprint = rng.Next();
-      int shard = ShardedScheduler::ShardOfFingerprint(fingerprint, shards);
+      const StructKey key(rng.Next());
+      int shard = ShardedScheduler::ShardOfKey(key, shards);
       ASSERT_GE(shard, 0);
       ASSERT_LT(shard, shards);
-      // Pure function of (fingerprint, shards).
-      EXPECT_EQ(shard,
-                ShardedScheduler::ShardOfFingerprint(fingerprint, shards));
+      // Pure function of (key, shards).
+      EXPECT_EQ(shard, ShardedScheduler::ShardOfKey(key, shards));
       ++population[static_cast<size_t>(shard)];
     }
-    // The remix spreads random fingerprints: no shard may be starved.
+    // The remix spreads random keys: no shard may be starved.
     for (int count : population) EXPECT_GT(count, 0) << shards << " shards";
   }
 }
@@ -498,7 +497,7 @@ TEST_F(ShardedSchedulerTest, DirectorySemanticsMatchTheSingleCatalog) {
   auto sharded_first = sharded.Insert("n", *ParseTree(kTreeText));
   auto single_first = single.Insert("n", *ParseTree(kTreeText));
   ASSERT_TRUE(sharded_first.ok());
-  EXPECT_EQ(sharded_first->fingerprint, single_first->fingerprint);
+  EXPECT_EQ(sharded_first->content_fp, single_first->content_fp);
 
   EXPECT_TRUE(sharded.Insert("n", *ParseTree(kTreeText)).ok());
 

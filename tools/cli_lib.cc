@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "core/aggregates.h"
 #include "core/jaccard.h"
@@ -306,6 +307,30 @@ int CmdDumpFlat(const CliOptions& opts, std::FILE* out, std::FILE* err) {
   // is the ground truth for debugging slot recycling and leaf
   // classification.
   std::fprintf(out, "%s", FlatTree::Compile(*tree).ToString().c_str());
+  return 0;
+}
+
+int CmdDumpCanon(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  // The two-level identity, exactly as the serving catalog derives it:
+  // content_fp hashes the wire-normalized input orientation (the identity a
+  // client sees on responses), struct_key hashes the canonical orientation
+  // (the identity the caches, fold compiler, and shard router key on). Two
+  // inputs differing only by commutative child order print different
+  // content lines but the same struct_key and canonical lines.
+  auto identity = TreeCatalog::ComputeIdentity(std::move(*tree));
+  if (!identity.ok()) {
+    std::fprintf(err, "%s\n", identity.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "content_fp %s\n", HashToHex(identity->content_fp).c_str());
+  std::fprintf(out, "struct_key %s\n", HashToHex(identity->struct_key).c_str());
+  std::fprintf(out, "content %s\n", identity->content_bytes.c_str());
+  std::fprintf(out, "canonical %s\n", identity->canonical_bytes.c_str());
   return 0;
 }
 
@@ -805,6 +830,10 @@ std::string CliUsage() {
       "  dump-flat        print the compiled FlatTree record table (the\n"
       "                   instruction stream and leaf table the hot\n"
       "                   generating-function fold executes)\n"
+      "  dump-canon       print the tree's two-level identity: content_fp\n"
+      "                   (hash of the wire-normalized input), struct_key\n"
+      "                   (hash of the canonical orientation), and both\n"
+      "                   orientations' one-line forms\n"
       "  marginals        per-key presence probabilities\n"
       "  worlds           enumerate possible worlds (most likely first)\n"
       "  sample           draw random worlds (--count, --seed)\n"
@@ -825,8 +854,10 @@ std::string CliUsage() {
       "                   trace_*_ns timing fields on its response line\n"
       "                   (answer fields are bitwise identical either way);\n"
       "                   one tab-separated response line per request; rank\n"
-      "                   distributions are cached by (tree fingerprint, k)\n"
-      "                   and leaf marginals by fingerprint across requests.\n"
+      "                   distributions are cached by (structural key, k)\n"
+      "                   and leaf marginals by structural key across\n"
+      "                   requests, so trees differing only by commutative\n"
+      "                   child order share cache entries.\n"
       "                   Default is batch mode (the whole input is one\n"
       "                   scheduler batch; loads apply before queries);\n"
       "                   --stream answers each request as it is read.\n"
@@ -855,7 +886,7 @@ std::string CliUsage() {
       "                      queries see only trees loaded earlier in the\n"
       "                      stream\n"
       "  --shards=N          serve only: partition requests across N\n"
-      "                      engine shards by tree fingerprint (each\n"
+      "                      engine shards by structural key (each\n"
       "                      shard engine gets max(1, threads/N) threads,\n"
       "                      so N > threads raises the total to N; a\n"
       "                      --cache-budget applies to each shard's\n"
@@ -901,6 +932,7 @@ int RunCli(const std::vector<std::string>& args, std::FILE* out,
   }
   if (cmd == "validate") return CmdValidate(*opts, out, err);
   if (cmd == "dump-flat") return CmdDumpFlat(*opts, out, err);
+  if (cmd == "dump-canon") return CmdDumpCanon(*opts, out, err);
   if (cmd == "marginals") return CmdMarginals(*opts, out, err);
   if (cmd == "worlds") return CmdWorlds(*opts, out, err);
   if (cmd == "sample") return CmdSample(*opts, out, err);
