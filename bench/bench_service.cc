@@ -455,10 +455,32 @@ std::vector<ServiceRequest> MixedTrace(int num_trees, bool traced) {
   constexpr TopKMetric kMetricCycle[] = {TopKMetric::kSymDiff,
                                          TopKMetric::kIntersection,
                                          TopKMetric::kFootrule};
+  // The registry's analytics ops ride the production mix at roughly the
+  // rate sidecar analytics ride real traffic: of every 16 requests, one
+  // is marginals, one aggregate, one baseline, and every 32nd a hardness
+  // probe — the rest stays the historical topk/world/stats blend, so
+  // per-request numbers remain comparable with pre-registry baselines
+  // modulo the (reported) mix change.
+  constexpr const char* kBaselineCycle[] = {"escore", "erank", "global",
+                                            "prf"};
   for (int i = 0; i < 64; ++i) {
     ServiceRequest request;
     if (i % 16 == 15) {
       request.op = ServiceRequest::Op::kStats;
+    } else if (i % 16 == 1) {
+      request.op = ServiceRequest::Op::kMarginals;
+      request.tree_name = "trace" + std::to_string(i % num_trees);
+    } else if (i % 16 == 2) {
+      request.op = ServiceRequest::Op::kAggregate;
+      request.tree_name = "trace" + std::to_string(i % num_trees);
+    } else if (i % 16 == 5) {
+      request.op = ServiceRequest::Op::kBaseline;
+      request.tree_name = "trace" + std::to_string(i % num_trees);
+      request.k = 5 + (i % 3);
+      request.baseline_method = kBaselineCycle[(i / 16) % 4];
+    } else if (i % 32 == 10) {
+      request.op = ServiceRequest::Op::kHardness;
+      request.tree_name = "trace" + std::to_string(i % num_trees);
     } else if (i % 4 == 3) {
       request.op = ServiceRequest::Op::kWorld;
       request.tree_name = "trace" + std::to_string(i % num_trees);
@@ -521,6 +543,58 @@ void BM_ServeTraceReplay(benchmark::State& state) {
 BENCHMARK(BM_ServeTraceReplay)
     ->Args({0, 0})->Args({1, 0})->Args({1, 1})
     ->UseRealTime();
+
+// The analytics-serving acceptance benchmark: op=marginals replayed
+// against a long-lived scheduler. Arg is use_cache — with the marginals
+// cache on, steady state pays only the per-key summation over the cached
+// leaf-marginal vector (the same vector op=world and op=aggregate read);
+// off, every request re-folds the tree. Answers are bitwise identical in
+// both arms (tests/op_registry_test.cc pins them against the offline
+// `marginals` command).
+void BM_ServeMarginalsCached(benchmark::State& state) {
+  constexpr int kTrees = 8;
+  EngineOptions engine_options;
+  engine_options.num_threads = 1;
+  engine_options.use_fast_bid_path = false;
+  Engine engine(engine_options);
+
+  // The BM_ServeTraceReplay shapes (same generator seed): serving-sized
+  // trees, so the fold-vs-sum gap is the production one.
+  Rng rng(77);
+  RandomTreeOptions tree_options;
+  tree_options.num_keys = 48;
+  tree_options.max_depth = 3;
+  tree_options.max_alternatives = 2;
+  TreeCatalog catalog;
+  for (int t = 0; t < kTrees; ++t) {
+    catalog
+        .Insert("trace" + std::to_string(t),
+                *RandomAndXorTree(tree_options, &rng))
+        .ValueOrDie();
+  }
+
+  SchedulerOptions options;
+  options.use_cache = state.range(0) != 0;
+  QueryScheduler scheduler(&engine, &catalog, options);
+  std::vector<ServiceRequest> batch;
+  for (int i = 0; i < 32; ++i) {
+    ServiceRequest request;
+    request.op = ServiceRequest::Op::kMarginals;
+    request.tree_name = "trace" + std::to_string(i % kTrees);
+    batch.push_back(request);
+  }
+  scheduler.ExecuteBatch(batch);  // warm: steady-state serving
+
+  for (auto _ : state) {
+    auto results = scheduler.ExecuteBatch(batch);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+  state.counters["marg_entries"] =
+      static_cast<double>(scheduler.marginals_stats().entries);
+}
+BENCHMARK(BM_ServeMarginalsCached)->Arg(1)->Arg(0)->UseRealTime();
 
 // Rebuilds `id`'s subtree with every inner node's children in a random
 // order — a commutative shuffle: a different wire identity, the same

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "matching/min_cost_flow.h"
 
@@ -34,6 +35,32 @@ Status ValidateGroupBy(const GroupByInstance& instance) {
     }
   }
   return Status::OK();
+}
+
+Result<GroupByInstance> GroupByInstanceFromTree(
+    const AndXorTree& tree, const std::vector<double>& leaf_marginals) {
+  // Accumulate (key, label) marginal mass in DFS leaf order — the exact
+  // accumulation order the offline CLI historically used, so the instance
+  // (and everything downstream of it) is bitwise-stable.
+  std::map<KeyId, std::map<int32_t, double>> rows;
+  int32_t max_label = -1;
+  for (NodeId l : tree.LeafIds()) {
+    const TupleAlternative& alt = tree.node(l).leaf;
+    if (alt.label < 0) {
+      return Status::InvalidArgument(
+          "aggregate requires a label on every alternative (key " +
+          std::to_string(alt.key) + " has none)");
+    }
+    rows[alt.key][alt.label] += leaf_marginals[static_cast<size_t>(l)];
+    max_label = std::max(max_label, alt.label);
+  }
+  GroupByInstance instance;
+  for (const auto& [key, labels] : rows) {
+    std::vector<double> row(static_cast<size_t>(max_label) + 1, 0.0);
+    for (const auto& [label, p] : labels) row[static_cast<size_t>(label)] = p;
+    instance.probs.push_back(std::move(row));
+  }
+  return instance;
 }
 
 std::vector<double> MeanAggregate(const GroupByInstance& instance) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "model/and_xor_tree.h"
 
 namespace cpdb {
 
@@ -37,6 +38,18 @@ struct GroupByInstance {
 
 /// \brief Validates shape and probability constraints.
 Status ValidateGroupBy(const GroupByInstance& instance);
+
+/// \brief Builds the label group-by COUNT instance from a tree's (key,
+/// label) marginals: row per distinct key (ascending KeyId), column per
+/// label 0..max_label, cell = the summed marginal probability of that
+/// key's alternatives carrying that label. `leaf_marginals` must be
+/// tree.LeafMarginals() or a bitwise-identical equivalent (the engine's
+/// parallel form, a MarginalsCache entry) — the shared front half of the
+/// offline `aggregate` command and the serve `op=aggregate` path, so the
+/// two produce identical instances by construction. Fails when any
+/// alternative lacks a label.
+Result<GroupByInstance> GroupByInstanceFromTree(
+    const AndXorTree& tree, const std::vector<double>& leaf_marginals);
 
 /// \brief The mean answer r_bar: r_bar[j] = sum_i probs[i][j].
 std::vector<double> MeanAggregate(const GroupByInstance& instance);

@@ -6,6 +6,8 @@
 #include <limits>
 #include <map>
 
+#include "core/jaccard.h"
+
 namespace cpdb {
 
 bool ClauseSatisfied(const TwoSatClause& clause,
@@ -134,6 +136,22 @@ Result<AndXorTree> BuildQueryResultTree(const Max2SatInstance& instance) {
   tree.SetRoot(tree.AddXor(std::move(branches), std::move(probs)));
   CPDB_RETURN_NOT_OK(tree.Validate());
   return tree;
+}
+
+TreeHardness ComputeTreeHardness(const AndXorTree& tree) {
+  TreeHardness stats;
+  stats.nodes = tree.NumNodes();
+  stats.leaves = static_cast<int64_t>(tree.LeafIds().size());
+  std::map<KeyId, int64_t> leaves_per_key;
+  for (NodeId l : tree.LeafIds()) ++leaves_per_key[tree.node(l).leaf.key];
+  stats.keys = static_cast<int64_t>(leaves_per_key.size());
+  for (const auto& [key, count] : leaves_per_key) {
+    if (count > 1) ++stats.duplicated_keys;
+    stats.max_leaves_per_key = std::max(stats.max_leaves_per_key, count);
+  }
+  stats.tuple_independent = IsTupleIndependent(tree);
+  stats.block_independent = IsBlockIndependent(tree);
+  return stats;
 }
 
 }  // namespace cpdb

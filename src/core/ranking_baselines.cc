@@ -81,12 +81,16 @@ std::vector<double> ExpectedRanks(const AndXorTree& tree) {
   return expected;
 }
 
-std::vector<KeyId> TopKByExpectedRank(const AndXorTree& tree, int k) {
-  std::vector<KeyId> keys = tree.Keys();
-  std::vector<double> ranks = ExpectedRanks(tree);
+std::vector<KeyId> TopKByExpectedRankFromRanks(const std::vector<KeyId>& keys,
+                                               const std::vector<double>& ranks,
+                                               int k) {
   std::map<KeyId, double> value;
   for (size_t i = 0; i < keys.size(); ++i) value[keys[i]] = ranks[i];
   return TopKeysByValue(keys, value, k, /*descending=*/false);
+}
+
+std::vector<KeyId> TopKByExpectedRank(const AndXorTree& tree, int k) {
+  return TopKByExpectedRankFromRanks(tree.Keys(), ExpectedRanks(tree), k);
 }
 
 std::vector<KeyId> ProbabilisticThresholdTopK(const RankDistribution& dist,
@@ -156,6 +160,18 @@ std::vector<KeyId> TopKByPRF(const RankDistribution& dist,
     value[key] = v;
   }
   return TopKeysByValue(dist.keys(), value, dist.k(), /*descending=*/true);
+}
+
+std::vector<double> PrfUpsilonHWeights(int k) {
+  std::vector<double> weights(static_cast<size_t>(std::max(k, 0)));
+  double h_k = 0.0;
+  for (int m = 1; m <= k; ++m) h_k += 1.0 / static_cast<double>(m);
+  double h_prev = 0.0;  // H_{i-1}, starting from H_0 = 0
+  for (int i = 1; i <= k; ++i) {
+    weights[static_cast<size_t>(i - 1)] = h_k - h_prev;
+    h_prev += 1.0 / static_cast<double>(i);
+  }
+  return weights;
 }
 
 }  // namespace cpdb

@@ -32,6 +32,14 @@ std::vector<double> ExpectedRanks(const AndXorTree& tree);
 /// \brief The k keys with the smallest expected rank.
 std::vector<KeyId> TopKByExpectedRank(const AndXorTree& tree, int k);
 
+/// \brief TopKByExpectedRank with the expected ranks supplied (`ranks`
+/// indexed like `keys`, i.e. the ExpectedRanks layout). Exists so a caller
+/// holding a precomputed vector — Engine::ExpectedRanks, the serve path —
+/// ranks without recomputing; TopKByExpectedRank is ExpectedRanks + this.
+std::vector<KeyId> TopKByExpectedRankFromRanks(const std::vector<KeyId>& keys,
+                                               const std::vector<double>& ranks,
+                                               int k);
+
 /// \brief PT-k (probabilistic threshold): all keys with
 /// Pr(r(t) <= k) >= threshold, ordered by that probability descending.
 /// Note: unlike the consensus answers this may return any number of tuples.
@@ -58,6 +66,12 @@ std::vector<KeyId> UTopKSampled(const AndXorTree& tree, int k,
 /// values. With w[i-1] = H_k - H_{i-1} this is the paper's Upsilon_H.
 std::vector<KeyId> TopKByPRF(const RankDistribution& dist,
                              const std::vector<double>& weights);
+
+/// \brief The paper's Upsilon_H weight vector for cutoff k:
+/// w[i-1] = H_k - H_{i-1} with H_0 = 0, H_j = sum_{m=1..j} 1/m. Computed
+/// in one fixed accumulation order, so every caller (offline CLI, serve
+/// path) derives the bitwise-identical vector.
+std::vector<double> PrfUpsilonHWeights(int k);
 
 }  // namespace cpdb
 

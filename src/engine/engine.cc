@@ -160,6 +160,50 @@ std::vector<double> Engine::LeafMarginals(const AndXorTree& tree,
   return marginal;
 }
 
+std::vector<double> Engine::ExpectedRanks(const AndXorTree& tree) const {
+  // The sequential core ExpectedRanks is an independent per-key outer loop
+  // writing disjoint slots; each task below runs one key's body in the
+  // exact sequential accumulation order, so the vector is bitwise
+  // identical to the core form for any thread count. The shared marginal
+  // fold is computed once, up front, read-only across tasks.
+  const std::vector<NodeId>& leaves = tree.LeafIds();
+  const std::vector<double> marginal = tree.LeafMarginals();
+  const std::vector<KeyId> keys = tree.Keys();
+  std::vector<double> expected(keys.size(), 0.0);
+  pool_.ParallelFor(static_cast<int64_t>(keys.size()), [&](int64_t t) {
+    const KeyId key = keys[static_cast<size_t>(t)];
+    double e = 0.0;
+    double p_present = 0.0;
+    // Present case: rank = 1 + #(higher-scoring other-key leaves present).
+    for (NodeId a : leaves) {
+      const TupleAlternative& alt = tree.node(a).leaf;
+      if (alt.key != key) continue;
+      double pa = marginal[static_cast<size_t>(a)];
+      p_present += pa;
+      e += pa;  // the "1 +" part
+      for (NodeId l : leaves) {
+        const TupleAlternative& other = tree.node(l).leaf;
+        if (other.key == key || other.score <= alt.score) continue;
+        e += tree.PairPresenceProbability(a, l);
+      }
+    }
+    // Absent case: rank = |pw| + 1, exactly as in the core form.
+    e += 1.0 - p_present;
+    for (NodeId l : leaves) {
+      const TupleAlternative& other = tree.node(l).leaf;
+      if (other.key == key) continue;
+      double p_l_and_key = 0.0;
+      for (NodeId a : leaves) {
+        if (tree.node(a).leaf.key != key) continue;
+        p_l_and_key += tree.PairPresenceProbability(l, a);
+      }
+      e += marginal[static_cast<size_t>(l)] - p_l_and_key;
+    }
+    expected[static_cast<size_t>(t)] = e;
+  });
+  return expected;
+}
+
 std::vector<std::vector<double>> Engine::PairwiseOrderProbabilities(
     const AndXorTree& tree, const std::vector<KeyId>& keys,
     const FlatTree* program) const {

@@ -271,6 +271,13 @@ class Engine {
   std::vector<double> LeafMarginals(const AndXorTree& tree,
                                     const FlatTree* program = nullptr) const;
 
+  /// \brief Parallel expected ranks (core/ranking_baselines.h
+  /// ExpectedRanks): one task per key, each accumulating its own expected
+  /// value in the sequential form's exact inner order and writing its own
+  /// disjoint slot — bitwise identical to the core function for any thread
+  /// count. Indexed like tree.Keys(). Serves op=baseline method=erank.
+  std::vector<double> ExpectedRanks(const AndXorTree& tree) const;
+
   /// \brief A set-consensus world answer: the chosen world's leaves and its
   /// expected symmetric-difference distance.
   struct WorldResult {

@@ -6,300 +6,35 @@
 #include <memory>
 #include <utility>
 
-#include "common/hash.h"
-#include "core/set_consensus.h"
-#include "core/topk_metrics.h"
 #include "io/table_io.h"
 #include "io/tree_text.h"
 #include "model/builders.h"
-#include "model/possible_worlds.h"
+#include "service/op_registry.h"
 
 namespace cpdb {
-
-namespace {
-
-const char* OpName(ServiceRequest::Op op) {
-  switch (op) {
-    case ServiceRequest::Op::kLoad:
-      return "load";
-    case ServiceRequest::Op::kTopK:
-      return "topk";
-    case ServiceRequest::Op::kWorld:
-      return "world";
-    case ServiceRequest::Op::kStats:
-      return "stats";
-    case ServiceRequest::Op::kMetrics:
-      return "metrics";
-  }
-  return "?";
-}
-
-// The trace flag is accepted by every op (it modifies the response
-// envelope, not the answer), parsed with the same strictness as every
-// other enum-valued field.
-Status ParseTraceField(const RequestLine& line, ServiceRequest* request) {
-  const std::string* trace = line.Find("trace");
-  if (trace == nullptr) return Status::OK();
-  if (*trace == "on") {
-    request->trace = true;
-  } else if (*trace != "off") {
-    return Status::InvalidArgument("unknown trace '" + *trace +
-                                   "' (expected on or off)");
-  }
-  return Status::OK();
-}
-
-// Strict field-set check: a request naming a field its op does not take is
-// an error, never ignored (a typo'd "metrc=kendall" must not silently run
-// the default metric).
-Status CheckAllowedFields(const RequestLine& line,
-                          std::initializer_list<const char*> allowed) {
-  for (const RequestField& f : line.fields) {
-    bool known = f.name == "op";
-    for (const char* name : allowed) known = known || f.name == name;
-    if (!known) {
-      return Status::InvalidArgument("unknown field '" + f.name + "' for op=" +
-                                     *line.Find("op"));
-    }
-  }
-  return Status::OK();
-}
-
-Result<std::string> RequiredField(const RequestLine& line,
-                                  const std::string& name) {
-  const std::string* value = line.Find(name);
-  if (value == nullptr) {
-    // The op field may itself be the missing one; never dereference it.
-    const std::string* op = line.Find("op");
-    return Status::InvalidArgument(
-        (op != nullptr ? "op=" + *op + " " : "request ") + "requires field '" +
-        name + "'");
-  }
-  return *value;
-}
-
-std::string KeysCsv(const std::vector<KeyId>& keys) {
-  std::string csv;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    if (i > 0) csv += ',';
-    csv += std::to_string(keys[i]);
-  }
-  return csv;
-}
-
-void AppendCacheFields(const CacheStats& stats, const std::string& prefix,
-                       std::vector<RequestField>* fields) {
-  auto add = [&](const char* name, int64_t value) {
-    fields->push_back({prefix + name, std::to_string(value)});
-  };
-  add("hits", stats.hits);
-  add("misses", stats.misses);
-  add("coalesced", stats.coalesced);
-  add("entries", stats.entries);
-  add("evictions", stats.evictions);
-  add("bytes", stats.bytes);
-}
-
-}  // namespace
-
-Result<ServiceRequest> ServiceRequestFromLine(const RequestLine& line) {
-  CPDB_ASSIGN_OR_RETURN(std::string op, RequiredField(line, "op"));
-  ServiceRequest request;
-  Status trace_status = ParseTraceField(line, &request);
-  if (!trace_status.ok()) return trace_status;
-  if (op == "load") {
-    request.op = ServiceRequest::Op::kLoad;
-    Status allowed =
-        CheckAllowedFields(line, {"name", "file", "format", "trace"});
-    if (!allowed.ok()) return allowed;
-    CPDB_ASSIGN_OR_RETURN(request.load_name, RequiredField(line, "name"));
-    CPDB_ASSIGN_OR_RETURN(request.load_file, RequiredField(line, "file"));
-    if (const std::string* format = line.Find("format")) {
-      if (*format != "tree" && *format != "bid") {
-        return Status::InvalidArgument("unknown format '" + *format +
-                                       "' (expected tree or bid)");
-      }
-      request.load_format = *format;
-    }
-    return request;
-  }
-  if (op == "topk") {
-    request.op = ServiceRequest::Op::kTopK;
-    Status allowed =
-        CheckAllowedFields(line, {"tree", "k", "metric", "answer", "trace"});
-    if (!allowed.ok()) return allowed;
-    CPDB_ASSIGN_OR_RETURN(request.tree_name, RequiredField(line, "tree"));
-    CPDB_ASSIGN_OR_RETURN(std::string k_text, RequiredField(line, "k"));
-    CPDB_ASSIGN_OR_RETURN(long long k, ParseStrictInt("k", k_text));
-    if (k < 1 || k > (1 << 20)) {
-      return Status::InvalidArgument("k out of range, got '" + k_text + "'");
-    }
-    request.k = static_cast<int>(k);
-    if (const std::string* metric = line.Find("metric")) {
-      CPDB_ASSIGN_OR_RETURN(request.metric, ParseTopKMetricName(*metric));
-    }
-    if (const std::string* answer = line.Find("answer")) {
-      CPDB_ASSIGN_OR_RETURN(request.answer, ParseTopKAnswerName(*answer));
-    }
-    return request;
-  }
-  if (op == "world") {
-    request.op = ServiceRequest::Op::kWorld;
-    Status allowed =
-        CheckAllowedFields(line, {"tree", "metric", "answer", "trace"});
-    if (!allowed.ok()) return allowed;
-    CPDB_ASSIGN_OR_RETURN(request.tree_name, RequiredField(line, "tree"));
-    if (const std::string* metric = line.Find("metric")) {
-      if (*metric != "symdiff") {
-        return Status::InvalidArgument("op=world supports metric=symdiff, got '" +
-                                       *metric + "'");
-      }
-    }
-    if (const std::string* answer = line.Find("answer")) {
-      if (*answer == "median") {
-        request.median_world = true;
-      } else if (*answer != "mean") {
-        return Status::InvalidArgument("unknown answer '" + *answer +
-                                       "' (expected mean or median)");
-      }
-    }
-    return request;
-  }
-  if (op == "stats") {
-    request.op = ServiceRequest::Op::kStats;
-    Status allowed = CheckAllowedFields(line, {"trace"});
-    if (!allowed.ok()) return allowed;
-    return request;
-  }
-  if (op == "metrics") {
-    request.op = ServiceRequest::Op::kMetrics;
-    Status allowed = CheckAllowedFields(line, {"format", "trace"});
-    if (!allowed.ok()) return allowed;
-    if (const std::string* format = line.Find("format")) {
-      if (*format != "kv" && *format != "prom") {
-        return Status::InvalidArgument("unknown format '" + *format +
-                                       "' (expected kv or prom)");
-      }
-      request.metrics_format = *format;
-    }
-    return request;
-  }
-  return Status::InvalidArgument(
-      "unknown op '" + op + "' (expected load, topk, world, stats or metrics)");
-}
-
-std::vector<RequestField> ResponseToFields(const ServiceResponse& response) {
-  std::vector<RequestField> fields;
-  fields.push_back({"op", OpName(response.op)});
-  switch (response.op) {
-    case ServiceRequest::Op::kLoad:
-      fields.push_back({"name", response.tree_name});
-      fields.push_back({"fingerprint", HashToHex(response.fingerprint)});
-      break;
-    case ServiceRequest::Op::kTopK:
-      fields.push_back({"tree", response.tree_name});
-      fields.push_back({"metric", response.metric});
-      fields.push_back({"answer", response.answer});
-      fields.push_back({"k", std::to_string(response.k)});
-      fields.push_back({"keys", KeysCsv(response.keys)});
-      fields.push_back(
-          {"expected", FormatRoundTripDouble(response.expected_distance)});
-      break;
-    case ServiceRequest::Op::kWorld:
-      fields.push_back({"tree", response.tree_name});
-      fields.push_back({"metric", response.metric});
-      fields.push_back({"answer", response.answer});
-      fields.push_back({"keys", KeysCsv(response.keys)});
-      fields.push_back(
-          {"expected", FormatRoundTripDouble(response.expected_distance)});
-      break;
-    case ServiceRequest::Op::kStats:
-      // The aggregate fields come first and are identical in meaning
-      // whether the answer came from one engine or a sharded front-end;
-      // the per-shard breakdown (when present) trails them, so clients
-      // reading only the totals never notice the shard layout.
-      AppendCacheFields(response.stats, "", &fields);
-      AppendCacheFields(response.marginals_stats, "marg_", &fields);
-      // The two-level-identity fields: distinct shapes behind the bound
-      // names, and contents-per-shape — the catalog's duplication factor
-      // (1 for a duplicate-free catalog). Documented-additive, like the
-      // marg_* block was when the marginals cache landed.
-      fields.push_back({"shapes", std::to_string(response.catalog.shapes)});
-      fields.push_back(
-          {"dedup_ratio",
-           FormatRoundTripDouble(
-               response.catalog.shapes == 0
-                   ? 1.0
-                   : static_cast<double>(response.catalog.contents) /
-                         static_cast<double>(response.catalog.shapes))});
-      if (!response.shard_stats.empty()) {
-        fields.push_back(
-            {"shards", std::to_string(response.shard_stats.size())});
-        for (size_t s = 0; s < response.shard_stats.size(); ++s) {
-          const std::string prefix = "s" + std::to_string(s) + "_";
-          AppendCacheFields(response.shard_stats[s].rank_dist, prefix,
-                            &fields);
-          AppendCacheFields(response.shard_stats[s].marginals,
-                            prefix + "marg_", &fields);
-          fields.push_back(
-              {prefix + "shapes",
-               std::to_string(response.shard_stats[s].catalog.shapes)});
-        }
-      }
-      break;
-    case ServiceRequest::Op::kMetrics:
-      fields.push_back({"format", response.metrics_format});
-      if (response.metrics_format == "prom") {
-        // One multi-line exposition body in one field: FormatResponseLine
-        // escapes the newlines, so the framing survives; clients unescape
-        // via ParseResponseLine and hand the body to any Prometheus
-        // scraper verbatim.
-        fields.push_back({"body", MetricsToPrometheusText(response.metrics)});
-      } else {
-        for (auto& [name, value] : MetricsToKvPairs(response.metrics)) {
-          fields.push_back({name, value});
-        }
-      }
-      break;
-  }
-  // Trace fields trail every op's answer fields, strictly additive: a
-  // trace=on response with its trace_* fields stripped is byte-identical
-  // to the trace=off response (the differential suite pins this).
-  if (response.timing.trace) {
-    fields.push_back(
-        {"trace_total_ns", std::to_string(response.timing.total_ns)});
-    for (const auto& [stage, nanos] : response.timing.spans) {
-      fields.push_back({"trace_" + stage + "_ns", std::to_string(nanos)});
-    }
-  }
-  return fields;
-}
 
 ServeInstruments::ServeInstruments() {
   requests_total =
       registry.AddCounter("cpdb_requests_total", "Requests received, any op.");
   request_errors_total = registry.AddCounter(
       "cpdb_request_errors_total", "Requests answered with an error line.");
-  load_requests = registry.AddCounter("cpdb_load_requests_total",
-                                      "op=load requests received.");
-  topk_requests = registry.AddCounter("cpdb_topk_requests_total",
-                                      "op=topk requests received.");
-  world_requests = registry.AddCounter("cpdb_world_requests_total",
-                                       "op=world requests received.");
-  stats_requests = registry.AddCounter("cpdb_stats_requests_total",
-                                       "op=stats requests received.");
-  metrics_requests = registry.AddCounter("cpdb_metrics_requests_total",
-                                         "op=metrics requests received.");
-  load_latency = registry.AddHistogram("cpdb_load_latency_nanoseconds",
-                                       "op=load service latency.");
-  topk_latency = registry.AddHistogram("cpdb_topk_latency_nanoseconds",
-                                       "op=topk service latency.");
-  world_latency = registry.AddHistogram("cpdb_world_latency_nanoseconds",
-                                        "op=world service latency.");
-  stats_latency = registry.AddHistogram("cpdb_stats_latency_nanoseconds",
-                                        "op=stats service latency.");
-  metrics_latency = registry.AddHistogram("cpdb_metrics_latency_nanoseconds",
-                                          "op=metrics service latency.");
+  // The per-op instruments are generated from the registry's wire names in
+  // table order — existing ops first, so every historical instrument keeps
+  // its exact name and help text, and a new op's pair appears the moment
+  // its row is registered.
+  const std::vector<OpSpec>& specs = OpRegistry::Get().specs();
+  op_requests.reserve(specs.size());
+  for (const OpSpec& spec : specs) {
+    op_requests.push_back(
+        registry.AddCounter("cpdb_" + std::string(spec.name) + "_requests_total",
+                            "op=" + std::string(spec.name) + " requests received."));
+  }
+  op_latencies.reserve(specs.size());
+  for (const OpSpec& spec : specs) {
+    op_latencies.push_back(registry.AddHistogram(
+        "cpdb_" + std::string(spec.name) + "_latency_nanoseconds",
+        "op=" + std::string(spec.name) + " service latency."));
+  }
   stage_parse = registry.AddHistogram(
       "cpdb_stage_parse_latency_nanoseconds",
       "Parse durations: request lines and load-file trees.");
@@ -314,38 +49,6 @@ ServeInstruments::ServeInstruments() {
   stage_format = registry.AddHistogram(
       "cpdb_stage_format_latency_nanoseconds",
       "Response formatting durations (recorded by the transport).");
-}
-
-Counter* ServeInstruments::op_counter(ServiceRequest::Op op) {
-  switch (op) {
-    case ServiceRequest::Op::kLoad:
-      return load_requests;
-    case ServiceRequest::Op::kTopK:
-      return topk_requests;
-    case ServiceRequest::Op::kWorld:
-      return world_requests;
-    case ServiceRequest::Op::kStats:
-      return stats_requests;
-    case ServiceRequest::Op::kMetrics:
-      return metrics_requests;
-  }
-  return requests_total;
-}
-
-LatencyHistogram* ServeInstruments::op_latency(ServiceRequest::Op op) {
-  switch (op) {
-    case ServiceRequest::Op::kLoad:
-      return load_latency;
-    case ServiceRequest::Op::kTopK:
-      return topk_latency;
-    case ServiceRequest::Op::kWorld:
-      return world_latency;
-    case ServiceRequest::Op::kStats:
-      return stats_latency;
-    case ServiceRequest::Op::kMetrics:
-      return metrics_latency;
-  }
-  return topk_latency;
 }
 
 LatencyHistogram* ServeInstruments::stage(const std::string& name) {
@@ -416,18 +119,6 @@ Result<AndXorTree> LoadRequestTree(const ServiceRequest& request) {
   return MakeBlockIndependent(blocks);
 }
 
-namespace {
-
-// Appends a finished span to `timing` — only when the stopwatch was live,
-// so untimed requests accumulate nothing (not even empty vectors' churn).
-void AddSpan(ResponseTiming* timing, const char* stage,
-             const Stopwatch& stopwatch) {
-  if (!stopwatch.enabled()) return;
-  timing->spans.emplace_back(stage, stopwatch.ElapsedNanos());
-}
-
-}  // namespace
-
 Result<ServiceResponse> QueryScheduler::ExecuteLoadTimed(
     const ServiceRequest& request, const Clock* clk, ResponseTiming* timing) {
   Stopwatch parse_watch(clk);
@@ -467,6 +158,21 @@ std::shared_ptr<const RankDistribution> QueryScheduler::DistFor(
   });
 }
 
+std::shared_ptr<const RankDistribution> QueryScheduler::RankDistFor(
+    const CatalogEntry& entry, int k) {
+  const AndXorTree& tree = *entry.tree;
+  if (!options_.use_cache) {
+    return std::make_shared<const RankDistribution>(
+        engine_->ComputeRankDistribution(tree, k, entry.program.get()));
+  }
+  // Same (StructKey, k) keying as the consensus path's DistFor, so a
+  // baseline probe and a Top-k query against the same content share one
+  // fold — in either order.
+  return cache_.GetOrCompute(entry.struct_key, k, [this, &tree, k, &entry] {
+    return engine_->ComputeRankDistribution(tree, k, entry.program.get());
+  });
+}
+
 std::shared_ptr<const std::vector<double>> QueryScheduler::MarginalsFor(
     const CatalogEntry& entry) {
   const AndXorTree& tree = *entry.tree;
@@ -477,35 +183,6 @@ std::shared_ptr<const std::vector<double>> QueryScheduler::MarginalsFor(
   return marginals_cache_.GetOrCompute(entry.struct_key, [this, &tree, &entry] {
     return engine_->LeafMarginals(tree, entry.program.get());
   });
-}
-
-Result<ServiceResponse> QueryScheduler::ExecuteWorld(
-    const CatalogEntry& entry, const ServiceRequest& request,
-    const Clock* clk, ResponseTiming* timing) {
-  const AndXorTree& tree = *entry.tree;
-  // One marginal fold — shared through the cache with every other world
-  // query against this content — serves the answer and its expected
-  // distance via the engine's marginals-reuse entry point.
-  Stopwatch cache_watch(clk);
-  std::shared_ptr<const std::vector<double>> marginals = MarginalsFor(entry);
-  AddSpan(timing, "cache", cache_watch);
-  Stopwatch fold_watch(clk);
-  Result<Engine::WorldResult> world_result =
-      engine_->ConsensusWorldWithMarginals(tree, *marginals,
-                                           request.median_world);
-  AddSpan(timing, "fold", fold_watch);
-  if (!world_result.ok()) return world_result.status();
-  Engine::WorldResult& world = *world_result;
-  ServiceResponse response;
-  response.op = ServiceRequest::Op::kWorld;
-  response.tree_name = request.tree_name;
-  response.metric = "symdiff";
-  response.answer = request.median_world ? "median" : "mean";
-  response.expected_distance = world.expected_distance;
-  for (const TupleAlternative& tuple : WorldTuples(tree, world.leaf_ids)) {
-    response.keys.push_back(tuple.key);
-  }
-  return response;
 }
 
 ServiceResponse QueryScheduler::StatsResponse() const {
@@ -565,28 +242,6 @@ MetricsSnapshot QueryScheduler::MetricsSnapshotNow() const {
   return snapshot;
 }
 
-Result<ServiceResponse> QueryScheduler::ExecuteMetricsOp(
-    const ServiceRequest& request, const Clock* clk) {
-  if (instruments_ == nullptr) {
-    return Status::InvalidArgument(
-        "op=metrics requires metrics enabled (serve without --metrics=off)");
-  }
-  // The scrape is timed whole (no stages), and its latency is recorded
-  // *after* the snapshot is taken: a scrape describes the work before it,
-  // never itself.
-  Stopwatch watch(clk);
-  ServiceResponse response;
-  response.op = ServiceRequest::Op::kMetrics;
-  response.metrics_format = request.metrics_format;
-  response.metrics = MetricsSnapshotNow();
-  if (watch.enabled()) {
-    response.timing.total_ns = watch.ElapsedNanos();
-    response.timing.trace = request.trace;
-    instruments_->metrics_latency->Record(response.timing.total_ns);
-  }
-  return response;
-}
-
 void QueryScheduler::FinishTiming(const ServiceRequest& request,
                                   ResponseTiming* timing,
                                   Result<ServiceResponse>* response) {
@@ -610,11 +265,81 @@ void QueryScheduler::FinishTiming(const ServiceRequest& request,
   }
 }
 
+// The OpHost surface the registry's hooks execute against when the op runs
+// on this (single-engine) scheduler: straight forwarding onto the private
+// primitives. Lives in namespace cpdb so the header's friend declaration
+// names exactly this class.
+class SchedulerOpHost : public OpHost {
+ public:
+  explicit SchedulerOpHost(QueryScheduler* scheduler)
+      : scheduler_(scheduler) {}
+
+  const Engine* engine() const override { return scheduler_->engine_; }
+
+  std::shared_ptr<const RankDistribution> GatedDistFor(
+      const CatalogEntry& entry, const ServiceRequest& request) override {
+    return scheduler_->DistFor(entry, request);
+  }
+
+  std::shared_ptr<const RankDistribution> RankDistFor(const CatalogEntry& entry,
+                                                      int k) override {
+    return scheduler_->RankDistFor(entry, k);
+  }
+
+  std::shared_ptr<const std::vector<double>> MarginalsFor(
+      const CatalogEntry& entry) override {
+    return scheduler_->MarginalsFor(entry);
+  }
+
+  ServiceResponse StatsNow() override { return scheduler_->StatsResponse(); }
+
+  Result<MetricsSnapshot> MetricsNow() override {
+    if (scheduler_->instruments_ == nullptr) return MetricsDisabledError();
+    return scheduler_->MetricsSnapshotNow();
+  }
+
+  Result<ServiceResponse> ExecuteLoadOp(const ServiceRequest& request,
+                                        const Clock* clk,
+                                        ResponseTiming* timing) override {
+    return scheduler_->ExecuteLoadTimed(request, clk, timing);
+  }
+
+ private:
+  QueryScheduler* scheduler_;
+};
+
+namespace {
+
+// The shared admin-op wrapper (stats, metrics — any kAdmin row): one
+// whole-op measurement, no stages, recorded *after* the hook runs so a
+// metrics scrape describes the work before it, never itself. A refused op
+// (e.g. metrics while disabled) records nothing — the caller counts the
+// error.
+Result<ServiceResponse> ExecuteAdminTimed(const OpSpec& spec, OpHost& host,
+                                          const ServiceRequest& request,
+                                          const Clock* clk,
+                                          ServeInstruments* instruments) {
+  Stopwatch watch(clk);
+  Result<ServiceResponse> response = spec.execute_admin(host, request);
+  if (watch.enabled() && response.ok()) {
+    (*response).timing.total_ns = watch.ElapsedNanos();
+    (*response).timing.trace = request.trace;
+    if (instruments != nullptr) {
+      instruments->op_latency(spec.op)->Record((*response).timing.total_ns);
+    }
+  }
+  return response;
+}
+
+}  // namespace
+
 std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
     const std::vector<ServiceRequest>& requests) {
   std::vector<Result<ServiceResponse>> responses(
       requests.size(),
       Result<ServiceResponse>(Status::Internal("request not executed")));
+  const OpRegistry& ops = OpRegistry::Get();
+  SchedulerOpHost host(this);
 
   // Timing is live when metrics are on or any request asked for a trace;
   // otherwise `clk` is null and every Stopwatch below is inert (zero clock
@@ -635,35 +360,34 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
   // Loads first, in request order: a batch is a unit of work, so queries
   // may reference trees loaded anywhere in the same batch.
   for (size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i].op == ServiceRequest::Op::kLoad) {
-      responses[i] = ExecuteLoadTimed(requests[i], clk, &timings[i]);
+    if (ops.spec(requests[i].op).batch_phase == kLoadPhase) {
+      responses[i] = host.ExecuteLoadOp(requests[i], clk, &timings[i]);
     }
   }
 
-  // Resolve query trees; unknown names fail their slot only.
-  std::vector<size_t> topk_slots;
-  std::vector<CatalogEntry> topk_entries;
-  std::vector<size_t> world_slots;
-  std::vector<CatalogEntry> world_entries;
+  // Resolve every tree-addressed slot's tree; unknown names fail their
+  // slot only. Slots whose spec fuses into the consensus batch are split
+  // from the ones executing their own hook.
+  std::vector<size_t> fused_slots;
+  std::vector<CatalogEntry> fused_entries;
+  std::vector<size_t> direct_slots;
+  std::vector<CatalogEntry> direct_entries;
   for (size_t i = 0; i < requests.size(); ++i) {
-    const ServiceRequest& request = requests[i];
-    if (request.op != ServiceRequest::Op::kTopK &&
-        request.op != ServiceRequest::Op::kWorld) {
-      continue;
-    }
+    const OpSpec& spec = ops.spec(requests[i].op);
+    if (spec.routing != OpRouting::kTreeAddressed) continue;
     Stopwatch catalog_watch(clk);
-    Result<CatalogEntry> entry = catalog_->Lookup(request.tree_name);
+    Result<CatalogEntry> entry = catalog_->Lookup(requests[i].tree_name);
     AddSpan(&timings[i], "catalog", catalog_watch);
     if (!entry.ok()) {
       responses[i] = entry.status();
       continue;
     }
-    if (request.op == ServiceRequest::Op::kTopK) {
-      topk_slots.push_back(i);
-      topk_entries.push_back(*std::move(entry));
+    if (spec.fuse_consensus_batch) {
+      fused_slots.push_back(i);
+      fused_entries.push_back(*std::move(entry));
     } else {
-      world_slots.push_back(i);
-      world_entries.push_back(*std::move(entry));
+      direct_slots.push_back(i);
+      direct_entries.push_back(*std::move(entry));
     }
   }
 
@@ -674,32 +398,32 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
   // alive for the duration of the engine call even if entries are evicted
   // or the cache is Cleared concurrently.
   std::vector<std::shared_ptr<const RankDistribution>> dists(
-      topk_slots.size());
-  for (size_t j = 0; j < topk_slots.size(); ++j) {
+      fused_slots.size());
+  for (size_t j = 0; j < fused_slots.size(); ++j) {
     Stopwatch cache_watch(clk);
-    dists[j] = DistFor(topk_entries[j], requests[topk_slots[j]]);
-    AddSpan(&timings[topk_slots[j]], "cache", cache_watch);
+    dists[j] = DistFor(fused_entries[j], requests[fused_slots[j]]);
+    AddSpan(&timings[fused_slots[j]], "cache", cache_watch);
   }
 
-  // One engine submission for all Top-k slots: whole queries fan across
+  // One engine submission for all fused slots: whole queries fan across
   // the pool, cached distributions are shared read-only.
-  std::vector<Engine::ConsensusQuery> queries(topk_slots.size());
-  for (size_t j = 0; j < topk_slots.size(); ++j) {
-    const ServiceRequest& request = requests[topk_slots[j]];
-    queries[j] = {topk_entries[j].tree.get(), request.k, request.metric,
+  std::vector<Engine::ConsensusQuery> queries(fused_slots.size());
+  for (size_t j = 0; j < fused_slots.size(); ++j) {
+    const ServiceRequest& request = requests[fused_slots[j]];
+    queries[j] = {fused_entries[j].tree.get(), request.k, request.metric,
                   request.answer, dists[j].get(),
-                  topk_entries[j].program.get()};
+                  fused_entries[j].program.get()};
   }
   Stopwatch fold_watch(clk);
   std::vector<Result<TopKResult>> results =
       engine_->EvaluateConsensusBatch(queries);
-  // The whole submission is one engine call, so every Top-k slot records
+  // The whole submission is one engine call, so every fused slot records
   // the same fold duration — per-slot attribution inside a fused batch
   // would be fiction. The count (one fold span per slot) is what the
   // sharded-parity tests rely on; values are side-band by contract.
   const int64_t batch_fold_nanos = fold_watch.ElapsedNanos();
-  for (size_t j = 0; j < topk_slots.size(); ++j) {
-    const size_t slot = topk_slots[j];
+  for (size_t j = 0; j < fused_slots.size(); ++j) {
+    const size_t slot = fused_slots[j];
     if (fold_watch.enabled()) {
       timings[slot].spans.emplace_back("fold", batch_fold_nanos);
     }
@@ -707,62 +431,40 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
       responses[slot] = results[j].status();
       continue;
     }
-    const ServiceRequest& request = requests[slot];
-    ServiceResponse response;
-    response.op = ServiceRequest::Op::kTopK;
-    response.tree_name = request.tree_name;
-    response.k = request.k;
-    response.metric = TopKMetricName(request.metric);
-    response.answer = TopKAnswerName(request.answer);
-    response.keys = results[j]->keys;
-    response.expected_distance = results[j]->expected_distance;
-    responses[slot] = std::move(response);
+    responses[slot] = ConsensusTopKResponse(requests[slot], *results[j]);
   }
 
-  // Set-consensus worlds: one shared marginal fold per content fingerprint
-  // serves every world query's answer and expected distance.
-  for (size_t j = 0; j < world_slots.size(); ++j) {
-    const size_t slot = world_slots[j];
-    responses[slot] =
-        ExecuteWorld(world_entries[j], requests[slot], clk, &timings[slot]);
+  // The direct tree-addressed slots (worlds, the analytics ops) run their
+  // own execute hooks after the fused finalize, in slot order — each
+  // routes its precompute through the caches inside the hook.
+  for (size_t j = 0; j < direct_slots.size(); ++j) {
+    const size_t slot = direct_slots[j];
+    responses[slot] = ops.spec(requests[slot].op)
+                          .execute_tree(host, direct_entries[j],
+                                        requests[slot], clk, &timings[slot]);
   }
 
   // Close out load/query timing — histogram records and error counts land
-  // *before* the stats/metrics passes below, so a scrape in this batch
-  // describes all of the batch's query work, sharded or not.
+  // *before* the admin passes below, so a scrape in this batch describes
+  // all of the batch's query work, sharded or not.
   for (size_t i = 0; i < requests.size(); ++i) {
-    const ServiceRequest::Op op = requests[i].op;
-    if (op == ServiceRequest::Op::kStats ||
-        op == ServiceRequest::Op::kMetrics) {
-      continue;
-    }
+    if (ops.spec(requests[i].op).batch_phase >= kStatsPhase) continue;
     FinishTiming(requests[i], &timings[i], &responses[i]);
     if (instruments != nullptr && !responses[i].ok()) {
       instruments->request_errors_total->Increment();
     }
   }
 
-  // Stats next-to-last: the counters describe the batch that just ran.
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i].op == ServiceRequest::Op::kStats) {
-      Stopwatch stats_watch(clk);
-      ServiceResponse response = StatsResponse();
-      if (stats_watch.enabled()) {
-        response.timing.total_ns = stats_watch.ElapsedNanos();
-        response.timing.trace = requests[i].trace;
-        if (instruments != nullptr) {
-          instruments->stats_latency->Record(response.timing.total_ns);
-        }
-      }
-      responses[i] = std::move(response);
-    }
-  }
-
-  // Metrics last of all: a scrape in a batch answers for everything the
-  // batch did (including its stats probes), regardless of slot order.
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i].op == ServiceRequest::Op::kMetrics) {
-      responses[i] = ExecuteMetricsOp(requests[i], clk);
+  // Admin phases in declared order — stats next-to-last (the counters
+  // describe the batch that just ran), metrics last of all (a scrape in a
+  // batch answers for everything the batch did, its stats probes
+  // included), regardless of slot order.
+  for (int phase : {kStatsPhase, kMetricsPhase}) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const OpSpec& spec = ops.spec(requests[i].op);
+      if (spec.batch_phase != phase) continue;
+      responses[i] =
+          ExecuteAdminTimed(spec, host, requests[i], clk, instruments);
       if (instruments != nullptr && !responses[i].ok()) {
         instruments->request_errors_total->Increment();
       }
@@ -773,84 +475,34 @@ std::vector<Result<ServiceResponse>> QueryScheduler::ExecuteBatch(
 
 Result<ServiceResponse> QueryScheduler::ExecuteOne(
     const ServiceRequest& request) {
+  const OpSpec& spec = OpRegistry::Get().spec(request.op);
+  SchedulerOpHost host(this);
   const Clock* clk = TimingClock(request.trace);
   ServeInstruments* instruments = instruments_.get();
   if (instruments != nullptr) {
     instruments->requests_total->Increment();
     instruments->op_counter(request.op)->Increment();
   }
+  // Dispatch is by routing trait — three shapes of execution, not one
+  // branch per op. Adding an op touches the registry table, never this
+  // switch.
   Result<ServiceResponse> result = [&]() -> Result<ServiceResponse> {
     ResponseTiming timing;
-    switch (request.op) {
-      case ServiceRequest::Op::kLoad: {
+    switch (spec.routing) {
+      case OpRouting::kCatalogGlobal: {
         Result<ServiceResponse> response =
-            ExecuteLoadTimed(request, clk, &timing);
+            host.ExecuteLoadOp(request, clk, &timing);
         FinishTiming(request, &timing, &response);
         return response;
       }
-      case ServiceRequest::Op::kStats: {
-        Stopwatch stats_watch(clk);
-        ServiceResponse response = StatsResponse();
-        if (stats_watch.enabled()) {
-          response.timing.total_ns = stats_watch.ElapsedNanos();
-          response.timing.trace = request.trace;
-          if (instruments != nullptr) {
-            instruments->stats_latency->Record(response.timing.total_ns);
-          }
-        }
-        return response;
-      }
-      case ServiceRequest::Op::kMetrics:
-        return ExecuteMetricsOp(request, clk);
-      case ServiceRequest::Op::kTopK: {
-        Stopwatch catalog_watch(clk);
-        Result<CatalogEntry> entry = catalog_->Lookup(request.tree_name);
-        AddSpan(&timing, "catalog", catalog_watch);
-        if (!entry.ok()) {
-          Result<ServiceResponse> response(entry.status());
-          FinishTiming(request, &timing, &response);
-          return response;
-        }
-        Stopwatch cache_watch(clk);
-        std::shared_ptr<const RankDistribution> dist = DistFor(*entry, request);
-        AddSpan(&timing, "cache", cache_watch);
-        // With a cached (or freshly computed and now shared) distribution
-        // the engine runs only the metric tail; without one it runs the
-        // full query. Both paths are the bitwise-identical code
-        // ExecuteBatch submits per slot.
-        Stopwatch fold_watch(clk);
-        Result<TopKResult> result =
-            dist != nullptr
-                ? engine_->ConsensusTopKWithDist(*entry->tree, *dist,
-                                                 request.metric, request.answer,
-                                                 entry->program.get())
-                : engine_->ConsensusTopK(*entry->tree, request.k,
-                                         request.metric, request.answer,
-                                         entry->program.get());
-        AddSpan(&timing, "fold", fold_watch);
-        Result<ServiceResponse> response(Status::Internal("unset"));
-        if (!result.ok()) {
-          response = Result<ServiceResponse>(result.status());
-        } else {
-          ServiceResponse answer;
-          answer.op = ServiceRequest::Op::kTopK;
-          answer.tree_name = request.tree_name;
-          answer.k = request.k;
-          answer.metric = TopKMetricName(request.metric);
-          answer.answer = TopKAnswerName(request.answer);
-          answer.keys = result->keys;
-          answer.expected_distance = result->expected_distance;
-          response = std::move(answer);
-        }
-        FinishTiming(request, &timing, &response);
-        return response;
-      }
-      case ServiceRequest::Op::kWorld: {
+      case OpRouting::kAdmin:
+        return ExecuteAdminTimed(spec, host, request, clk, instruments);
+      case OpRouting::kTreeAddressed: {
         Stopwatch catalog_watch(clk);
         Result<CatalogEntry> entry = catalog_->Lookup(request.tree_name);
         AddSpan(&timing, "catalog", catalog_watch);
         Result<ServiceResponse> response =
-            entry.ok() ? ExecuteWorld(*entry, request, clk, &timing)
+            entry.ok() ? spec.execute_tree(host, *entry, request, clk, &timing)
                        : Result<ServiceResponse>(entry.status());
         FinishTiming(request, &timing, &response);
         return response;

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/hardness.h"
 #include "engine/engine.h"
 #include "io/request_protocol.h"
 #include "obs/clock.h"
@@ -62,14 +63,20 @@
 
 namespace cpdb {
 
-/// \brief One typed request of a service batch.
+/// \brief One typed request of a service batch. The set of ops, their wire
+/// names, parameter schemas, and routing traits are declared in one place:
+/// service/op_registry.h.
 struct ServiceRequest {
   enum class Op {
-    kLoad,     ///< register a tree file with the catalog
-    kTopK,     ///< consensus Top-k against a catalog tree
-    kWorld,    ///< set-consensus world against a catalog tree
-    kStats,    ///< report the scheduler's cache counters
-    kMetrics,  ///< scrape the scheduler's metrics registry
+    kLoad,       ///< register a tree file with the catalog
+    kTopK,       ///< consensus Top-k against a catalog tree
+    kWorld,      ///< set-consensus world against a catalog tree
+    kStats,      ///< report the scheduler's cache counters
+    kMetrics,    ///< scrape the scheduler's metrics registry
+    kMarginals,  ///< per-key presence marginals of a catalog tree
+    kAggregate,  ///< label group-by COUNT consensus (mean + median)
+    kBaseline,   ///< baseline ranking semantics (escore/erank/global/prf)
+    kHardness,   ///< structural hardness statistics of a catalog tree
   };
 
   Op op = Op::kTopK;
@@ -79,12 +86,15 @@ struct ServiceRequest {
   std::string load_file;
   std::string load_format = "tree";  // tree | bid
 
-  // kTopK / kWorld
+  // kTopK / kWorld / kMarginals / kAggregate / kBaseline / kHardness
   std::string tree_name;
-  int k = 1;                                  // kTopK
+  int k = 1;                                  // kTopK / kBaseline
   TopKMetric metric = TopKMetric::kSymDiff;   // kTopK
   TopKAnswer answer = TopKAnswer::kMean;      // kTopK
   bool median_world = false;                  // kWorld: median vs mean
+
+  // kBaseline
+  std::string baseline_method = "escore";  // escore | erank | global | prf
 
   // kMetrics
   std::string metrics_format = "kv";  // kv | prom
@@ -147,6 +157,13 @@ struct ServiceResponse {
   std::vector<ShardCacheStats> shard_stats;
   std::string metrics_format;  // kMetrics echo (kv | prom)
   MetricsSnapshot metrics;     // kMetrics: the scrape
+  /// kMarginals: per-key presence marginals aligned with `keys`;
+  /// kAggregate: the mean group-count vector.
+  std::vector<double> values;
+  /// kAggregate: the median (closest-possible) group-count vector.
+  std::vector<int64_t> group_counts;
+  std::string method;      // kBaseline echo (escore | erank | global | prf)
+  TreeHardness hardness;   // kHardness: the structural statistics
   /// Side-band stage timings; rendered as trace_* fields only when
   /// timing.trace is set (the request said trace=on).
   ResponseTiming timing;
@@ -195,7 +212,10 @@ struct SchedulerOptions {
 
 /// \brief The serve path's instruments, owned by one scheduler (one per
 /// shard when sharded — cheap per-shard instances, merged at scrape time).
-/// All metric names are fixed here; tests/service_test.cc pins the cache
+/// The per-op instruments are generated from the OpRegistry's wire names
+/// (cpdb_<op>_requests_total / cpdb_<op>_latency_nanoseconds, registered
+/// in table order), so adding an op auto-registers its pair while every
+/// existing name stays golden-pinned; tests/service_test.cc pins the cache
 /// re-export names and tests/obs_test.cc the export formats.
 struct ServeInstruments {
   ServeInstruments();
@@ -204,17 +224,11 @@ struct ServeInstruments {
 
   Counter* requests_total;        // cpdb_requests_total
   Counter* request_errors_total;  // cpdb_request_errors_total
-  Counter* load_requests;         // cpdb_load_requests_total
-  Counter* topk_requests;         // cpdb_topk_requests_total
-  Counter* world_requests;        // cpdb_world_requests_total
-  Counter* stats_requests;        // cpdb_stats_requests_total
-  Counter* metrics_requests;      // cpdb_metrics_requests_total
 
-  LatencyHistogram* load_latency;     // cpdb_load_latency_nanoseconds
-  LatencyHistogram* topk_latency;     // cpdb_topk_latency_nanoseconds
-  LatencyHistogram* world_latency;    // cpdb_world_latency_nanoseconds
-  LatencyHistogram* stats_latency;    // cpdb_stats_latency_nanoseconds
-  LatencyHistogram* metrics_latency;  // cpdb_metrics_latency_nanoseconds
+  /// Per-op counters/histograms indexed by ServiceRequest::Op (== the
+  /// registry's table order).
+  std::vector<Counter*> op_requests;
+  std::vector<LatencyHistogram*> op_latencies;
 
   // Stage spans: parse (request-line and tree-file parses), catalog
   // (insert/lookup), cache (memo-cache routing incl. fold-on-miss),
@@ -226,8 +240,12 @@ struct ServeInstruments {
   LatencyHistogram* stage_fold;     // cpdb_stage_fold_latency_nanoseconds
   LatencyHistogram* stage_format;   // cpdb_stage_format_latency_nanoseconds
 
-  Counter* op_counter(ServiceRequest::Op op);
-  LatencyHistogram* op_latency(ServiceRequest::Op op);
+  Counter* op_counter(ServiceRequest::Op op) {
+    return op_requests[static_cast<size_t>(op)];
+  }
+  LatencyHistogram* op_latency(ServiceRequest::Op op) {
+    return op_latencies[static_cast<size_t>(op)];
+  }
   /// The stage histogram for a span name, or nullptr for an unknown name.
   LatencyHistogram* stage(const std::string& name);
 };
@@ -336,6 +354,11 @@ class QueryScheduler {
   MetricsSnapshot MetricsSnapshotNow() const;
 
  private:
+  /// The OpRegistry hooks execute against the scheduler through a private
+  /// OpHost adapter (service/op_registry.h) defined in the .cc — the
+  /// primitives below are its surface.
+  friend class SchedulerOpHost;
+
   /// The rank distribution for one valid Top-k request: through the cache
   /// when enabled (single-flight, charged against the budget), nullptr
   /// when disabled or when the request can only fail — the engine rejects
@@ -344,24 +367,22 @@ class QueryScheduler {
   std::shared_ptr<const RankDistribution> DistFor(const CatalogEntry& entry,
                                                   const ServiceRequest& request);
 
-  /// The leaf marginals for a world request's tree: through the marginals
-  /// cache when enabled, computed fresh otherwise.
+  /// The rank distribution at cutoff k unconditionally (the baseline
+  /// rankings' precompute): through the cache when enabled, computed fresh
+  /// otherwise.
+  std::shared_ptr<const RankDistribution> RankDistFor(const CatalogEntry& entry,
+                                                      int k);
+
+  /// The leaf marginals for a tree-addressed request: through the
+  /// marginals cache when enabled, computed fresh otherwise.
   std::shared_ptr<const std::vector<double>> MarginalsFor(
       const CatalogEntry& entry);
-
-  Result<ServiceResponse> ExecuteWorld(const CatalogEntry& entry,
-                                       const ServiceRequest& request,
-                                       const Clock* clk,
-                                       ResponseTiming* timing);
 
   /// The load path with stage spans: parse (read + parse the tree file)
   /// and catalog (the insert). `clk` null means no spans are recorded.
   Result<ServiceResponse> ExecuteLoadTimed(const ServiceRequest& request,
                                            const Clock* clk,
                                            ResponseTiming* timing);
-
-  Result<ServiceResponse> ExecuteMetricsOp(const ServiceRequest& request,
-                                           const Clock* clk);
 
   ServiceResponse StatsResponse() const;
 

@@ -8,6 +8,7 @@
 
 #include "common/hash.h"
 #include "service/catalog_snapshot.h"
+#include "service/op_registry.h"
 
 namespace cpdb {
 
@@ -258,13 +259,15 @@ std::vector<Result<ServiceResponse>> ShardedScheduler::ExecuteBatch(
   for (const ServiceRequest& request : requests) any_trace |= request.trace;
   const Clock* clk = TimingClock(any_trace);
 
+  const OpRegistry& ops = OpRegistry::Get();
+
   // Loads first, in request order — the batch contract. Loads stay on the
   // front-end thread: they are rare, order-sensitive on names, and each
   // one decides the routing for every query that follows. Their metrics
   // attribute to the shard that owns the loaded content, so the merged
   // scrape matches a single scheduler's exactly.
   for (size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i].op == ServiceRequest::Op::kLoad) {
+    if (ops.spec(requests[i].op).batch_phase == kLoadPhase) {
       ResponseTiming timing;
       int shard = 0;
       responses[i] = ExecuteLoad(requests[i], clk, &timing, &shard);
@@ -291,10 +294,7 @@ std::vector<Result<ServiceResponse>> ShardedScheduler::ExecuteBatch(
   std::vector<std::vector<size_t>> sub_slots(shards_.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     const ServiceRequest& request = requests[i];
-    if (request.op != ServiceRequest::Op::kTopK &&
-        request.op != ServiceRequest::Op::kWorld) {
-      continue;
-    }
+    if (ops.spec(request.op).routing != OpRouting::kTreeAddressed) continue;
     Stopwatch catalog_watch(clk);
     Result<int> shard = ShardForName(request.tree_name);
     if (!shard.ok()) {
@@ -377,57 +377,101 @@ std::vector<Result<ServiceResponse>> ShardedScheduler::ExecuteBatch(
     }
   }
 
-  // Stats next-to-last: the aggregate describes the batch that just ran.
-  // The probe itself counts against shard 0, like every front-end op no
-  // shard owns.
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i].op == ServiceRequest::Op::kStats) {
-      Stopwatch stats_watch(clk);
-      ServiceResponse response = StatsResponse();
-      ResponseTiming timing;
-      if (stats_watch.enabled()) {
-        timing.total_ns = stats_watch.ElapsedNanos();
-        response.timing.total_ns = timing.total_ns;
-        response.timing.trace = requests[i].trace;
-      }
-      RecordFrontend(0, requests[i], timing, /*ok=*/true);
-      responses[i] = std::move(response);
-    }
-  }
-
-  // Metrics last of all, exactly like the single scheduler: the scrape
-  // answers for everything the batch did. By now every helper has joined,
-  // so the shard registries are quiescent and the merged snapshot is the
-  // sum of what a single scheduler would have recorded.
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i].op == ServiceRequest::Op::kMetrics) {
-      responses[i] = ExecuteMetricsOp(requests[i], clk);
+  // Admin phases in declared order — stats next-to-last (the aggregate
+  // describes the batch that just ran), metrics last of all, exactly like
+  // the single scheduler: the scrape answers for everything the batch did.
+  // By the time either runs every helper has joined, so the shard
+  // registries are quiescent and the merged snapshot is the sum of what a
+  // single scheduler would have recorded. The probes themselves count
+  // against shard 0, like every front-end op no shard owns.
+  for (int phase : {kStatsPhase, kMetricsPhase}) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (ops.spec(requests[i].op).batch_phase != phase) continue;
+      responses[i] = ExecuteAdminOne(requests[i], clk);
     }
   }
   return responses;
 }
 
-Result<ServiceResponse> ShardedScheduler::ExecuteMetricsOp(
-    const ServiceRequest& request, const Clock* clk) {
-  ServeInstruments* instruments = ShardInstruments(0);
-  if (instruments == nullptr) {
-    // Byte-identical to the single scheduler's refusal.
-    return Status::InvalidArgument(
-        "op=metrics requires metrics enabled (serve without --metrics=off)");
+// The OpHost surface the registry's admin hooks execute against on the
+// sharded front end: stats and metrics merge per-shard state; the load
+// primitive is the routed insert path. The tree-addressed primitives are
+// never consulted — tree ops always execute on the owning shard's own
+// scheduler (through its SchedulerOpHost), so this host returns nothing
+// for them. Lives in namespace cpdb so the header's friend declaration
+// names exactly this class.
+class ShardedOpHost : public OpHost {
+ public:
+  explicit ShardedOpHost(ShardedScheduler* sharded) : sharded_(sharded) {}
+
+  const Engine* engine() const override { return nullptr; }
+
+  std::shared_ptr<const RankDistribution> GatedDistFor(
+      const CatalogEntry& entry, const ServiceRequest& request) override {
+    (void)entry;
+    (void)request;
+    return nullptr;
   }
-  // Count before scraping (the scrape includes this request, matching the
-  // single scheduler's count-at-entry); record the latency after.
-  instruments->requests_total->Increment();
-  instruments->metrics_requests->Increment();
+
+  std::shared_ptr<const RankDistribution> RankDistFor(const CatalogEntry& entry,
+                                                      int k) override {
+    (void)entry;
+    (void)k;
+    return nullptr;
+  }
+
+  std::shared_ptr<const std::vector<double>> MarginalsFor(
+      const CatalogEntry& entry) override {
+    (void)entry;
+    return nullptr;
+  }
+
+  ServiceResponse StatsNow() override { return sharded_->StatsResponse(); }
+
+  Result<MetricsSnapshot> MetricsNow() override {
+    if (sharded_->ShardInstruments(0) == nullptr) {
+      // Byte-identical to the single scheduler's refusal.
+      return MetricsDisabledError();
+    }
+    return sharded_->MetricsSnapshotNow();
+  }
+
+  Result<ServiceResponse> ExecuteLoadOp(const ServiceRequest& request,
+                                        const Clock* clk,
+                                        ResponseTiming* timing) override {
+    // The batch/one paths call ExecuteLoad directly for its shard
+    // attribution; this hook exists for completeness of the host surface.
+    int shard = 0;
+    return sharded_->ExecuteLoad(request, clk, timing, &shard);
+  }
+
+ private:
+  ShardedScheduler* sharded_;
+};
+
+Result<ServiceResponse> ShardedScheduler::ExecuteAdminOne(
+    const ServiceRequest& request, const Clock* clk) {
+  const OpSpec& spec = OpRegistry::Get().spec(request.op);
+  ShardedOpHost host(this);
+  ServeInstruments* instruments = ShardInstruments(0);
+  // Count before executing (a metrics scrape includes its own count,
+  // matching the single scheduler's count-at-entry); record the latency
+  // after — a scrape describes the work before it, never itself.
+  if (instruments != nullptr) {
+    instruments->requests_total->Increment();
+    instruments->op_counter(request.op)->Increment();
+  }
   Stopwatch watch(clk);
-  ServiceResponse response;
-  response.op = ServiceRequest::Op::kMetrics;
-  response.metrics_format = request.metrics_format;
-  response.metrics = MetricsSnapshotNow();
-  if (watch.enabled()) {
-    response.timing.total_ns = watch.ElapsedNanos();
-    response.timing.trace = request.trace;
-    instruments->metrics_latency->Record(response.timing.total_ns);
+  Result<ServiceResponse> response = spec.execute_admin(host, request);
+  if (watch.enabled() && response.ok()) {
+    response->timing.total_ns = watch.ElapsedNanos();
+    response->timing.trace = request.trace;
+    if (instruments != nullptr) {
+      instruments->op_latency(request.op)->Record(response->timing.total_ns);
+    }
+  }
+  if (instruments != nullptr && !response.ok()) {
+    instruments->request_errors_total->Increment();
   }
   return response;
 }
@@ -453,8 +497,11 @@ std::vector<MetricsSnapshot> ShardedScheduler::PerShardMetricsSnapshots()
 Result<ServiceResponse> ShardedScheduler::ExecuteOne(
     const ServiceRequest& request) {
   const Clock* clk = TimingClock(request.trace);
-  switch (request.op) {
-    case ServiceRequest::Op::kLoad: {
+  // Dispatch is by the registry's routing trait — three shapes of
+  // execution, not one branch per op. Adding an op touches the registry
+  // table, never this switch.
+  switch (OpRegistry::Get().spec(request.op).routing) {
+    case OpRouting::kCatalogGlobal: {
       ResponseTiming timing;
       int shard = 0;
       Result<ServiceResponse> response =
@@ -470,22 +517,9 @@ Result<ServiceResponse> ShardedScheduler::ExecuteOne(
       }
       return response;
     }
-    case ServiceRequest::Op::kStats: {
-      Stopwatch stats_watch(clk);
-      ServiceResponse response = StatsResponse();
-      ResponseTiming timing;
-      if (stats_watch.enabled()) {
-        timing.total_ns = stats_watch.ElapsedNanos();
-        response.timing.total_ns = timing.total_ns;
-        response.timing.trace = request.trace;
-      }
-      RecordFrontend(0, request, timing, /*ok=*/true);
-      return response;
-    }
-    case ServiceRequest::Op::kMetrics:
-      return ExecuteMetricsOp(request, clk);
-    case ServiceRequest::Op::kTopK:
-    case ServiceRequest::Op::kWorld: {
+    case OpRouting::kAdmin:
+      return ExecuteAdminOne(request, clk);
+    case OpRouting::kTreeAddressed: {
       Stopwatch catalog_watch(clk);
       Result<int> shard = ShardForName(request.tree_name);
       if (!shard.ok()) {

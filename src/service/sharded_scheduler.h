@@ -16,12 +16,20 @@
 //     structural key (deterministic key-hash partitioning; a name
 //     already bound stays on its shard so rebind conflicts surface exactly
 //     as the single catalog reports them);
-//   * routes every kTopK / kWorld to the shard owning its tree, fanning the
-//     per-shard sub-batches across threads — sub-batches execute
-//     concurrently, each on its shard's engine — and reassembles the
-//     per-slot Results in input order;
-//   * answers kStats with the *sum* of the shards' cache counters plus the
-//     per-shard breakdown (ServiceResponse::shard_stats).
+//   * routes every tree-addressed op (kTopK, kWorld, and the analytics
+//     ops — the OpRegistry's kTreeAddressed rows) to the shard owning its
+//     tree, fanning the per-shard sub-batches across threads — sub-batches
+//     execute concurrently, each on its shard's engine — and reassembles
+//     the per-slot Results in input order;
+//   * answers the admin ops (the registry's kAdmin rows) on the front end:
+//     kStats with the *sum* of the shards' cache counters plus the
+//     per-shard breakdown (ServiceResponse::shard_stats), kMetrics with
+//     the shards' registries merged.
+//
+// The dispatch is a generic walk of the OpRegistry (service/op_registry.h):
+// the fan-out keys on each op's routing trait and batch phase, never on the
+// op itself, so a new tree-addressed op shards correctly with no change
+// here.
 //
 // Determinism: because the partitioning is a pure function of structural
 // keys, every (StructKey, k) cache key lives on exactly one
@@ -177,6 +185,11 @@ class ShardedScheduler {
   const Clock* clock() const { return clock_; }
 
  private:
+  /// The registry's admin hooks execute against the front end through a
+  /// private OpHost adapter (service/op_registry.h) defined in the .cc —
+  /// the primitives below are its surface.
+  friend class ShardedOpHost;
+
   struct Shard {
     std::unique_ptr<Engine> engine;
     std::unique_ptr<TreeCatalog> catalog;
@@ -209,12 +222,15 @@ class ShardedScheduler {
 
   ServiceResponse StatsResponse() const;
 
-  /// The op=metrics answer: count the request against shard 0, build the
-  /// merged scrape, record its latency after. Mirrors
-  /// QueryScheduler::ExecuteMetricsOp, including its refusal when metrics
-  /// are off.
-  Result<ServiceResponse> ExecuteMetricsOp(const ServiceRequest& request,
-                                           const Clock* clk);
+  /// Executes one kAdmin registry row (stats, metrics) against the merged
+  /// front-end state: the request counts against shard 0 *before* the hook
+  /// runs (a metrics scrape includes its own count, matching the single
+  /// scheduler's count-at-entry), and its latency is recorded after —
+  /// a scrape describes the work before it, never itself. Refusals (the
+  /// hook's own in-band errors, e.g. metrics while disabled) are
+  /// byte-identical to the single scheduler's by construction.
+  Result<ServiceResponse> ExecuteAdminOne(const ServiceRequest& request,
+                                          const Clock* clk);
 
   /// Shard `s`'s instruments (nullptr when metrics are off). Front-end
   /// work — loads, routing failures, stats/metrics ops — is recorded here

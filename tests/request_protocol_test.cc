@@ -13,8 +13,23 @@
 
 #include <string>
 
+#include "service/query_scheduler.h"
+
 namespace cpdb {
 namespace {
+
+TEST(RequestProtocolTest, UnknownOpErrorListsTheRegistryOps) {
+  // The valid-op enumeration is derived from the OpRegistry, not a string
+  // literal: this golden pin moves exactly when an op is added to (or
+  // removed from) the table, and at no other time.
+  auto line = ParseRequestLine("op=bogus tree=t");
+  ASSERT_TRUE(line.ok());
+  auto request = ServiceRequestFromLine(*line);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().message(),
+            "unknown op 'bogus' (expected load, topk, world, stats, "
+            "metrics, marginals, aggregate, baseline or hardness)");
+}
 
 TEST(RequestProtocolTest, ParsesFieldsInOrder) {
   auto line = ParseRequestLine("op=topk tree=movies metric=kendall k=3");

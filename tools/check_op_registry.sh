@@ -1,0 +1,52 @@
+#!/bin/sh
+# Op-registry coverage lint: every op in the table is documented and tested.
+#
+# The OpRegistry (src/service/op_registry.cc) is the single source of truth
+# for the serve protocol's op set — the parser, both schedulers, the
+# instruments, and the unknown-op error all walk it. This script closes the
+# loop on the two things a table entry cannot enforce about itself:
+#
+#   * the op appears in the ARCHITECTURE.md protocol grammar ("op=<name>"),
+#     so the wire surface cannot grow undocumented;
+#   * the op appears in at least one test under tests/ ("op=<name>"), so it
+#     cannot ship without protocol-level coverage.
+#
+# Usage: tools/check_op_registry.sh [repo-root]
+
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root"
+
+registry="src/service/op_registry.cc"
+if [ ! -f "$registry" ]; then
+  echo "op-registry lint FAILED: $registry not found." >&2
+  exit 1
+fi
+
+# The wire names, straight from the table entries (spec.name = "...").
+names=$(sed -n 's/.*spec\.name = "\([a-z_]*\)".*/\1/p' "$registry")
+if [ -z "$names" ]; then
+  echo "op-registry lint FAILED: no 'spec.name = \"...\"' entries found in $registry." >&2
+  exit 1
+fi
+
+violations=""
+for name in $names; do
+  if ! grep -q "op=$name" docs/ARCHITECTURE.md; then
+    violations="$violations
+  op '$name' is not documented in docs/ARCHITECTURE.md (no 'op=$name')"
+  fi
+  if ! grep -rq "op=$name" tests/; then
+    violations="$violations
+  op '$name' appears in no test under tests/ (no 'op=$name')"
+  fi
+done
+
+if [ -n "$violations" ]; then
+  echo "op-registry lint FAILED: registry ops missing docs or tests.$violations" >&2
+  exit 1
+fi
+
+count=$(echo "$names" | wc -l | tr -d ' ')
+echo "op registry OK: all $count ops are documented in docs/ARCHITECTURE.md and covered under tests/."

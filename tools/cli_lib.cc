@@ -4,12 +4,13 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <map>
 
 #include "common/hash.h"
 #include "common/rng.h"
 #include "core/aggregates.h"
+#include "core/hardness.h"
 #include "core/jaccard.h"
+#include "core/ranking_baselines.h"
 #include "core/set_consensus.h"
 #include "core/topk_metrics.h"
 #include "core/topk_symdiff.h"
@@ -55,6 +56,8 @@ struct CliOptions {
   bool metrics_set = false;  // --metrics given (serve only)
   int64_t slow_query_ms = 0;      // serve: slow-query log threshold
   bool slow_query_set = false;    // --slow-query-ms given (serve only)
+  std::string method = "escore";  // baseline: ranking semantics
+  bool method_set = false;        // --method given (baseline only)
 };
 
 // The evaluation engine configured by --threads. Results are independent of
@@ -95,6 +98,18 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       opts.metric = value;
     } else if (name == "answer") {
       opts.answer = value;
+    } else if (name == "method") {
+      // Strict enum parse, same convention as --cache: a typo'd value must
+      // not silently fall back to the default semantics. The value set is
+      // the serve protocol's op=baseline method field, verbatim.
+      if (value != "escore" && value != "erank" && value != "global" &&
+          value != "prf") {
+        return Status::InvalidArgument(
+            "--method expects escore, erank, global or prf, got '" + value +
+            "'");
+      }
+      opts.method = value;
+      opts.method_set = true;
     } else if (name == "k") {
       // Out-of-range values error rather than clamp: a clamped k would
       // silently answer a different query. (Range checks like k >= 1 stay
@@ -248,6 +263,9 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     // The slow-query log reads the per-request timings the instruments
     // produce; asking for it with metrics off would silently log nothing.
     return Status::InvalidArgument("--slow-query-ms requires --metrics=on");
+  }
+  if (opts.method_set && opts.command != "baseline") {
+    return Status::InvalidArgument("--method applies only to baseline");
   }
   if (positional.size() > 1) opts.input_path = positional[1];
   if (positional.size() > 2) {
@@ -783,30 +801,17 @@ int CmdAggregate(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     std::fprintf(err, "%s\n", tree.status().ToString().c_str());
     return 1;
   }
-  // Build the group-by matrix from the tree's (key, label) marginals.
-  std::vector<double> marginal = tree->LeafMarginals();
-  std::map<KeyId, std::map<int32_t, double>> rows;
-  int32_t max_label = -1;
-  for (NodeId l : tree->LeafIds()) {
-    const TupleAlternative& alt = tree->node(l).leaf;
-    if (alt.label < 0) {
-      std::fprintf(err,
-                   "aggregate requires a label on every alternative "
-                   "(key %d has none)\n",
-                   alt.key);
-      return 1;
-    }
-    rows[alt.key][alt.label] += marginal[static_cast<size_t>(l)];
-    max_label = std::max(max_label, alt.label);
+  // The group-by matrix build is shared with serve's op=aggregate
+  // (core/aggregates.h), so both surfaces agree on the instance — and on
+  // the missing-label error text, printed here without the status-code
+  // prefix the pre-refactor inline build never had.
+  auto instance = GroupByInstanceFromTree(*tree, tree->LeafMarginals());
+  if (!instance.ok()) {
+    std::fprintf(err, "%s\n", instance.status().message().c_str());
+    return 1;
   }
-  GroupByInstance instance;
-  for (const auto& [key, labels] : rows) {
-    std::vector<double> row(static_cast<size_t>(max_label) + 1, 0.0);
-    for (const auto& [label, p] : labels) row[static_cast<size_t>(label)] = p;
-    instance.probs.push_back(std::move(row));
-  }
-  std::vector<double> mean = MeanAggregate(instance);
-  auto median = ClosestPossibleAggregate(instance);
+  std::vector<double> mean = MeanAggregate(*instance);
+  auto median = ClosestPossibleAggregate(*instance);
   if (!median.ok()) {
     std::fprintf(err, "%s\n", median.status().ToString().c_str());
     return 1;
@@ -816,6 +821,70 @@ int CmdAggregate(const CliOptions& opts, std::FILE* out, std::FILE* err) {
     std::fprintf(out, "%zu %s %lld\n", j, FormatRoundTripDouble(mean[j]).c_str(),
                  static_cast<long long>((*median)[j]));
   }
+  return 0;
+}
+
+// The offline twin of serve's op=baseline: the four heuristic ranking
+// semantics of core/ranking_baselines.h over one tree. The printed keys csv
+// is byte-identical to the serve response's keys field for the same
+// canonical-content tree: escore is a deterministic fold, erank's serve-side
+// parallel Engine::ExpectedRanks is bitwise identical to the sequential core
+// form used here, and the distribution-backed methods (global, prf) read the
+// same schedule-deterministic ComputeRankDistribution the serve cache
+// memoizes.
+int CmdBaseline(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  if (opts.k < 1) {
+    std::fprintf(err, "--k must be >= 1\n");
+    return 1;
+  }
+  if (opts.threads < 0) {
+    std::fprintf(err, "--threads must be >= 0 (0 = all hardware cores)\n");
+    return 1;
+  }
+  std::vector<KeyId> keys;
+  if (opts.method == "escore") {
+    keys = TopKByExpectedScore(*tree, opts.k);
+  } else if (opts.method == "erank") {
+    keys = TopKByExpectedRank(*tree, opts.k);
+  } else {
+    Engine engine = MakeEngine(opts);
+    RankDistribution dist = engine.ComputeRankDistribution(*tree, opts.k);
+    keys = opts.method == "global"
+               ? GlobalTopK(dist)
+               : TopKByPRF(dist, PrfUpsilonHWeights(opts.k));
+  }
+  std::fprintf(out, "baseline %s k=%d keys=", opts.method.c_str(), opts.k);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::fprintf(out, "%s%d", i == 0 ? "" : ",", keys[i]);
+  }
+  std::fprintf(out, "\n");
+  return 0;
+}
+
+// The offline twin of serve's op=hardness: the structural statistics behind
+// the paper's tractability frontier, one `name value` line per field, names
+// matching the serve response fields byte for byte.
+int CmdHardness(const CliOptions& opts, std::FILE* out, std::FILE* err) {
+  auto tree = LoadTree(opts);
+  if (!tree.ok()) {
+    std::fprintf(err, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  TreeHardness h = ComputeTreeHardness(*tree);
+  std::fprintf(out, "nodes %lld\n", static_cast<long long>(h.nodes));
+  std::fprintf(out, "leaves %lld\n", static_cast<long long>(h.leaves));
+  std::fprintf(out, "keys %lld\n", static_cast<long long>(h.keys));
+  std::fprintf(out, "dup_keys %lld\n",
+               static_cast<long long>(h.duplicated_keys));
+  std::fprintf(out, "max_leaves_per_key %lld\n",
+               static_cast<long long>(h.max_leaves_per_key));
+  std::fprintf(out, "tuple_independent %d\n", h.tuple_independent ? 1 : 0);
+  std::fprintf(out, "block_independent %d\n", h.block_independent ? 1 : 0);
   return 0;
 }
 
@@ -843,6 +912,15 @@ std::string CliUsage() {
       "                   through the engine in one submission)\n"
       "                   --answer=mean|median|approx|any-size\n"
       "  aggregate        consensus group-by COUNT over the label attribute\n"
+      "  baseline         --k=K --method=escore|erank|global|prf: the\n"
+      "                   heuristic ranking semantics the consensus answers\n"
+      "                   are compared against (expected score, expected\n"
+      "                   rank, global top-k, PRF-upsilon with harmonic\n"
+      "                   weights)\n"
+      "  hardness         structural hardness statistics: node/leaf/key\n"
+      "                   counts, key duplication (the signal behind the\n"
+      "                   paper's tractability frontier), independence\n"
+      "                   shape flags\n"
       "  serve            answer requests read from the input file (or\n"
       "                   stdin when omitted or '-'), one request per line:\n"
       "                     op=load name=T file=PATH [format=tree|bid]\n"
@@ -850,6 +928,11 @@ std::string CliUsage() {
       "                     op=world tree=T [answer=mean|median]\n"
       "                     op=stats\n"
       "                     op=metrics [format=kv|prom]\n"
+      "                     op=marginals tree=T\n"
+      "                     op=aggregate tree=T\n"
+      "                     op=baseline tree=T k=K [method=escore|erank|\n"
+      "                       global|prf]\n"
+      "                     op=hardness tree=T\n"
       "                   any request may add trace=on to receive side-band\n"
       "                   trace_*_ns timing fields on its response line\n"
       "                   (answer fields are bitwise identical either way);\n"
@@ -870,9 +953,13 @@ std::string CliUsage() {
       "                      bid: 'key prob score [label]' lines)\n"
       "  --max-worlds=N      enumeration guard for `worlds` (default 4096)\n"
       "  (integer flags are parsed strictly: '--k=1o' is an error, not 1)\n"
-      "  --threads=N         evaluation threads for topk, consensus-world\n"
-      "                      and serve (default 1; 0 = all hardware cores;\n"
-      "                      results are independent of N)\n"
+      "  --threads=N         evaluation threads for topk, consensus-world,\n"
+      "                      baseline and serve (default 1; 0 = all\n"
+      "                      hardware cores; results are independent of N)\n"
+      "  --method=M          baseline only: escore (expected score), erank\n"
+      "                      (expected rank), global (global top-k) or prf\n"
+      "                      (PRF-upsilon with harmonic weights; default\n"
+      "                      escore)\n"
       "  --cache=on|off      serve only: the rank-distribution and\n"
       "                      marginals caches (default on; answers are\n"
       "                      bitwise identical either way — off exists for\n"
@@ -940,6 +1027,8 @@ int RunCli(const std::vector<std::string>& args, std::FILE* out,
   if (cmd == "topk") return CmdTopK(*opts, out, err);
   if (cmd == "serve") return CmdServe(*opts, out, err);
   if (cmd == "aggregate") return CmdAggregate(*opts, out, err);
+  if (cmd == "baseline") return CmdBaseline(*opts, out, err);
+  if (cmd == "hardness") return CmdHardness(*opts, out, err);
   std::fprintf(err, "unknown command '%s'\n%s", cmd.c_str(),
                CliUsage().c_str());
   return 2;
